@@ -1,0 +1,116 @@
+// Command linreg regenerates Figure 3 of the paper: the parallel efficiency
+// of the Phoenix++-style linear-regression map-reduce workload under the
+// baseline Cilk-style runtime (panel a) and the OpenMP-style runtimes
+// (panel b), compared against the fine-grain runtime with its reduction
+// merged into the join half-barrier.
+//
+// Usage:
+//
+//	go run ./cmd/linreg [-panel a|b|both] [-points N] [-reps N]
+//	                    [-threads 1,2,4,...] [-chunk N] [-medium] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"loopsched/internal/bench"
+	"loopsched/internal/linreg"
+)
+
+func main() {
+	var (
+		panel   = flag.String("panel", "both", "which panel to run: a (Cilk), b (OpenMP) or both")
+		points  = flag.Int("points", 4<<20, "number of (x,y) samples")
+		medium  = flag.Bool("medium", false, "use the Phoenix++ 'medium' input size (~26M points), overriding -points")
+		reps    = flag.Int("reps", 3, "timed repetitions (minimum kept)")
+		threads = flag.String("threads", "", "comma-separated thread counts (default: 1,2,4,... up to the machine)")
+		chunk   = flag.Int("chunk", 32768, "points per map task (Phoenix++-style chunking; -1 = a single loop over the whole dataset)")
+		verify  = flag.Bool("verify", false, "check every runtime against the sequential oracle and exit")
+	)
+	flag.Parse()
+
+	if *verify {
+		for _, name := range []string{"fine-grain-tree", "openmp-static", "openmp-dynamic", "cilk", "hybrid"} {
+			rel, err := bench.VerifyLinreg(name, 1<<18)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-20s max relative error vs sequential = %.3g\n", name, rel)
+		}
+		return
+	}
+
+	n := *points
+	if *medium {
+		n = linreg.PaperMediumPoints
+	}
+	counts := parseInts(*threads)
+
+	fmt.Printf("Reproducing Figure 3 (GOMAXPROCS=%d, NumCPU=%d, %d points)\n\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU(), n)
+
+	if *panel == "a" || *panel == "both" {
+		res, err := bench.RunLinreg(bench.LinregOptions{
+			Points: n, Reps: *reps, ThreadCounts: counts, ChunkPoints: *chunk,
+			Baseline: "cilk", FineGrain: "fine-grain-tree",
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteLinreg(os.Stdout, res, "a"); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if *panel == "b" || *panel == "both" {
+		res, err := bench.RunLinreg(bench.LinregOptions{
+			Points: n, Reps: *reps, ThreadCounts: counts, ChunkPoints: *chunk,
+			Baseline: "openmp-static", FineGrain: "fine-grain-tree",
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteLinreg(os.Stdout, res, "b"); err != nil {
+			fatal(err)
+		}
+		// The paper's panel (b) also plots OpenMP dynamic; report it as an
+		// extra baseline series.
+		res2, err := bench.RunLinreg(bench.LinregOptions{
+			Points: n, Reps: *reps, ThreadCounts: counts, ChunkPoints: *chunk,
+			Baseline: "openmp-dynamic", FineGrain: "fine-grain-tree",
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if err := bench.WriteLinreg(os.Stdout, res2, "b (dynamic baseline)"); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			fatal(fmt.Errorf("invalid thread count %q", part))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "linreg:", err)
+	os.Exit(1)
+}

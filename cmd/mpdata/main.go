@@ -1,0 +1,93 @@
+// Command mpdata regenerates Figure 2 of the paper: the speedup of the
+// MPDATA advection solver on the 5568-point / 16399-edge unstructured grid
+// under the fine-grain scheduler and the OpenMP-style baseline (left panel),
+// and the relative speedup of the fine-grain scheduler over the baseline
+// (right panel).
+//
+// Usage:
+//
+//	go run ./cmd/mpdata [-steps N] [-reps N] [-threads 1,2,4,...]
+//	                    [-schedulers a,b] [-corrective N] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"loopsched/internal/bench"
+)
+
+func main() {
+	var (
+		steps      = flag.Int("steps", 50, "MPDATA time steps per measurement")
+		reps       = flag.Int("reps", 3, "timed repetitions (minimum kept)")
+		threads    = flag.String("threads", "", "comma-separated thread counts (default: 1,2,4,... up to the machine)")
+		schedulers = flag.String("schedulers", "fine-grain-tree,openmp-static", "comma-separated scheduler names for the left panel")
+		corrective = flag.Int("corrective", 1, "number of MPDATA corrective passes")
+		verify     = flag.Bool("verify", false, "check the parallel solution against the sequential oracle and exit")
+	)
+	flag.Parse()
+
+	if *verify {
+		for _, name := range splitList(*schedulers) {
+			maxDiff, massErr, err := bench.VerifyMPDATA(name, 10)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-20s max |Δψ| vs sequential = %.3g, relative mass error = %.3g\n", name, maxDiff, massErr)
+		}
+		return
+	}
+
+	opt := bench.MPDATAOptions{
+		Steps:        *steps,
+		Reps:         *reps,
+		Corrective:   *corrective,
+		ThreadCounts: parseInts(*threads),
+		Schedulers:   splitList(*schedulers),
+	}
+
+	fmt.Printf("Reproducing Figure 2 (GOMAXPROCS=%d, NumCPU=%d)\n\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
+	if d, err := bench.LoopDuration("fine-grain-tree", 50); err == nil {
+		fmt.Printf("average parallel-loop duration inside a time step: %v (fine-grain regime)\n\n", d)
+	}
+
+	res, err := bench.RunMPDATA(opt)
+	if err != nil {
+		fatal(err)
+	}
+	if err := bench.WriteMPDATA(os.Stdout, res); err != nil {
+		fatal(err)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			fatal(fmt.Errorf("invalid thread count %q", part))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpdata:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Command sweep runs the raw granularity micro-benchmark for a single
+// scheduler: for each loop size in a geometric sweep it reports the
+// sequential time, the parallel time, the measured speedup and the speedup
+// predicted by the fitted burden model. It is the measurement underlying
+// Table 1, exposed directly so new schedulers or parameter choices can be
+// explored without editing the harness.
+//
+// Usage:
+//
+//	go run ./cmd/sweep -scheduler fine-grain-tree [-workers N] [-points N]
+//	                   [-iterations N] [-min-total D] [-max-total D] [-reps N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"loopsched/internal/bench"
+)
+
+func main() {
+	var (
+		scheduler  = flag.String("scheduler", "fine-grain-tree", "scheduler to measure (see -list)")
+		list       = flag.Bool("list", false, "list available schedulers and exit")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker count")
+		points     = flag.Int("points", 14, "number of sweep points")
+		reps       = flag.Int("reps", 5, "timed repetitions per point")
+		iterations = flag.Int("iterations", 4096, "fixed iteration count of the swept loops")
+		minTotal   = flag.Duration("min-total", 20*time.Microsecond, "smallest sequential loop duration")
+		maxTotal   = flag.Duration("max-total", 20*time.Millisecond, "largest sequential loop duration")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range bench.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	res, err := bench.MeasureBurden(*scheduler, bench.BurdenOptions{
+		Workers:    *workers,
+		Iterations: *iterations,
+		MinTotal:   *minTotal,
+		MaxTotal:   *maxTotal,
+		Points:     *points,
+		Reps:       *reps,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	if err := bench.WriteSweep(os.Stdout, res); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nfitted burden d = %.2f us (effective parallelism %.1f, R2 %.3f, break-even %.1f us)\n",
+		res.BurdenUs(), res.Fit.EffectiveP, res.Fit.R2, res.Fit.BreakEven()*1e6)
+}

@@ -1,0 +1,100 @@
+// Map-reduce example: Phoenix++-style jobs on top of the loop runtimes. It
+// runs the linear-regression workload of Figure 3 (an array-container job
+// whose reduction is folded into the scheduler's join wave) and a
+// word-count-style hash-container job, comparing the fine-grain runtime with
+// the Cilk-style baseline.
+//
+//	go run ./examples/mapreduce [-points N] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"loopsched"
+	"loopsched/internal/cilk"
+	"loopsched/internal/linreg"
+	"loopsched/internal/phoenix"
+	"loopsched/internal/sched"
+)
+
+func main() {
+	var (
+		points  = flag.Int("points", 2<<20, "number of (x,y) samples for the regression")
+		workers = flag.Int("workers", 0, "worker count (0 = all processors)")
+	)
+	flag.Parse()
+
+	pool := loopsched.New(loopsched.Config{Workers: *workers})
+	defer pool.Close()
+	fineGrain := pool.Scheduler()
+
+	baseline := cilk.New(cilk.Config{Workers: *workers})
+	defer baseline.Close()
+
+	// --- Linear regression (Figure 3 workload) ---------------------------
+	data := linreg.Generate(*points)
+	fmt.Printf("linear regression over %d points\n", *points)
+	for _, rt := range []sched.Scheduler{fineGrain, baseline} {
+		start := time.Now()
+		stats, err := data.Run(rt)
+		if err != nil {
+			fatal(err)
+		}
+		fit, err := stats.Solve()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %-18s y = %.4f·x %+.2f  (R²=%.3f)  in %v\n",
+			rt.Name(), fit.Slope, fit.Intercept, fit.R2, time.Since(start).Round(time.Microsecond))
+	}
+
+	// --- Histogram: an array-container job -------------------------------
+	const buckets = 16
+	hist := phoenix.ArrayJob{
+		NumKeys: buckets,
+		Map: func(w, begin, end int, emit []float64) {
+			for i := begin; i < end; i++ {
+				emit[int(data.Points[i].Y)*buckets/256]++
+			}
+		},
+	}
+	counts, err := hist.Run(fineGrain, len(data.Points))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nhistogram of y values (%d buckets):\n", buckets)
+	for b, c := range counts {
+		fmt.Printf("  [%3d..%3d) %8.0f\n", b*256/buckets, (b+1)*256/buckets, c)
+	}
+
+	// --- Word count: a hash-container job ---------------------------------
+	words := []string{"half", "barrier", "loop", "scheduler", "fine", "grain", "reduction", "tree"}
+	text := make([]string, 200000)
+	for i := range text {
+		text[i] = words[(i*i+3*i)%len(words)]
+	}
+	wc := phoenix.HashJob[string, int]{
+		Map: func(w, begin, end int, emit func(string, int)) {
+			for i := begin; i < end; i++ {
+				emit(text[i], 1)
+			}
+		},
+		Combine: func(a, b int) int { return a + b },
+	}
+	result, err := wc.Run(fineGrain, len(text))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nword counts over %d tokens:\n", len(text))
+	for _, w := range words {
+		fmt.Printf("  %-10s %d\n", w, result[w])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mapreduce example:", err)
+	os.Exit(1)
+}

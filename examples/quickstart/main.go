@@ -1,0 +1,78 @@
+// Quickstart: the smallest useful program built on the public loopsched API.
+// It creates a pool, runs a data-parallel transform, a scalar reduction and
+// an ordered (non-commutative) generic reduction, and prints the results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"loopsched"
+)
+
+func main() {
+	pool := loopsched.New(loopsched.Config{})
+	defer pool.Close()
+	fmt.Println("pool:", pool)
+
+	// A data-parallel transform: every index handled exactly once.
+	const n = 1 << 20
+	xs := make([]float64, n)
+	pool.ForEach(n, func(i int) {
+		xs[i] = math.Sqrt(float64(i))
+	})
+
+	// A scalar reduction folded into the scheduler's join wave.
+	sum := pool.ReduceFloat64(n, 0,
+		func(a, b float64) float64 { return a + b },
+		func(w, lo, hi int, acc float64) float64 {
+			for i := lo; i < hi; i++ {
+				acc += xs[i]
+			}
+			return acc
+		})
+	fmt.Printf("sum of sqrt(0..%d) = %.3f\n", n-1, sum)
+
+	// A vector reduction: several statistics in one pass.
+	stats := pool.ReduceVec(n, 3, func(w, lo, hi int, acc []float64) {
+		for i := lo; i < hi; i++ {
+			acc[0] += xs[i]
+			acc[1] += xs[i] * xs[i]
+			acc[2]++
+		}
+	})
+	mean := stats[0] / stats[2]
+	variance := stats[1]/stats[2] - mean*mean
+	fmt.Printf("mean = %.3f, variance = %.3f over %d samples\n", mean, variance, int(stats[2]))
+
+	// An ordered generic reduction (the canonical non-commutative reducer):
+	// collecting the indices of local maxima in index order.
+	peaks := loopsched.Reduce(pool, n-2, loopsched.AppendOp[int](),
+		func(w, lo, hi int, acc []int) []int {
+			for i := lo; i < hi; i++ {
+				j := i + 1 // interior index
+				if xs[j] > xs[j-1] && xs[j] > xs[j+1] {
+					acc = append(acc, j)
+				}
+			}
+			return acc
+		})
+	fmt.Printf("found %d local maxima (sqrt is monotone, so expect 0)\n", len(peaks))
+
+	// The same pool can run many loops back to back; this is the fine-grain
+	// regime the scheduler is built for.
+	total := 0.0
+	for step := 0; step < 1000; step++ {
+		total += pool.ReduceFloat64(4096, 0,
+			func(a, b float64) float64 { return a + b },
+			func(w, lo, hi int, acc float64) float64 {
+				for i := lo; i < hi; i++ {
+					acc += float64(i % 7)
+				}
+				return acc
+			})
+	}
+	fmt.Printf("1000 back-to-back fine-grain reducing loops: total = %.0f\n", total)
+}

@@ -1,0 +1,108 @@
+package barrier
+
+import (
+	"fmt"
+
+	"loopsched/internal/spin"
+)
+
+// Centralized is a sense-reversing centralized barrier plus the centralized
+// variants of the two half-barrier primitives. All state lives in a handful
+// of shared cache lines, so every episode serialises P atomic updates on one
+// location — the contention the tree barrier avoids.
+type Centralized struct {
+	p int
+
+	// Full-barrier state: arrival counter and release generation.
+	count      paddedUint32
+	generation paddedUint32
+
+	// Release half-barrier state: a monotonically increasing epoch published
+	// by the root; workers wait for it to reach their expected value.
+	releaseEpoch paddedUint64
+	releaseSeen  []paddedUint64 // per-worker: last epoch this worker consumed
+
+	// Join half-barrier state: per-episode arrival count; the root waits for
+	// it to reach P-1, then advances the epoch.
+	joinArrivals paddedUint64 // total arrivals ever (monotonic)
+	joinEpoch    []paddedUint64
+}
+
+// NewCentralized builds a centralized barrier for p participants.
+func NewCentralized(p int) *Centralized {
+	if p <= 0 {
+		panic(fmt.Sprintf("barrier: non-positive participant count %d", p))
+	}
+	return &Centralized{
+		p:           p,
+		releaseSeen: make([]paddedUint64, p),
+		joinEpoch:   make([]paddedUint64, p),
+	}
+}
+
+// Participants returns P.
+func (b *Centralized) Participants() int { return b.p }
+
+// Wait implements the Full interface with the classic sense-reversing
+// algorithm: the last arriver flips the generation, everyone else spins on
+// it.
+func (b *Centralized) Wait(w int) {
+	gen := b.generation.v.Load()
+	if int(b.count.v.Add(1)) == b.p {
+		b.count.v.Store(0)
+		b.generation.v.Add(1)
+		return
+	}
+	spin.Wait(func() bool { return b.generation.v.Load() != gen })
+}
+
+// Release implements the Releaser interface. Worker 0 is the root: it
+// advances the shared release epoch and returns. Every other worker spins
+// until the epoch reaches the value it expects (one past what it last
+// consumed).
+func (b *Centralized) Release(w int) {
+	if w == 0 {
+		b.releaseEpoch.v.Add(1)
+		return
+	}
+	want := b.releaseSeen[w].v.Load() + 1
+	spin.WaitUint64AtLeast(&b.releaseEpoch.v, want)
+	b.releaseSeen[w].v.Store(want)
+}
+
+// Join implements the Joiner interface. Non-root workers increment the
+// shared arrival counter and return; the root waits until P-1 arrivals for
+// the current episode have been recorded.
+func (b *Centralized) Join(w int) {
+	b.JoinCombine(w, nil)
+}
+
+// JoinCombine implements CombiningJoiner. For the centralized barrier all
+// P-1 combines are executed by the root, in increasing worker order, after
+// all arrivals — the centralized analogue of folding the reduction into the
+// join phase.
+func (b *Centralized) JoinCombine(w int, combine func(into, from int)) {
+	if w != 0 {
+		// Publish this worker's arrival. The epoch store is what the root's
+		// per-worker check (and the happens-before edge for the reduction
+		// data) relies on.
+		b.joinEpoch[w].v.Add(1)
+		b.joinArrivals.v.Add(1)
+		return
+	}
+	epoch := b.joinEpoch[0].v.Load() + 1
+	// Wait for every worker to have reached this episode, in index order so
+	// that combines preserve iteration order.
+	for c := 1; c < b.p; c++ {
+		spin.WaitUint64AtLeast(&b.joinEpoch[c].v, epoch)
+		if combine != nil {
+			combine(0, c)
+		}
+	}
+	b.joinEpoch[0].v.Store(epoch)
+}
+
+var (
+	_ Full     = (*Centralized)(nil)
+	_ HalfPair = (*Centralized)(nil)
+)

@@ -1,0 +1,60 @@
+package barrier
+
+import (
+	"fmt"
+	"math/bits"
+
+	"loopsched/internal/spin"
+)
+
+// Dissemination is a dissemination barrier: ceil(log2 P) rounds in which
+// worker i signals worker (i + 2^k) mod P and waits for a signal from
+// (i - 2^k) mod P. It completes in logarithmic depth without a distinguished
+// root, but it cannot be split into useful half-barriers (there is no single
+// master), so it participates only in the full-barrier comparisons and the
+// barrier micro-benchmarks.
+type Dissemination struct {
+	p      int
+	rounds int
+	// flags[r][w] counts episodes in which worker w has signalled in round r.
+	flags [][]paddedUint64
+	// done[w] counts completed episodes for worker w (local, unpadded use is
+	// fine but keep it padded for uniformity).
+	done []paddedUint64
+}
+
+// NewDissemination builds a dissemination barrier for p participants.
+func NewDissemination(p int) *Dissemination {
+	if p <= 0 {
+		panic(fmt.Sprintf("barrier: non-positive participant count %d", p))
+	}
+	rounds := 0
+	if p > 1 {
+		rounds = bits.Len(uint(p - 1))
+	}
+	flags := make([][]paddedUint64, rounds)
+	for r := range flags {
+		flags[r] = make([]paddedUint64, p)
+	}
+	return &Dissemination{p: p, rounds: rounds, flags: flags, done: make([]paddedUint64, p)}
+}
+
+// Participants returns P.
+func (b *Dissemination) Participants() int { return b.p }
+
+// Wait implements Full.
+func (b *Dissemination) Wait(w int) {
+	epoch := b.done[w].v.Load() + 1
+	for r := 0; r < b.rounds; r++ {
+		dist := 1 << r
+		to := (w + dist) % b.p
+		from := (w - dist + b.p) % b.p
+		// Signal the partner for this round, then wait for our own signal.
+		b.flags[r][to].v.Add(1)
+		spin.WaitUint64AtLeast(&b.flags[r][w].v, epoch)
+		_ = from
+	}
+	b.done[w].v.Store(epoch)
+}
+
+var _ Full = (*Dissemination)(nil)

@@ -1,0 +1,20 @@
+package barrier
+
+import "sync/atomic"
+
+// cacheLine is the assumed size of a cache line / false-sharing unit. 128
+// bytes covers adjacent-line prefetching on current x86 parts.
+const cacheLine = 128
+
+// paddedUint64 is an atomic counter padded to its own cache line so that
+// per-worker counters never share a line.
+type paddedUint64 struct {
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// paddedUint32 is an atomic uint32 padded to its own cache line.
+type paddedUint32 struct {
+	v atomic.Uint32
+	_ [cacheLine - 4]byte
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"loopsched/internal/core"
+	"loopsched/internal/sched"
+	"loopsched/internal/stats"
+	"loopsched/internal/workload"
+)
+
+// AblationOptions configures the design-choice ablation study (not a table
+// in the paper, but the axes its Section 2 argues about: half vs. full
+// barrier, tree vs. centralized barrier, tree fan-out, merged vs. separate
+// reduction).
+type AblationOptions struct {
+	// Workers is the team size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// LoopIters and IterNs define the fine-grain loop used as the probe;
+	// defaults: 256 iterations of ~100 ns (a ~25 µs loop).
+	LoopIters int
+	IterNs    float64
+	// Loops is the number of loop launches per timed repetition; <= 0
+	// selects 200.
+	Loops int
+	// Reps is the number of repetitions (minimum kept); <= 0 selects 5.
+	Reps int
+	// Fanouts are the tree fan-outs swept; empty selects {2,4,8,16}.
+	Fanouts []int
+}
+
+func (o *AblationOptions) normalize() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.LoopIters <= 0 {
+		o.LoopIters = 256
+	}
+	if o.IterNs <= 0 {
+		o.IterNs = 100
+	}
+	if o.Loops <= 0 {
+		o.Loops = 200
+	}
+	if o.Reps <= 0 {
+		o.Reps = 5
+	}
+	if len(o.Fanouts) == 0 {
+		o.Fanouts = []int{2, 4, 8, 16}
+	}
+}
+
+// AblationRow is one measured configuration.
+type AblationRow struct {
+	Name string
+	// LoopUs is the average cost of one parallel-loop launch (µs),
+	// including the loop body.
+	LoopUs float64
+	// ReduceLoopUs is the same for a reducing loop.
+	ReduceLoopUs float64
+}
+
+// RunAblation measures the design-choice variants.
+func RunAblation(opt AblationOptions) ([]AblationRow, error) {
+	opt.normalize()
+	work := workload.Calibrate(opt.IterNs)
+
+	type variant struct {
+		name string
+		cfg  core.Config
+	}
+	variants := []variant{
+		{"tree half-barrier (default)", core.Config{Workers: opt.Workers, Barrier: core.BarrierTree, Mode: core.ModeHalf}},
+		{"tree full-barrier", core.Config{Workers: opt.Workers, Barrier: core.BarrierTree, Mode: core.ModeFull}},
+		{"centralized half-barrier", core.Config{Workers: opt.Workers, Barrier: core.BarrierCentralized, Mode: core.ModeHalf}},
+		{"centralized full-barrier", core.Config{Workers: opt.Workers, Barrier: core.BarrierCentralized, Mode: core.ModeFull}},
+	}
+	for _, f := range opt.Fanouts {
+		variants = append(variants, variant{
+			fmt.Sprintf("tree half-barrier, fan-out %d", f),
+			core.Config{Workers: opt.Workers, Barrier: core.BarrierTree, Mode: core.ModeHalf, InnerFanout: f, OuterFanout: f,
+				Name: fmt.Sprintf("fine-grain-tree-fanout%d", f)},
+		})
+	}
+
+	var rows []AblationRow
+	for _, v := range variants {
+		cfg := v.cfg
+		cfg.LockOSThread = LockThreads
+		s := core.New(cfg)
+		rows = append(rows, AblationRow{
+			Name:         v.name,
+			LoopUs:       measureLoopCost(s, work, opt),
+			ReduceLoopUs: measureReduceLoopCost(s, work, opt),
+		})
+		s.Close()
+	}
+	return rows, nil
+}
+
+func measureLoopCost(s sched.Scheduler, work workload.Work, opt AblationOptions) float64 {
+	body := func(w, begin, end int) { workload.Consume(work.Run(begin, end)) }
+	ds := stats.Timer(opt.Reps, true, func() {
+		for i := 0; i < opt.Loops; i++ {
+			s.For(opt.LoopIters, body)
+		}
+	})
+	return float64(stats.MinDuration(ds).Nanoseconds()) / float64(opt.Loops) / 1e3
+}
+
+func measureReduceLoopCost(s sched.Scheduler, work workload.Work, opt AblationOptions) float64 {
+	body := func(w, begin, end int, acc float64) float64 {
+		workload.Consume(work.Run(begin, end))
+		return acc + float64(end-begin)
+	}
+	ds := stats.Timer(opt.Reps, true, func() {
+		for i := 0; i < opt.Loops; i++ {
+			_ = s.ForReduce(opt.LoopIters, 0, func(a, b float64) float64 { return a + b }, body)
+		}
+	})
+	return float64(stats.MinDuration(ds).Nanoseconds()) / float64(opt.Loops) / 1e3
+}
+
+// WriteAblation renders the ablation rows.
+func WriteAblation(w io.Writer, rows []AblationRow, opt AblationOptions) error {
+	opt.normalize()
+	fmt.Fprintf(w, "Ablation: %d-iteration loop of ~%.0f ns/iter on %d workers (cost per loop launch)\n",
+		opt.LoopIters, opt.IterNs, opt.Workers)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "variant\tplain loop (us)\treducing loop (us)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\n", r.Name, r.LoopUs, r.ReduceLoopUs)
+	}
+	return tw.Flush()
+}
+
+// Elapsed is a tiny helper for the cmd tools' progress output.
+func Elapsed(start time.Time) string { return time.Since(start).Round(time.Millisecond).String() }

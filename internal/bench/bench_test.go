@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func init() {
+	// The harness tests create and destroy many small teams; locking every
+	// worker to an OS thread is unnecessary there.
+	LockThreads = false
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("registry too small: %v", names)
+	}
+	for _, name := range names {
+		s, err := NewScheduler(name, 2)
+		if err != nil {
+			t.Fatalf("NewScheduler(%q): %v", name, err)
+		}
+		var total atomic.Int64
+		s.For(100, func(w, b, e int) { total.Add(int64(e - b)) })
+		if total.Load() != 100 {
+			t.Errorf("%s covered %d of 100 iterations", name, total.Load())
+		}
+		s.Close()
+	}
+	if _, err := NewScheduler("no-such-runtime", 2); err == nil {
+		t.Errorf("unknown scheduler accepted")
+	}
+}
+
+func TestTable1SchedulersAreRegistered(t *testing.T) {
+	for _, name := range Table1Schedulers() {
+		if _, ok := registry[name]; !ok {
+			t.Errorf("Table 1 row %q is not in the registry", name)
+		}
+		if _, ok := PaperBurdens[name]; !ok {
+			t.Errorf("Table 1 row %q has no paper burden recorded", name)
+		}
+	}
+	if len(Table1Schedulers()) != 6 {
+		t.Errorf("Table 1 must have 6 rows")
+	}
+}
+
+func TestDefaultThreadCounts(t *testing.T) {
+	got := DefaultThreadCounts(8)
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("DefaultThreadCounts(8) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DefaultThreadCounts(8) = %v", got)
+		}
+	}
+	got = DefaultThreadCounts(12)
+	if got[len(got)-1] != 12 {
+		t.Errorf("machine size missing from %v", got)
+	}
+	if got := DefaultThreadCounts(0); len(got) == 0 {
+		t.Errorf("empty counts for default machine")
+	}
+}
+
+func TestMeasureBurdenSmall(t *testing.T) {
+	opt := BurdenOptions{
+		Workers:    4,
+		Iterations: 512,
+		MinTotal:   10 * time.Microsecond,
+		MaxTotal:   400 * time.Microsecond,
+		Points:     5,
+		Reps:       1,
+	}
+	res, err := MeasureBurden("fine-grain-tree", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduler != "fine-grain-tree" || len(res.Sweep) < 3 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	if res.Fit.D < 0 {
+		t.Errorf("negative burden %v", res.Fit.D)
+	}
+	if res.BurdenUs() != res.Fit.D*1e6 {
+		t.Errorf("BurdenUs inconsistent")
+	}
+	if res.PaperBurdenUs != 5.67 {
+		t.Errorf("paper burden not attached: %v", res.PaperBurdenUs)
+	}
+	var buf bytes.Buffer
+	if err := WriteSweep(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fine-grain-tree") {
+		t.Errorf("sweep report missing scheduler name")
+	}
+}
+
+func TestMeasureBurdenUnknownScheduler(t *testing.T) {
+	if _, err := MeasureBurden("bogus", BurdenOptions{}); err == nil {
+		t.Errorf("unknown scheduler accepted")
+	}
+}
+
+func TestWriteTable1(t *testing.T) {
+	rows := []BurdenResult{
+		{Scheduler: "fine-grain-tree", Workers: 48, PaperBurdenUs: 5.67},
+		{Scheduler: "openmp-static", Workers: 48, PaperBurdenUs: 8.12},
+		{Scheduler: "cilk", Workers: 48, PaperBurdenUs: 68.8},
+	}
+	rows[0].Fit.D, rows[0].Fit.P = 6e-6, 48
+	rows[1].Fit.D, rows[1].Fit.P = 10e-6, 48
+	rows[2].Fit.D, rows[2].Fit.P = 70e-6, 48
+	var buf bytes.Buffer
+	if err := WriteTable1(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "fine-grain-tree", "openmp-static", "cilk", "paper: 43%", "paper: 12.1x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 report missing %q:\n%s", want, out)
+		}
+	}
+	md := Table1Markdown(rows)
+	if !strings.Contains(md, "| fine-grain-tree |") {
+		t.Errorf("markdown table malformed:\n%s", md)
+	}
+}
+
+func TestRunMPDATASmall(t *testing.T) {
+	opt := MPDATAOptions{
+		Steps:        3,
+		Reps:         1,
+		ThreadCounts: []int{1, 2},
+		Rows:         10,
+		Cols:         10,
+		Schedulers:   []string{"fine-grain-tree", "openmp-static"},
+	}
+	res, err := RunMPDATA(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GridPoints != 100 || len(res.Series) != 2 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 2 {
+			t.Errorf("series %s has %d points", s.Scheduler, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Seconds <= 0 || p.Speedup <= 0 {
+				t.Errorf("series %s: bad point %+v", s.Scheduler, p)
+			}
+		}
+	}
+	if len(res.Ratio) != 2 {
+		t.Errorf("ratio series has %d points", len(res.Ratio))
+	}
+	var buf bytes.Buffer
+	if err := WriteMPDATA(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 2") {
+		t.Errorf("missing Figure 2 header")
+	}
+}
+
+func TestVerifyMPDATA(t *testing.T) {
+	maxDiff, massErr, err := VerifyMPDATA("fine-grain-tree", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxDiff > 1e-12 {
+		t.Errorf("parallel MPDATA diverges from sequential by %v", maxDiff)
+	}
+	if massErr > 1e-12 {
+		t.Errorf("mass error %v", massErr)
+	}
+}
+
+func TestLoopDuration(t *testing.T) {
+	d, err := LoopDuration("fine-grain-tree", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Errorf("loop duration %v", d)
+	}
+}
+
+func TestRunLinregSmall(t *testing.T) {
+	opt := LinregOptions{
+		Points:       1 << 16,
+		Reps:         1,
+		ThreadCounts: []int{1, 2},
+		Baseline:     "cilk",
+		FineGrain:    "fine-grain-tree",
+	}
+	res, err := RunLinreg(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Baseline.Points) != 2 || len(res.FineGrain.Points) != 2 {
+		t.Fatalf("unexpected series lengths: %+v", res)
+	}
+	if res.BestSpeedupOverBaseline <= 0 {
+		t.Errorf("best speedup ratio %v", res.BestSpeedupOverBaseline)
+	}
+	if res.Fit.Slope == 0 {
+		t.Errorf("regression fit missing")
+	}
+	var buf bytes.Buffer
+	if err := WriteLinreg(&buf, res, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 3a") {
+		t.Errorf("missing Figure 3a header")
+	}
+}
+
+func TestVerifyLinreg(t *testing.T) {
+	for _, name := range []string{"fine-grain-tree", "openmp-static", "cilk"} {
+		rel, err := VerifyLinreg(name, 1<<15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel > 1e-9 {
+			t.Errorf("%s: relative error %v", name, rel)
+		}
+	}
+}
+
+func TestRunAblationSmall(t *testing.T) {
+	opt := AblationOptions{Workers: 2, LoopIters: 64, IterNs: 50, Loops: 10, Reps: 1, Fanouts: []int{2}}
+	rows, err := RunAblation(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // 4 base variants + 1 fan-out
+		t.Fatalf("got %d ablation rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.LoopUs <= 0 || r.ReduceLoopUs <= 0 {
+			t.Errorf("row %q has non-positive measurements: %+v", r.Name, r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteAblation(&buf, rows, opt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Ablation") {
+		t.Errorf("missing ablation header")
+	}
+	if Elapsed(time.Now()) == "" {
+		t.Errorf("Elapsed returned empty string")
+	}
+}

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"math"
+	"runtime"
+
+	"loopsched/internal/linreg"
+	"loopsched/internal/sched"
+	"loopsched/internal/stats"
+)
+
+// LinregOptions configures the Figure 3 experiment.
+type LinregOptions struct {
+	// Points is the dataset size; <= 0 selects 4 M points (the paper's
+	// "medium" input is ~26 M; the default keeps the default benchmark run
+	// short — pass linreg.PaperMediumPoints for the full-size run).
+	Points int
+	// ChunkPoints splits the reduction into loops of this many points, the
+	// way Phoenix++ splits its input into cache-sized map tasks — which is
+	// what makes the workload fine-grain and scheduler-bound. <= 0 selects
+	// 32768 points (64 KiB of input per task, the Phoenix++ default);
+	// negative values force a single loop over the whole dataset.
+	ChunkPoints int
+	// Reps is the number of timed repetitions (minimum kept); <= 0 selects 3.
+	Reps int
+	// ThreadCounts are the worker counts of the x axis; empty selects
+	// DefaultThreadCounts.
+	ThreadCounts []int
+	// Baseline and FineGrain name the two schedulers compared in a panel;
+	// empty values select the Cilk panel ("cilk" vs "fine-grain-tree").
+	Baseline, FineGrain string
+}
+
+func (o *LinregOptions) normalize() {
+	if o.Points <= 0 {
+		o.Points = 4 << 20
+	}
+	if o.ChunkPoints == 0 {
+		o.ChunkPoints = 32768
+	}
+	if o.ChunkPoints < 0 {
+		o.ChunkPoints = 0
+	}
+	if o.Reps <= 0 {
+		o.Reps = 3
+	}
+	if len(o.ThreadCounts) == 0 {
+		o.ThreadCounts = DefaultThreadCounts(runtime.GOMAXPROCS(0))
+	}
+	if o.Baseline == "" {
+		o.Baseline = "cilk"
+	}
+	if o.FineGrain == "" {
+		o.FineGrain = "fine-grain-tree"
+	}
+}
+
+// LinregResult holds one panel of Figure 3: the speedup curves of the
+// baseline runtime and the fine-grain runtime on the same dataset.
+type LinregResult struct {
+	Points            int
+	SequentialSeconds float64
+	Baseline          ScalingSeries
+	FineGrain         ScalingSeries
+	// BestSpeedupOverBaseline is max over thread counts of
+	// fine-grain speedup / baseline speedup (the paper reports 2.8× best
+	// case).
+	BestSpeedupOverBaseline float64
+	// Fit is the regression result (for sanity checks; all runtimes must
+	// agree with the sequential oracle).
+	Fit linreg.Result
+}
+
+// RunLinreg reproduces one panel of Figure 3 (panel (a) with the default
+// Cilk baseline, panel (b) when Baseline is an OpenMP schedule).
+func RunLinreg(opt LinregOptions) (LinregResult, error) {
+	opt.normalize()
+	data := linreg.Generate(opt.Points)
+
+	res := LinregResult{Points: opt.Points}
+
+	// Sequential baseline and oracle.
+	seqStats := data.Sequential()
+	fit, err := seqStats.Solve()
+	if err != nil {
+		return res, err
+	}
+	res.Fit = fit
+	seq := sched.NewSequential()
+	seqTimes := stats.Timer(opt.Reps, true, func() {
+		if opt.ChunkPoints > 0 {
+			_, _ = data.RunChunked(seq, opt.ChunkPoints)
+		} else {
+			_, _ = data.Run(seq)
+		}
+	})
+	res.SequentialSeconds = stats.MinDuration(seqTimes).Seconds()
+
+	run := func(name string) (ScalingSeries, error) {
+		series := ScalingSeries{Scheduler: name}
+		for _, p := range opt.ThreadCounts {
+			s, err := NewScheduler(name, p)
+			if err != nil {
+				return series, err
+			}
+			times := stats.Timer(opt.Reps, true, func() {
+				if opt.ChunkPoints > 0 {
+					_, _ = data.RunChunked(s, opt.ChunkPoints)
+				} else {
+					_, _ = data.Run(s)
+				}
+			})
+			s.Close()
+			secs := stats.MinDuration(times).Seconds()
+			series.Points = append(series.Points, ScalingPoint{
+				Threads: p,
+				Seconds: secs,
+				Speedup: res.SequentialSeconds / secs,
+			})
+		}
+		return series, nil
+	}
+
+	if res.Baseline, err = run(opt.Baseline); err != nil {
+		return res, err
+	}
+	if res.FineGrain, err = run(opt.FineGrain); err != nil {
+		return res, err
+	}
+
+	for i := range res.FineGrain.Points {
+		if i < len(res.Baseline.Points) && res.Baseline.Points[i].Speedup > 0 {
+			ratio := res.FineGrain.Points[i].Speedup / res.Baseline.Points[i].Speedup
+			if ratio > res.BestSpeedupOverBaseline {
+				res.BestSpeedupOverBaseline = ratio
+			}
+		}
+	}
+	return res, nil
+}
+
+// VerifyLinreg checks that the named scheduler computes the same regression
+// as the sequential oracle on a small dataset, returning the largest
+// relative error across the accumulated statistics.
+func VerifyLinreg(name string, points int) (float64, error) {
+	if points <= 0 {
+		points = 1 << 18
+	}
+	data := linreg.Generate(points)
+	want := data.Sequential()
+	s, err := NewScheduler(name, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	got, err := data.Run(s)
+	if err != nil {
+		return 0, err
+	}
+	rel := func(a, b float64) float64 {
+		if b == 0 {
+			return math.Abs(a)
+		}
+		return math.Abs(a-b) / math.Abs(b)
+	}
+	errs := []float64{
+		rel(got.SX, want.SX), rel(got.SY, want.SY), rel(got.SXX, want.SXX),
+		rel(got.SYY, want.SYY), rel(got.SXY, want.SXY), rel(got.N, want.N),
+	}
+	max := 0.0
+	for _, e := range errs {
+		if e > max {
+			max = e
+		}
+	}
+	return max, nil
+}

@@ -1,0 +1,117 @@
+// Package bench is the experiment harness: it constructs the schedulers
+// under test by name, runs the paper's three experiments (the burden
+// micro-benchmark of Table 1, the MPDATA scaling study of Figure 2 and the
+// map-reduce study of Figure 3) and formats their results as the tables and
+// series the paper reports.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"loopsched/internal/cilk"
+	"loopsched/internal/core"
+	"loopsched/internal/hybrid"
+	"loopsched/internal/omp"
+	"loopsched/internal/sched"
+)
+
+// Factory builds a scheduler with p workers.
+type Factory func(p int) sched.Scheduler
+
+// LockThreads controls whether benchmark-constructed schedulers lock their
+// workers to OS threads. It defaults to true (benchmark fidelity); the test
+// suite turns it off because it creates and destroys many teams.
+var LockThreads = true
+
+// registry maps scheduler names to factories.
+var registry = map[string]Factory{
+	"sequential": func(p int) sched.Scheduler { return sched.NewSequential() },
+	"fine-grain-tree": func(p int) sched.Scheduler {
+		return core.New(core.Config{Workers: p, Barrier: core.BarrierTree, Mode: core.ModeHalf, LockOSThread: LockThreads})
+	},
+	"fine-grain-centralized": func(p int) sched.Scheduler {
+		return core.New(core.Config{Workers: p, Barrier: core.BarrierCentralized, Mode: core.ModeHalf, LockOSThread: LockThreads})
+	},
+	"fine-grain-tree-full-barrier": func(p int) sched.Scheduler {
+		return core.New(core.Config{Workers: p, Barrier: core.BarrierTree, Mode: core.ModeFull, LockOSThread: LockThreads})
+	},
+	"openmp-static": func(p int) sched.Scheduler {
+		return omp.New(omp.Config{Workers: p, Schedule: omp.Static, LockOSThread: LockThreads})
+	},
+	"openmp-dynamic": func(p int) sched.Scheduler {
+		return omp.New(omp.Config{Workers: p, Schedule: omp.Dynamic, Chunk: 1, LockOSThread: LockThreads})
+	},
+	"openmp-guided": func(p int) sched.Scheduler {
+		return omp.New(omp.Config{Workers: p, Schedule: omp.Guided, Chunk: 1, LockOSThread: LockThreads})
+	},
+	"cilk": func(p int) sched.Scheduler {
+		return cilk.New(cilk.Config{Workers: p, LockOSThread: LockThreads})
+	},
+	"hybrid": func(p int) sched.Scheduler {
+		return hybrid.New(hybrid.Config{Workers: p, LockOSThread: LockThreads})
+	},
+}
+
+// Names returns the registered scheduler names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewScheduler builds the named scheduler with p workers (p <= 0 selects
+// GOMAXPROCS).
+func NewScheduler(name string, p int) (sched.Scheduler, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown scheduler %q (known: %v)", name, Names())
+	}
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return f(p), nil
+}
+
+// Table1Schedulers returns the scheduler names of the rows of Table 1, in
+// the paper's order.
+func Table1Schedulers() []string {
+	return []string{
+		"fine-grain-tree",
+		"fine-grain-centralized",
+		"fine-grain-tree-full-barrier",
+		"openmp-static",
+		"openmp-dynamic",
+		"cilk",
+	}
+}
+
+// PaperBurdens maps Table 1 rows to the burdens (µs) measured in the paper
+// on a 48-core Xeon E7-4860 v2, for side-by-side reporting.
+var PaperBurdens = map[string]float64{
+	"fine-grain-tree":              5.67,
+	"fine-grain-centralized":       7.55,
+	"fine-grain-tree-full-barrier": 12.00,
+	"openmp-static":                8.12,
+	"openmp-dynamic":               31.94,
+	"cilk":                         68.80,
+}
+
+// DefaultThreadCounts returns the thread counts used by the scaling figures:
+// 1, 2, 4, ... up to the machine size (and the paper's 48 if the machine is
+// that large).
+func DefaultThreadCounts(max int) []int {
+	if max <= 0 {
+		max = runtime.GOMAXPROCS(0)
+	}
+	var out []int
+	for p := 1; p < max; p *= 2 {
+		out = append(out, p)
+	}
+	out = append(out, max)
+	return out
+}

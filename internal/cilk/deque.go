@@ -1,0 +1,114 @@
+package cilk
+
+import (
+	"sync/atomic"
+)
+
+// deque is a Chase–Lev work-stealing deque of *task. The owning worker
+// pushes and pops at the bottom without synchronisation against itself;
+// thieves steal from the top with a compare-and-swap. The circular buffer
+// grows geometrically and old buffers are retained by the garbage collector
+// until no thief can reference them, which sidesteps the memory reclamation
+// problem of the original C algorithm.
+type deque struct {
+	top    atomic.Int64
+	_      [120]byte
+	bottom atomic.Int64
+	_      [120]byte
+	buf    atomic.Pointer[dequeBuf]
+}
+
+type dequeBuf struct {
+	mask  int64
+	tasks []atomic.Pointer[task]
+}
+
+func newDequeBuf(capacity int64) *dequeBuf {
+	if capacity < 8 {
+		capacity = 8
+	}
+	// Round up to a power of two.
+	c := int64(8)
+	for c < capacity {
+		c <<= 1
+	}
+	return &dequeBuf{mask: c - 1, tasks: make([]atomic.Pointer[task], c)}
+}
+
+func (b *dequeBuf) get(i int64) *task    { return b.tasks[i&b.mask].Load() }
+func (b *dequeBuf) put(i int64, t *task) { b.tasks[i&b.mask].Store(t) }
+func (b *dequeBuf) grow(top, bottom int64) *dequeBuf {
+	nb := newDequeBuf((b.mask + 1) * 2)
+	for i := top; i < bottom; i++ {
+		nb.put(i, b.get(i))
+	}
+	return nb
+}
+
+func newDeque() *deque {
+	d := &deque{}
+	d.buf.Store(newDequeBuf(64))
+	return d
+}
+
+// pushBottom adds a task at the bottom (owner only).
+func (d *deque) pushBottom(t *task) {
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	buf := d.buf.Load()
+	if b-tp > buf.mask {
+		buf = buf.grow(tp, b)
+		d.buf.Store(buf)
+	}
+	buf.put(b, t)
+	d.bottom.Store(b + 1)
+}
+
+// popBottom removes and returns the most recently pushed task (owner only),
+// or nil if the deque is empty or the last task was lost to a thief.
+func (d *deque) popBottom() *task {
+	b := d.bottom.Load() - 1
+	buf := d.buf.Load()
+	d.bottom.Store(b)
+	tp := d.top.Load()
+	if b < tp {
+		// Empty: restore bottom.
+		d.bottom.Store(tp)
+		return nil
+	}
+	t := buf.get(b)
+	if b > tp {
+		return t
+	}
+	// Single element: race with thieves via CAS on top.
+	if !d.top.CompareAndSwap(tp, tp+1) {
+		t = nil // lost the race
+	}
+	d.bottom.Store(tp + 1)
+	return t
+}
+
+// steal removes and returns the oldest task (any thief), or nil if the deque
+// is empty or the steal raced with another thief or the owner.
+func (d *deque) steal() *task {
+	tp := d.top.Load()
+	b := d.bottom.Load()
+	if tp >= b {
+		return nil
+	}
+	buf := d.buf.Load()
+	t := buf.get(tp)
+	if !d.top.CompareAndSwap(tp, tp+1) {
+		return nil
+	}
+	return t
+}
+
+// size returns an instantaneous estimate of the number of queued tasks.
+func (d *deque) size() int64 {
+	s := d.bottom.Load() - d.top.Load()
+	if s < 0 {
+		return 0
+	}
+	return s
+}

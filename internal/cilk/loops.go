@@ -1,0 +1,115 @@
+package cilk
+
+import (
+	"loopsched/internal/iterspace"
+	"loopsched/internal/sched"
+	"loopsched/internal/trace"
+)
+
+// For implements sched.Scheduler: a cilk_for style loop that recursively
+// bisects the iteration space down to the grain size, spawning the right
+// half at each level so thieves can pick it up.
+func (rt *Runtime) For(n int, body sched.Body) {
+	if n <= 0 {
+		return
+	}
+	grain := rt.grainFor(n)
+	rt.runRegion(func(w *workerCtx) {
+		rt.forRec(w, iterspace.Range{Begin: 0, End: n}, grain, body)
+	})
+}
+
+// forRec is the divide-and-conquer loop skeleton.
+func (rt *Runtime) forRec(w *workerCtx, r iterspace.Range, grain int, body sched.Body) {
+	if r.Len() <= grain {
+		body(w.id, r.Begin, r.End)
+		return
+	}
+	left, right := r.Split()
+	child := &task{fn: func(tw *workerCtx) {
+		rt.forRec(tw, right, grain, body)
+	}}
+	rt.spawn(w, child)
+	rt.forRec(w, left, grain, body)
+	rt.sync(w, child)
+}
+
+// ForReduce implements sched.Scheduler. The baseline Cilk reduction model is
+// reproduced: every spawned subtask gets its own freshly created view
+// (counted as a view creation), and views are merged pairwise at every sync
+// — a number of combine operations proportional to the number of leaf tasks,
+// "significantly higher" than the P-1 the fine-grain runtime performs.
+func (rt *Runtime) ForReduce(n int, identity float64, combine func(a, b float64) float64, body sched.ReduceBody) float64 {
+	if n <= 0 {
+		return identity
+	}
+	grain := rt.grainFor(n)
+	var result float64
+	rt.runRegion(func(w *workerCtx) {
+		result = rt.forReduceRec(w, iterspace.Range{Begin: 0, End: n}, grain, identity, combine, body)
+	})
+	return result
+}
+
+// reduceTask carries the stolen half's view.
+type reduceTask struct {
+	t     task
+	value float64
+}
+
+func (rt *Runtime) forReduceRec(w *workerCtx, r iterspace.Range, grain int, identity float64, combine func(a, b float64) float64, body sched.ReduceBody) float64 {
+	if r.Len() <= grain {
+		return body(w.id, r.Begin, r.End, identity)
+	}
+	left, right := r.Split()
+	// A fresh view for the spawned half, created at spawn time — the lazy
+	// view creation of the baseline runtime.
+	child := &reduceTask{}
+	rt.counters.Inc(trace.ViewsCreated)
+	child.t.fn = func(tw *workerCtx) {
+		child.value = rt.forReduceRec(tw, right, grain, identity, combine, body)
+	}
+	rt.spawn(w, &child.t)
+	leftVal := rt.forReduceRec(w, left, grain, identity, combine, body)
+	rt.sync(w, &child.t)
+	rt.counters.Inc(trace.Reductions)
+	return combine(leftVal, child.value)
+}
+
+// ForReduceVec implements sched.Scheduler: like ForReduce but reducing
+// element-wise into a vector of width float64s. Each spawned subtask
+// allocates its own vector view.
+func (rt *Runtime) ForReduceVec(n, width int, body sched.VecBody) []float64 {
+	out := make([]float64, width)
+	if n <= 0 || width <= 0 {
+		return out
+	}
+	grain := rt.grainFor(n)
+	rt.runRegion(func(w *workerCtx) {
+		rt.forReduceVecRec(w, iterspace.Range{Begin: 0, End: n}, grain, width, body, out)
+	})
+	return out
+}
+
+type vecTask struct {
+	t     task
+	value []float64
+}
+
+func (rt *Runtime) forReduceVecRec(w *workerCtx, r iterspace.Range, grain, width int, body sched.VecBody, acc []float64) {
+	if r.Len() <= grain {
+		body(w.id, r.Begin, r.End, acc)
+		return
+	}
+	left, right := r.Split()
+	child := &vecTask{value: make([]float64, width)}
+	rt.counters.Inc(trace.ViewsCreated)
+	child.t.fn = func(tw *workerCtx) {
+		rt.forReduceVecRec(tw, right, grain, width, body, child.value)
+	}
+	rt.spawn(w, &child.t)
+	rt.forReduceVecRec(w, left, grain, width, body, acc)
+	rt.sync(w, &child.t)
+	rt.counters.Inc(trace.Reductions)
+	sched.SumVec(acc, child.value)
+}

@@ -1,0 +1,89 @@
+package cilk
+
+import (
+	"sync"
+
+	"loopsched/internal/reduce"
+	"loopsched/internal/trace"
+)
+
+// Reducer is a Cilk-style reducer hyperobject: a value with an associative
+// (possibly non-commutative) combine operation whose per-strand views are
+// created lazily on first access and merged by the runtime. This type models
+// the *baseline* Cilk reducer interface the paper starts from; the
+// fine-grain runtime instead allocates its views statically at loop start
+// and merges them inside the join half-barrier (see internal/core and the
+// public loop package).
+//
+// The Reducer here creates one view per worker per parallel region on first
+// access (guarded by a mutex, as the baseline runtime's view lookup is a
+// hash-map access on every reducer operation) and merges the views in worker
+// order when Get is called after the region.
+type Reducer[T any] struct {
+	rt *Runtime
+	op reduce.Op[T]
+
+	mu      sync.Mutex
+	views   map[int]*T
+	ordered []int
+}
+
+// NewReducer creates a reducer hyperobject bound to the runtime.
+func NewReducer[T any](rt *Runtime, op reduce.Op[T]) *Reducer[T] {
+	return &Reducer[T]{rt: rt, op: op, views: make(map[int]*T)}
+}
+
+// View returns worker w's current view, creating it lazily on first access.
+// The lookup cost (a lock plus a map access) is paid on every call, which is
+// the overhead the statically allocated views of the fine-grain runtime
+// avoid.
+func (r *Reducer[T]) View(w int) *T {
+	r.mu.Lock()
+	v, ok := r.views[w]
+	if !ok {
+		val := r.op.Identity()
+		v = &val
+		r.views[w] = v
+		r.ordered = append(r.ordered, w)
+		r.rt.counters.Inc(trace.ViewsCreated)
+	}
+	r.mu.Unlock()
+	return v
+}
+
+// Update folds x into worker w's view.
+func (r *Reducer[T]) Update(w int, x T) {
+	v := r.View(w)
+	*v = r.op.Combine(*v, x)
+}
+
+// Get merges all views in increasing worker order, resets the reducer and
+// returns the merged value. It must be called outside a parallel region.
+func (r *Reducer[T]) Get() T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Merge in worker-index order: with the runtime's left-to-right loop
+	// decomposition this preserves the reducer's sequential semantics for
+	// the common case where each worker's view covers a contiguous range.
+	insertionSort(r.ordered)
+	acc := r.op.Identity()
+	for _, w := range r.ordered {
+		acc = r.op.Combine(acc, *r.views[w])
+		r.rt.counters.Inc(trace.Reductions)
+	}
+	r.views = make(map[int]*T)
+	r.ordered = nil
+	return acc
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

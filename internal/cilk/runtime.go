@@ -1,0 +1,259 @@
+// Package cilk implements a Cilk-style work-stealing runtime used as the
+// second baseline of the paper: random work stealing over Chase–Lev deques,
+// recursive divide-and-conquer parallel loops (cilk_for), a blocking
+// spawn/sync pair, and reducer hyperobjects with lazily created views.
+//
+// Relative to the fine-grain half-barrier scheduler (internal/core), every
+// parallel loop here pays for task allocation, deque traffic, steal attempts
+// and — for reducing loops — per-task view creation and merging, which is
+// exactly the overhead the paper's Table 1 attributes to Cilk (a burden an
+// order of magnitude above the fine-grain scheduler's).
+package cilk
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+
+	"loopsched/internal/pool"
+	"loopsched/internal/sched"
+	"loopsched/internal/spin"
+	"loopsched/internal/trace"
+)
+
+// task is a unit of stealable work. fn runs the task on whichever worker
+// claims it; done is set (with release semantics) when the task and all of
+// its transitively spawned children have completed.
+type task struct {
+	fn   func(w *workerCtx)
+	done atomic.Uint32
+}
+
+// workerCtx is the per-worker state of the runtime.
+type workerCtx struct {
+	id  int
+	rt  *Runtime
+	dq  *deque
+	rng *rand.Rand
+}
+
+// Config configures the Cilk-style runtime.
+type Config struct {
+	// Workers is the number of workers including the master; <= 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Grain is the minimum number of iterations per leaf task. <= 0 selects
+	// the cilk_for default, max(1, n/(8·P)), per loop.
+	Grain int
+	// LockOSThread locks workers to OS threads.
+	LockOSThread bool
+	// Name overrides the reported name.
+	Name string
+}
+
+// DefaultConfig returns the default Cilk-style configuration.
+func DefaultConfig() Config {
+	return Config{Workers: runtime.GOMAXPROCS(0), LockOSThread: true}
+}
+
+// Runtime is the Cilk-style work-stealing runtime. A single master goroutine
+// drives it; workers 1..P-1 scavenge for stolen work while a parallel region
+// is active and wait for the next region otherwise.
+type Runtime struct {
+	cfg  Config
+	name string
+	p    int
+
+	team    *pool.Team
+	workers []*workerCtx
+
+	// regionEpoch is incremented by the master to wake the workers for a new
+	// parallel region; regionDone is set when the region's root task has
+	// completed and workers should go back to waiting.
+	regionEpoch atomic.Uint64
+	regionDone  atomic.Uint32
+	shutdown    atomic.Uint32
+
+	counters *trace.Counters
+	closed   bool
+}
+
+// New creates and starts a Cilk-style runtime.
+func New(cfg Config) *Runtime {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "cilk"
+	}
+	rt := &Runtime{cfg: cfg, name: name, p: cfg.Workers, counters: trace.New()}
+	rt.workers = make([]*workerCtx, cfg.Workers)
+	for i := range rt.workers {
+		rt.workers[i] = &workerCtx{id: i, rt: rt, dq: newDeque(), rng: rand.New(rand.NewSource(int64(i)*2654435761 + 1))}
+	}
+	rt.team = pool.New(pool.Config{Workers: cfg.Workers, LockOSThread: cfg.LockOSThread, Name: name})
+	rt.team.Start(rt.workerLoop)
+	return rt
+}
+
+// Name implements sched.Scheduler.
+func (rt *Runtime) Name() string { return rt.name }
+
+// P implements sched.Scheduler.
+func (rt *Runtime) P() int { return rt.p }
+
+// Counters returns the runtime's event counters.
+func (rt *Runtime) Counters() *trace.Counters { return rt.counters }
+
+// workerLoop is run by workers 1..P-1: wait for a region, scavenge until it
+// ends, repeat.
+func (rt *Runtime) workerLoop(id int) {
+	w := rt.workers[id]
+	var seen uint64
+	for {
+		// Wait for the next parallel region (or shutdown).
+		spin.Wait(func() bool {
+			return rt.shutdown.Load() == 1 || rt.regionEpoch.Load() > seen
+		})
+		if rt.shutdown.Load() == 1 {
+			return
+		}
+		seen = rt.regionEpoch.Load()
+		rt.scavenge(w)
+	}
+}
+
+// scavenge repeatedly steals and executes tasks until the current region is
+// declared done.
+func (rt *Runtime) scavenge(w *workerCtx) {
+	var backoff spin.Backoff
+	for rt.regionDone.Load() == 0 {
+		if t := rt.findWork(w); t != nil {
+			backoff.Reset()
+			rt.runTask(w, t)
+			continue
+		}
+		backoff.Pause()
+	}
+}
+
+// findWork returns a task from the worker's own deque or a random victim's.
+func (rt *Runtime) findWork(w *workerCtx) *task {
+	if t := w.dq.popBottom(); t != nil {
+		return t
+	}
+	// Random stealing: a bounded number of attempts per call so callers can
+	// interleave other polling.
+	for attempt := 0; attempt < 2*rt.p; attempt++ {
+		victim := w.rng.Intn(rt.p)
+		if victim == w.id {
+			continue
+		}
+		if t := rt.workers[victim].dq.steal(); t != nil {
+			rt.counters.Inc(trace.Steals)
+			return t
+		}
+		rt.counters.Inc(trace.FailedSteals)
+	}
+	return nil
+}
+
+// runTask executes a task and marks it done.
+func (rt *Runtime) runTask(w *workerCtx, t *task) {
+	t.fn(w)
+	t.done.Store(1)
+}
+
+// spawn pushes a child task onto the worker's deque, making it available to
+// thieves.
+func (rt *Runtime) spawn(w *workerCtx, t *task) {
+	rt.counters.Inc(trace.Spawns)
+	w.dq.pushBottom(t)
+}
+
+// sync waits for a previously spawned task: if it is still in the worker's
+// own deque it is executed inline (the common, un-stolen case); otherwise
+// the worker keeps itself busy stealing other work until the thief finishes
+// the task.
+func (rt *Runtime) sync(w *workerCtx, t *task) {
+	if got := w.dq.popBottom(); got != nil {
+		// LIFO discipline guarantees the popped task is the one being
+		// synced: everything pushed after it has already been popped or
+		// executed by the nested calls between spawn and sync.
+		if got != t {
+			// Defensive: execute whatever we popped, then keep waiting.
+			rt.runTask(w, got)
+		} else {
+			rt.runTask(w, t)
+			return
+		}
+	}
+	// The task was stolen (or we executed an interloper): help out until it
+	// completes.
+	var backoff spin.Backoff
+	for t.done.Load() == 0 {
+		if other := rt.findWork(w); other != nil {
+			backoff.Reset()
+			rt.runTask(w, other)
+			continue
+		}
+		backoff.Pause()
+	}
+}
+
+// runRegion runs root on the master worker as the root of a parallel region,
+// waking the other workers to steal from it, and returns when root (and all
+// of its descendants) have completed.
+func (rt *Runtime) runRegion(root func(w *workerCtx)) {
+	if rt.closed {
+		panic("cilk: runtime used after Close")
+	}
+	rt.counters.Inc(trace.LoopsScheduled)
+	master := rt.workers[0]
+	if rt.p == 1 {
+		root(master)
+		return
+	}
+	rt.regionDone.Store(0)
+	rt.regionEpoch.Add(1)
+	root(master)
+	rt.regionDone.Store(1)
+	// Drain: the master's sync calls have already guaranteed the region's
+	// task graph is complete; workers notice regionDone and park themselves.
+}
+
+// Close shuts down the runtime. Idempotent.
+func (rt *Runtime) Close() {
+	if rt.closed {
+		return
+	}
+	rt.closed = true
+	rt.regionDone.Store(1)
+	rt.shutdown.Store(1)
+	rt.team.Wait()
+}
+
+var _ sched.Scheduler = (*Runtime)(nil)
+
+// grainFor returns the leaf grain size for a loop of n iterations, following
+// the cilk_for default of max(1, n/(8·P)) unless overridden in the config.
+func (rt *Runtime) grainFor(n int) int {
+	if rt.cfg.Grain > 0 {
+		return rt.cfg.Grain
+	}
+	g := n / (8 * rt.p)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// String implements fmt.Stringer.
+func (rt *Runtime) String() string {
+	return fmt.Sprintf("cilk{p=%d}", rt.p)
+}

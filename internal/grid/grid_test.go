@@ -1,0 +1,127 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperGridHasExactPaperSizes(t *testing.T) {
+	g, err := NewPaperGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPoints != PaperPoints {
+		t.Errorf("points = %d, want %d", g.NumPoints, PaperPoints)
+	}
+	if g.NumEdges() != PaperEdges {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), PaperEdges)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangulatedSmall(t *testing.T) {
+	g, err := NewTriangulated(3, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPoints != 12 {
+		t.Errorf("points = %d", g.NumPoints)
+	}
+	// 3x4 lattice: 3*3 horizontal + 4*2 vertical + 2*3 diagonal = 9+8+6 = 23.
+	if g.NumEdges() != 23 {
+		t.Errorf("edges = %d, want 23", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every point of a connected triangulation has at least 2 incident edges.
+	for p := 0; p < g.NumPoints; p++ {
+		if g.Degree(p) < 2 {
+			t.Errorf("point %d has degree %d", p, g.Degree(p))
+		}
+	}
+}
+
+func TestTriangulatedEdgeBudget(t *testing.T) {
+	g, err := NewTriangulated(4, 4, 26) // lattice minimum is 24, full is 33
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 26 {
+		t.Errorf("edges = %d, want 26", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangulatedErrors(t *testing.T) {
+	if _, err := NewTriangulated(1, 5, 0); err == nil {
+		t.Errorf("accepted a 1-row mesh")
+	}
+	if _, err := NewTriangulated(4, 4, 5); err == nil {
+		t.Errorf("accepted an edge budget below the lattice minimum")
+	}
+	if _, err := NewTriangulated(4, 4, 1000); err == nil {
+		t.Errorf("accepted an edge budget above the triangulation size")
+	}
+}
+
+func TestAdjacencyConsistency(t *testing.T) {
+	g, err := NewTriangulated(6, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum of degrees equals twice the edge count.
+	total := 0
+	for p := 0; p < g.NumPoints; p++ {
+		total += g.Degree(p)
+	}
+	if total != 2*g.NumEdges() {
+		t.Errorf("degree sum %d, want %d", total, 2*g.NumEdges())
+	}
+	// Each edge appears exactly once in each endpoint's incidence list.
+	for e := 0; e < g.NumEdges(); e++ {
+		for _, end := range []int32{g.EdgeFrom[e], g.EdgeTo[e]} {
+			found := 0
+			for _, ie := range g.IncidentEdges[g.IncidentStart[end]:g.IncidentStart[end+1]] {
+				if int(ie) == e {
+					found++
+				}
+			}
+			if found != 1 {
+				t.Fatalf("edge %d appears %d times at point %d", e, found, end)
+			}
+		}
+	}
+}
+
+func TestEdgeNormalsAreUnit(t *testing.T) {
+	g, err := NewTriangulated(5, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		l := g.EdgeNX[e]*g.EdgeNX[e] + g.EdgeNY[e]*g.EdgeNY[e]
+		if l < 0.99 || l > 1.01 {
+			t.Errorf("edge %d normal has squared length %v", e, l)
+		}
+	}
+}
+
+func TestPropertyRandomMeshesValidate(t *testing.T) {
+	f := func(rRaw, cRaw uint8) bool {
+		rows := int(rRaw%20) + 2
+		cols := int(cRaw%20) + 2
+		g, err := NewTriangulated(rows, cols, 0)
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil && g.NumPoints == rows*cols
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,444 @@
+// Package hybrid implements the paper's extension of the work-stealing
+// runtime: fine-grain loops are scheduled statically through the
+// half-barrier pattern, while coarse-grain loops are scheduled dynamically
+// by work stealing, with the workers alternating a cycle of random stealing
+// with polling of the half-barrier.
+//
+// The static path is identical in structure to internal/core: one release
+// wave publishes the loop, workers execute their block, one join wave (with
+// the reduction folded in) completes it. The dynamic path replaces the
+// per-worker block with a stealable range: every worker owns the remaining
+// portion of its initial block, takes chunks from its front, and — once its
+// own range is exhausted — alternates random steal attempts (taking half of
+// a victim's remaining range) with polling for loop completion, then joins
+// through the same half-barrier.
+package hybrid
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"loopsched/internal/barrier"
+	"loopsched/internal/iterspace"
+	"loopsched/internal/pool"
+	"loopsched/internal/sched"
+	"loopsched/internal/topology"
+	"loopsched/internal/trace"
+)
+
+// Config configures the hybrid runtime.
+type Config struct {
+	// Workers is the team size including the master; <= 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// CoarseThreshold is the iteration count at or above which a loop is
+	// scheduled dynamically (work stealing); smaller loops use the static
+	// half-barrier path. <= 0 selects the default of 8192 iterations.
+	CoarseThreshold int
+	// Chunk is the number of iterations a worker claims from its own range
+	// at a time during dynamic scheduling; <= 0 selects max(64, n/(64·P))
+	// per loop.
+	Chunk int
+	// InnerFanout and OuterFanout tune the barrier tree (see core.Config).
+	InnerFanout int
+	OuterFanout int
+	// LockOSThread locks workers to OS threads.
+	LockOSThread bool
+	// Name overrides the reported name.
+	Name string
+}
+
+// DefaultConfig returns the default hybrid configuration.
+func DefaultConfig() Config {
+	return Config{Workers: runtime.GOMAXPROCS(0), CoarseThreshold: 8192, LockOSThread: true}
+}
+
+type cmdKind int
+
+const (
+	cmdNone cmdKind = iota
+	cmdRun
+	cmdShutdown
+)
+
+type reduceKind int
+
+const (
+	reduceNone reduceKind = iota
+	reduceScalar
+	reduceVec
+)
+
+type command struct {
+	kind    cmdKind
+	dynamic bool
+	n       int
+	chunk   int
+	body    sched.Body
+	rbody   sched.ReduceBody
+	vbody   sched.VecBody
+	reduce  reduceKind
+	width   int
+	ident   float64
+	combine func(a, b float64) float64
+}
+
+type paddedF64 struct {
+	v float64
+	_ [120]byte
+}
+
+// stealRange is a worker-owned remaining iteration range that thieves can
+// split. The owner claims chunks from the front; a thief steals the back
+// half. A tiny spinlock keeps the invariant simple; the critical section is
+// a few arithmetic operations.
+type stealRange struct {
+	mu    sync.Mutex
+	begin int
+	end   int
+	_     [96]byte
+}
+
+// take claims up to chunk iterations from the front, returning an empty
+// range when exhausted.
+func (r *stealRange) take(chunk int) iterspace.Range {
+	r.mu.Lock()
+	if r.begin >= r.end {
+		r.mu.Unlock()
+		return iterspace.Range{}
+	}
+	e := r.begin + chunk
+	if e > r.end {
+		e = r.end
+	}
+	out := iterspace.Range{Begin: r.begin, End: e}
+	r.begin = e
+	r.mu.Unlock()
+	return out
+}
+
+// stealHalf removes and returns the back half of the remaining range (empty
+// if fewer than two iterations remain).
+func (r *stealRange) stealHalf() iterspace.Range {
+	r.mu.Lock()
+	remaining := r.end - r.begin
+	if remaining < 2 {
+		r.mu.Unlock()
+		return iterspace.Range{}
+	}
+	mid := r.begin + remaining/2
+	out := iterspace.Range{Begin: mid, End: r.end}
+	r.end = mid
+	r.mu.Unlock()
+	return out
+}
+
+// reset reinstalls a fresh range.
+func (r *stealRange) reset(rng iterspace.Range) {
+	r.mu.Lock()
+	r.begin, r.end = rng.Begin, rng.End
+	r.mu.Unlock()
+}
+
+// Runtime is the hybrid scheduler.
+type Runtime struct {
+	cfg  Config
+	name string
+	p    int
+
+	team *pool.Team
+	bar  *barrier.Tree
+
+	cmd command
+
+	ranges      []stealRange
+	outstanding atomic.Int64 // iterations not yet executed in the active dynamic loop
+
+	scalarViews []paddedF64
+	vecViews    [][]float64
+
+	rngs []*rand.Rand
+
+	counters *trace.Counters
+	closed   bool
+}
+
+// New creates and starts a hybrid runtime.
+func New(cfg Config) *Runtime {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.CoarseThreshold <= 0 {
+		cfg.CoarseThreshold = 8192
+	}
+	if cfg.InnerFanout < 2 {
+		cfg.InnerFanout = 4
+	}
+	if cfg.OuterFanout < 2 {
+		cfg.OuterFanout = 4
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "hybrid"
+	}
+	p := cfg.Workers
+	topo := topology.Detect(p)
+	r := &Runtime{
+		cfg:         cfg,
+		name:        name,
+		p:           p,
+		bar:         barrier.NewTree(topo.GroupedTree(cfg.InnerFanout, cfg.OuterFanout)),
+		ranges:      make([]stealRange, p),
+		scalarViews: make([]paddedF64, p),
+		vecViews:    make([][]float64, p),
+		rngs:        make([]*rand.Rand, p),
+		counters:    trace.New(),
+	}
+	for w := 0; w < p; w++ {
+		r.rngs[w] = rand.New(rand.NewSource(int64(w)*1099511628211 + 17))
+	}
+	r.team = pool.New(pool.Config{Workers: p, LockOSThread: cfg.LockOSThread, Name: name})
+	r.team.Start(r.workerLoop)
+	return r
+}
+
+// Name implements sched.Scheduler.
+func (r *Runtime) Name() string { return r.name }
+
+// P implements sched.Scheduler.
+func (r *Runtime) P() int { return r.p }
+
+// Counters returns the runtime's event counters.
+func (r *Runtime) Counters() *trace.Counters { return r.counters }
+
+// workerLoop is run by workers 1..P-1.
+func (r *Runtime) workerLoop(w int) {
+	for {
+		r.bar.Release(w)
+		c := r.cmd
+		if c.kind == cmdShutdown {
+			return
+		}
+		r.runShare(w, &c)
+		r.join(w, &c)
+	}
+}
+
+// runShare executes worker w's portion of the loop: its static block, or —
+// for dynamic loops — its stealable range followed by stealing cycles.
+func (r *Runtime) runShare(w int, c *command) {
+	if !c.dynamic {
+		acc := r.localAcc(w, c)
+		rng := iterspace.Block(c.n, r.p, w)
+		if !rng.Empty() {
+			r.execute(w, c, rng, acc)
+		} else {
+			r.storeAcc(w, c, acc)
+		}
+		return
+	}
+	acc := r.localAcc(w, c)
+	// Own range first.
+	for {
+		rng := r.ranges[w].take(c.chunk)
+		if rng.Empty() {
+			break
+		}
+		r.counters.Inc(trace.ChunksClaimed)
+		acc = r.executeChunk(w, c, rng, acc)
+	}
+	// Then alternate a cycle of random stealing with polling for loop
+	// completion (the half-barrier poll is the outstanding counter the join
+	// wave will consume).
+	for r.outstanding.Load() > 0 {
+		victim := r.rngs[w].Intn(r.p)
+		if victim == w {
+			continue
+		}
+		stolen := r.ranges[victim].stealHalf()
+		if stolen.Empty() {
+			r.counters.Inc(trace.FailedSteals)
+			continue
+		}
+		r.counters.Inc(trace.Steals)
+		r.ranges[w].reset(stolen)
+		for {
+			rng := r.ranges[w].take(c.chunk)
+			if rng.Empty() {
+				break
+			}
+			r.counters.Inc(trace.ChunksClaimed)
+			acc = r.executeChunk(w, c, rng, acc)
+		}
+	}
+	r.storeAcc(w, c, acc)
+}
+
+// localAcc initialises worker w's accumulator for the loop.
+func (r *Runtime) localAcc(w int, c *command) float64 {
+	switch c.reduce {
+	case reduceScalar:
+		return c.ident
+	case reduceVec:
+		buf := r.vecViews[w]
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	return 0
+}
+
+func (r *Runtime) storeAcc(w int, c *command, acc float64) {
+	if c.reduce == reduceScalar {
+		r.scalarViews[w].v = acc
+	}
+}
+
+// execute runs a static block and stores the result.
+func (r *Runtime) execute(w int, c *command, rng iterspace.Range, acc float64) {
+	acc = r.executeChunk(w, c, rng, acc)
+	r.storeAcc(w, c, acc)
+}
+
+// executeChunk runs one chunk and returns the updated scalar accumulator.
+func (r *Runtime) executeChunk(w int, c *command, rng iterspace.Range, acc float64) float64 {
+	switch c.reduce {
+	case reduceScalar:
+		acc = c.rbody(w, rng.Begin, rng.End, acc)
+	case reduceVec:
+		c.vbody(w, rng.Begin, rng.End, r.vecViews[w][:c.width])
+	default:
+		c.body(w, rng.Begin, rng.End)
+	}
+	if c.dynamic {
+		r.outstanding.Add(-int64(rng.Len()))
+	}
+	return acc
+}
+
+func (r *Runtime) combineScalar(into, from int) {
+	r.scalarViews[into].v = r.cmd.combine(r.scalarViews[into].v, r.scalarViews[from].v)
+	r.counters.Inc(trace.Reductions)
+}
+
+func (r *Runtime) combineVec(into, from int) {
+	sched.SumVec(r.vecViews[into][:r.cmd.width], r.vecViews[from][:r.cmd.width])
+	r.counters.Inc(trace.Reductions)
+}
+
+// join performs the join-side half-barrier for worker w.
+func (r *Runtime) join(w int, c *command) {
+	switch c.reduce {
+	case reduceScalar:
+		r.bar.JoinCombine(w, r.combineScalar)
+	case reduceVec:
+		r.bar.JoinCombine(w, r.combineVec)
+	default:
+		r.bar.Join(w)
+	}
+}
+
+// runLoop publishes and executes one loop from the master.
+func (r *Runtime) runLoop(c command) {
+	if r.closed {
+		panic("hybrid: runtime used after Close")
+	}
+	r.counters.Inc(trace.LoopsScheduled)
+	if c.dynamic {
+		c.chunk = r.chunkFor(c.n)
+		blocks := iterspace.BlockAll(c.n, r.p)
+		for w := 0; w < r.p; w++ {
+			r.ranges[w].reset(blocks[w])
+		}
+		r.outstanding.Store(int64(c.n))
+	}
+	if r.p == 1 {
+		r.cmd = c
+		r.runShare(0, &c)
+		return
+	}
+	r.cmd = c
+	r.counters.Inc(trace.ForkPhases)
+	r.bar.Release(0)
+	r.runShare(0, &c)
+	r.counters.Inc(trace.JoinPhases)
+	r.join(0, &c)
+}
+
+// chunkFor returns the dynamic chunk size for a loop of n iterations.
+func (r *Runtime) chunkFor(n int) int {
+	if r.cfg.Chunk > 0 {
+		return r.cfg.Chunk
+	}
+	c := n / (64 * r.p)
+	if c < 64 {
+		c = 64
+	}
+	return c
+}
+
+// dynamicFor reports whether a loop of n iterations takes the dynamic path.
+func (r *Runtime) dynamicFor(n int) bool { return n >= r.cfg.CoarseThreshold }
+
+// For implements sched.Scheduler.
+func (r *Runtime) For(n int, body sched.Body) {
+	if n <= 0 {
+		return
+	}
+	r.runLoop(command{kind: cmdRun, n: n, body: body, dynamic: r.dynamicFor(n)})
+}
+
+// ForReduce implements sched.Scheduler. Reductions always use the static
+// path: dynamic chunk assignment would break the ordered-combination
+// guarantee, and reducing loops in the target applications are fine-grain.
+func (r *Runtime) ForReduce(n int, identity float64, combine func(a, b float64) float64, body sched.ReduceBody) float64 {
+	if n <= 0 {
+		return identity
+	}
+	c := command{kind: cmdRun, n: n, rbody: body, reduce: reduceScalar, ident: identity, combine: combine}
+	r.runLoop(c)
+	return r.scalarViews[0].v
+}
+
+// ForReduceVec implements sched.Scheduler. Vector reductions are element-wise
+// sums (commutative), so coarse loops may take the dynamic path.
+func (r *Runtime) ForReduceVec(n, width int, body sched.VecBody) []float64 {
+	out := make([]float64, width)
+	if n <= 0 || width <= 0 {
+		return out
+	}
+	r.ensureVecViews(width)
+	c := command{kind: cmdRun, n: n, vbody: body, reduce: reduceVec, width: width, dynamic: r.dynamicFor(n)}
+	r.runLoop(c)
+	copy(out, r.vecViews[0][:width])
+	return out
+}
+
+func (r *Runtime) ensureVecViews(width int) {
+	if len(r.vecViews[0]) >= width {
+		return
+	}
+	for w := range r.vecViews {
+		r.vecViews[w] = make([]float64, width)
+	}
+}
+
+// Close shuts the team down. Idempotent.
+func (r *Runtime) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	if r.p > 1 {
+		r.cmd = command{kind: cmdShutdown}
+		r.bar.Release(0)
+	}
+	r.team.Wait()
+}
+
+var _ sched.Scheduler = (*Runtime)(nil)

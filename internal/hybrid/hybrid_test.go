@@ -1,0 +1,177 @@
+package hybrid
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"loopsched/internal/iterspace"
+	"loopsched/internal/sched"
+	"loopsched/internal/schedtest"
+	"loopsched/internal/trace"
+)
+
+func counts() []int { return schedtest.WorkerCounts(runtime.GOMAXPROCS(0)) }
+
+func TestConformanceDefault(t *testing.T) {
+	schedtest.Run(t, counts(), func(p int) sched.Scheduler {
+		return New(Config{Workers: p, LockOSThread: false})
+	})
+}
+
+func TestConformanceAllDynamic(t *testing.T) {
+	// Force every loop (even tiny ones) down the dynamic work-stealing path.
+	schedtest.RunCommutative(t, counts(), func(p int) sched.Scheduler {
+		return New(Config{Workers: p, CoarseThreshold: 1, Chunk: 3, LockOSThread: false})
+	})
+}
+
+func TestConformanceAllStatic(t *testing.T) {
+	schedtest.Run(t, counts(), func(p int) sched.Scheduler {
+		return New(Config{Workers: p, CoarseThreshold: 1 << 30, LockOSThread: false})
+	})
+}
+
+func TestFineLoopsUseStaticPathAndCoarseLoopsSteal(t *testing.T) {
+	p := runtime.GOMAXPROCS(0)
+	if p < 2 {
+		t.Skip("needs 2 workers")
+	}
+	if p > 8 {
+		p = 8
+	}
+	r := New(Config{Workers: p, CoarseThreshold: 1000, Chunk: 16, LockOSThread: false})
+	defer r.Close()
+
+	// Fine-grain loop: below the threshold → no chunks claimed dynamically.
+	r.Counters().Reset()
+	r.For(100, func(w, b, e int) {})
+	if got := r.Counters().Get(trace.ChunksClaimed); got != 0 {
+		t.Errorf("fine-grain loop claimed %d dynamic chunks, want 0 (static path)", got)
+	}
+
+	// Coarse loop with imbalanced work: chunks are claimed dynamically and,
+	// across repetitions, steals occur.
+	r.Counters().Reset()
+	var sink atomic.Int64
+	for rep := 0; rep < 20 && r.Counters().Get(trace.Steals) == 0; rep++ {
+		r.For(200000, func(w, begin, end int) {
+			local := int64(0)
+			// Imbalanced: later iterations are much heavier.
+			for i := begin; i < end; i++ {
+				steps := 1 + (i*7)%97
+				for j := 0; j < steps; j++ {
+					local++
+				}
+			}
+			sink.Add(local)
+		})
+	}
+	if got := r.Counters().Get(trace.ChunksClaimed); got == 0 {
+		t.Errorf("coarse loop claimed no dynamic chunks")
+	}
+	if got := r.Counters().Get(trace.Steals); got == 0 {
+		t.Errorf("no steals observed on an imbalanced coarse loop")
+	}
+}
+
+func TestDynamicLoadBalancingCoversEverything(t *testing.T) {
+	p := runtime.GOMAXPROCS(0)
+	if p > 6 {
+		p = 6
+	}
+	r := New(Config{Workers: p, CoarseThreshold: 1, Chunk: 5, LockOSThread: false})
+	defer r.Close()
+	n := 50000
+	marks := make([]int32, n)
+	r.For(n, func(w, begin, end int) {
+		for i := begin; i < end; i++ {
+			atomic.AddInt32(&marks[i], 1)
+		}
+	})
+	for i, m := range marks {
+		if m != 1 {
+			t.Fatalf("iteration %d executed %d times", i, m)
+		}
+	}
+}
+
+func TestReduceUsesExactlyPMinus1Combines(t *testing.T) {
+	p := runtime.GOMAXPROCS(0)
+	if p < 2 {
+		t.Skip("needs 2 workers")
+	}
+	if p > 8 {
+		p = 8
+	}
+	r := New(Config{Workers: p, LockOSThread: false})
+	defer r.Close()
+	r.Counters().Reset()
+	got := r.ForReduce(100000, 0, func(a, b float64) float64 { return a + b },
+		func(w, b, e int, acc float64) float64 { return acc + float64(e-b) })
+	if int(got) != 100000 {
+		t.Fatalf("reduce = %v", got)
+	}
+	if c := r.Counters().Get(trace.Reductions); c != int64(p-1) {
+		t.Errorf("%d combines, want exactly %d", c, p-1)
+	}
+}
+
+func TestChunkSizing(t *testing.T) {
+	r := New(Config{Workers: 4, LockOSThread: false})
+	defer r.Close()
+	if c := r.chunkFor(1000); c != 64 {
+		t.Errorf("small-loop chunk = %d, want the 64 floor", c)
+	}
+	if c := r.chunkFor(64 * 64 * 4 * 10); c != 640 {
+		t.Errorf("large-loop chunk = %d, want 640", c)
+	}
+	r2 := New(Config{Workers: 4, Chunk: 17, LockOSThread: false})
+	defer r2.Close()
+	if c := r2.chunkFor(1 << 20); c != 17 {
+		t.Errorf("explicit chunk not honoured: %d", c)
+	}
+}
+
+func TestStealRange(t *testing.T) {
+	var sr stealRange
+	sr.reset(iterspace.Range{Begin: 0, End: 100})
+	if got := sr.take(10); got.Begin != 0 || got.End != 10 {
+		t.Fatalf("take = %v", got)
+	}
+	if got := sr.stealHalf(); got.Begin != 55 || got.End != 100 {
+		t.Fatalf("stealHalf = %v, want [55,100)", got)
+	}
+	if got := sr.take(1000); got.Begin != 10 || got.End != 55 {
+		t.Fatalf("take after steal = %v, want [10,55)", got)
+	}
+	if !sr.take(1).Empty() {
+		t.Errorf("expected exhausted range")
+	}
+	if !sr.stealHalf().Empty() {
+		t.Errorf("stealing from an exhausted range should fail")
+	}
+	// A single remaining iteration cannot be stolen.
+	sr.reset(iterspace.Range{Begin: 5, End: 6})
+	if !sr.stealHalf().Empty() {
+		t.Errorf("single-iteration range should not be stealable")
+	}
+	if got := sr.take(4); got.Len() != 1 {
+		t.Errorf("owner should still claim the last iteration, got %v", got)
+	}
+}
+
+func TestNameAndClose(t *testing.T) {
+	r := New(Config{Workers: 2, LockOSThread: false})
+	if r.Name() != "hybrid" || r.P() != 2 {
+		t.Errorf("metadata wrong: %q %d", r.Name(), r.P())
+	}
+	r.Close()
+	r.Close()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic after Close")
+		}
+	}()
+	r.For(5, func(w, b, e int) {})
+}

@@ -1,0 +1,310 @@
+// Package mpdata implements a finite-volume MPDATA advection solver
+// (Multidimensional Positive Definite Advection Transport Algorithm,
+// Smolarkiewicz) on the unstructured grids of package grid. It is the
+// workload of Figure 2 of the paper.
+//
+// Each time step performs the classic MPDATA structure:
+//
+//  1. an upwind (donor-cell) pass: an edge loop computing fluxes followed by
+//     a point loop applying the flux divergence, and
+//  2. one or more corrective passes that re-advect the field with
+//     "antidiffusive" edge velocities derived from the intermediate field,
+//     each again an edge loop plus a point loop.
+//
+// On the paper's grid (5568 points, 16399 edges) each of these loops runs
+// for only a few microseconds per pass — exactly the fine-grain regime where
+// scheduler burden dominates — and a time step issues 2·(1+Corrective)
+// parallel loops, so the solver's scalability is a direct function of the
+// loop scheduler's overhead. All loops are dispatched through a pluggable
+// sched.Scheduler so the same solver runs under the fine-grain, OpenMP-style
+// and Cilk-style runtimes.
+package mpdata
+
+import (
+	"errors"
+	"math"
+
+	"loopsched/internal/grid"
+	"loopsched/internal/sched"
+)
+
+// Config configures the solver.
+type Config struct {
+	// Dt is the time step. It must keep the Courant number below 1; Auto
+	// (Dt <= 0) selects 0.2/maxSpeed.
+	Dt float64
+	// Corrective is the number of antidiffusive corrective passes per step
+	// (the paper's MPDATA uses 1-3; default 1).
+	Corrective int
+	// Epsilon guards divisions in the antidiffusive velocity; default 1e-15.
+	Epsilon float64
+}
+
+// Solver advances a scalar field under advection on an unstructured grid.
+type Solver struct {
+	g   *grid.Grid
+	cfg Config
+
+	// Psi is the advected scalar field (one value per point).
+	Psi []float64
+	// next receives the updated field during a pass.
+	next []float64
+
+	// vn is the prescribed normal velocity at each edge (positive from
+	// EdgeFrom towards EdgeTo); vnCorr holds the antidiffusive velocities of
+	// the current corrective pass.
+	vn     []float64
+	vnCorr []float64
+
+	// flux is the per-edge flux of the current pass.
+	flux []float64
+
+	steps int
+}
+
+// New creates a solver on g with a solid-body-rotation velocity field and a
+// cone-shaped initial condition, the standard MPDATA test problem.
+func New(g *grid.Grid, cfg Config) (*Solver, error) {
+	if g == nil {
+		return nil, errors.New("mpdata: nil grid")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Corrective < 0 {
+		return nil, errors.New("mpdata: negative corrective pass count")
+	}
+	if cfg.Corrective == 0 {
+		cfg.Corrective = 1
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 1e-15
+	}
+	s := &Solver{
+		g:      g,
+		cfg:    cfg,
+		Psi:    make([]float64, g.NumPoints),
+		next:   make([]float64, g.NumPoints),
+		vn:     make([]float64, g.NumEdges()),
+		vnCorr: make([]float64, g.NumEdges()),
+		flux:   make([]float64, g.NumEdges()),
+	}
+	s.initFields()
+	if cfg.Dt <= 0 {
+		maxV := 0.0
+		for _, v := range s.vn {
+			if a := math.Abs(v); a > maxV {
+				maxV = a
+			}
+		}
+		if maxV == 0 {
+			maxV = 1
+		}
+		cfg.Dt = 0.2 / maxV
+	}
+	s.cfg.Dt = cfg.Dt
+	return s, nil
+}
+
+// initFields sets the rotational velocity field and the initial cone.
+func (s *Solver) initFields() {
+	g := s.g
+	// Domain centre and extent.
+	var cx, cy, maxX, maxY float64
+	for p := 0; p < g.NumPoints; p++ {
+		cx += g.X[p]
+		cy += g.Y[p]
+		if g.X[p] > maxX {
+			maxX = g.X[p]
+		}
+		if g.Y[p] > maxY {
+			maxY = g.Y[p]
+		}
+	}
+	cx /= float64(g.NumPoints)
+	cy /= float64(g.NumPoints)
+
+	// Solid-body rotation about the centre: u = -(y-cy), v = (x-cx),
+	// normalised so the maximum speed is 1.
+	maxR := math.Hypot(maxX-cx, maxY-cy)
+	if maxR == 0 {
+		maxR = 1
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		a, b := g.EdgeFrom[e], g.EdgeTo[e]
+		mx := 0.5 * (g.X[a] + g.X[b])
+		my := 0.5 * (g.Y[a] + g.Y[b])
+		u := -(my - cy) / maxR
+		v := (mx - cx) / maxR
+		s.vn[e] = u*g.EdgeNX[e] + v*g.EdgeNY[e]
+	}
+
+	// Initial condition: a cone of height 1 and radius maxR/4 centred at
+	// (cx + maxR/3, cy), on a background of 0.05 (strictly positive so the
+	// positive-definiteness property is meaningful).
+	r0 := maxR / 4
+	ox := cx + maxR/3
+	for p := 0; p < g.NumPoints; p++ {
+		d := math.Hypot(g.X[p]-ox, g.Y[p]-cy)
+		s.Psi[p] = 0.05
+		if d < r0 {
+			s.Psi[p] = 0.05 + (1 - d/r0)
+		}
+	}
+}
+
+// Grid returns the solver's grid.
+func (s *Solver) Grid() *grid.Grid { return s.g }
+
+// Dt returns the time step in use.
+func (s *Solver) Dt() float64 { return s.cfg.Dt }
+
+// Steps returns the number of completed time steps.
+func (s *Solver) Steps() int { return s.steps }
+
+// LoopsPerStep returns the number of parallel loops issued per time step:
+// an edge loop and a point loop per pass, with 1 upwind pass plus the
+// configured corrective passes.
+func (s *Solver) LoopsPerStep() int { return 2 * (1 + s.cfg.Corrective) }
+
+// Step advances the field by one time step, dispatching every loop through
+// the supplied scheduler.
+func (s *Solver) Step(run sched.Scheduler) {
+	// Upwind pass with the physical velocities.
+	s.pass(run, s.vn, s.Psi, s.next)
+	s.Psi, s.next = s.next, s.Psi
+
+	// Corrective passes with antidiffusive velocities.
+	for c := 0; c < s.cfg.Corrective; c++ {
+		s.antidiffusiveVelocities(run, s.Psi)
+		s.pass(run, s.vnCorr, s.Psi, s.next)
+		s.Psi, s.next = s.next, s.Psi
+	}
+	s.steps++
+}
+
+// pass performs one donor-cell pass: an edge loop computing upwind fluxes of
+// field `from` under edge velocities v, then a point loop applying the
+// divergence into `to`.
+func (s *Solver) pass(run sched.Scheduler, v, from, to []float64) {
+	g := s.g
+	dt := s.cfg.Dt
+	flux := s.flux
+
+	run.For(g.NumEdges(), func(w, begin, end int) {
+		for e := begin; e < end; e++ {
+			vn := v[e]
+			a, b := g.EdgeFrom[e], g.EdgeTo[e]
+			// Donor-cell upwind flux from a to b.
+			if vn >= 0 {
+				flux[e] = vn * from[a]
+			} else {
+				flux[e] = vn * from[b]
+			}
+		}
+	})
+
+	run.For(g.NumPoints, func(w, begin, end int) {
+		for p := begin; p < end; p++ {
+			div := 0.0
+			for _, ei := range g.IncidentEdges[g.IncidentStart[p]:g.IncidentStart[p+1]] {
+				f := flux[ei]
+				if int(g.EdgeFrom[ei]) == p {
+					div += f
+				} else {
+					div -= f
+				}
+			}
+			to[p] = from[p] - dt*div/g.Area[p]
+		}
+	})
+}
+
+// antidiffusiveVelocities computes the MPDATA corrective velocities from the
+// intermediate field psi into vnCorr (an edge loop).
+func (s *Solver) antidiffusiveVelocities(run sched.Scheduler, psi []float64) {
+	g := s.g
+	dt := s.cfg.Dt
+	eps := s.cfg.Epsilon
+	vn := s.vn
+	out := s.vnCorr
+
+	run.For(g.NumEdges(), func(w, begin, end int) {
+		for e := begin; e < end; e++ {
+			a, b := g.EdgeFrom[e], g.EdgeTo[e]
+			v := vn[e]
+			num := psi[b] - psi[a]
+			den := psi[b] + psi[a] + eps
+			// Classic MPDATA antidiffusive velocity: |C|(1-|C|) gradient
+			// correction, with the Courant number C = v·dt (unit dual face
+			// and unit area).
+			c := v * dt
+			out[e] = (math.Abs(c) - c*c) * (num / den) / dt
+		}
+	})
+}
+
+// Mass returns the total mass Σ ψ·Area, computed as a parallel reduction
+// through the scheduler. MPDATA conserves it exactly (up to round-off).
+func (s *Solver) Mass(run sched.Scheduler) float64 {
+	g := s.g
+	psi := s.Psi
+	return run.ForReduce(g.NumPoints, 0, func(a, b float64) float64 { return a + b },
+		func(w, begin, end int, acc float64) float64 {
+			for p := begin; p < end; p++ {
+				acc += psi[p] * g.Area[p]
+			}
+			return acc
+		})
+}
+
+// MinMax returns the extrema of the field via a vector reduction.
+func (s *Solver) MinMax(run sched.Scheduler) (min, max float64) {
+	psi := s.Psi
+	// Encode min as -max(-x) so the element-wise-sum vector reduction is not
+	// applicable; use two scalar reductions instead (each is itself a
+	// fine-grain loop, adding to the scheduling pressure the figure
+	// measures).
+	min = run.ForReduce(len(psi), math.Inf(1), math.Min,
+		func(w, begin, end int, acc float64) float64 {
+			for p := begin; p < end; p++ {
+				if psi[p] < acc {
+					acc = psi[p]
+				}
+			}
+			return acc
+		})
+	max = run.ForReduce(len(psi), math.Inf(-1), math.Max,
+		func(w, begin, end int, acc float64) float64 {
+			for p := begin; p < end; p++ {
+				if psi[p] > acc {
+					acc = psi[p]
+				}
+			}
+			return acc
+		})
+	return min, max
+}
+
+// Run advances the solver by n steps under the given scheduler.
+func (s *Solver) Run(run sched.Scheduler, n int) {
+	for i := 0; i < n; i++ {
+		s.Step(run)
+	}
+}
+
+// Clone returns a deep copy of the solver (same grid, copied fields), used
+// to run the same initial state under different schedulers.
+func (s *Solver) Clone() *Solver {
+	c := &Solver{
+		g:      s.g,
+		cfg:    s.cfg,
+		Psi:    append([]float64(nil), s.Psi...),
+		next:   make([]float64, len(s.next)),
+		vn:     append([]float64(nil), s.vn...),
+		vnCorr: make([]float64, len(s.vnCorr)),
+		flux:   make([]float64, len(s.flux)),
+		steps:  s.steps,
+	}
+	return c
+}

@@ -1,0 +1,218 @@
+package mpdata
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"loopsched/internal/core"
+	"loopsched/internal/grid"
+	"loopsched/internal/omp"
+	"loopsched/internal/sched"
+)
+
+func smallGrid(t *testing.T) *grid.Grid {
+	t.Helper()
+	g, err := grid.NewTriangulated(12, 14, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Errorf("accepted a nil grid")
+	}
+	g := smallGrid(t)
+	if _, err := New(g, Config{Corrective: -1}); err == nil {
+		t.Errorf("accepted a negative corrective count")
+	}
+	s, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dt() <= 0 {
+		t.Errorf("auto time step %v", s.Dt())
+	}
+	if s.LoopsPerStep() != 4 { // 1 upwind + 1 corrective, 2 loops each
+		t.Errorf("LoopsPerStep = %d, want 4", s.LoopsPerStep())
+	}
+	if s.Grid() != g {
+		t.Errorf("Grid() does not return the construction grid")
+	}
+}
+
+func TestInitialConditionIsPositiveWithCone(t *testing.T) {
+	g := smallGrid(t)
+	s, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range s.Psi {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if min < 0.049 || min > 0.051 {
+		t.Errorf("background value %v, want 0.05", min)
+	}
+	if max <= 0.5 || max > 1.06 {
+		t.Errorf("cone peak %v, want ~1.05", max)
+	}
+}
+
+func TestMassConservationSequential(t *testing.T) {
+	g := smallGrid(t)
+	s, err := New(g, Config{Corrective: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := sched.NewSequential()
+	m0 := s.Mass(seq)
+	s.Run(seq, 40)
+	m1 := s.Mass(seq)
+	if rel := math.Abs(m1-m0) / math.Abs(m0); rel > 1e-12 {
+		t.Errorf("mass drifted by %v (from %v to %v)", rel, m0, m1)
+	}
+	if s.Steps() != 40 {
+		t.Errorf("Steps = %d", s.Steps())
+	}
+}
+
+func TestFieldStaysBoundedAndFinite(t *testing.T) {
+	g := smallGrid(t)
+	s, err := New(g, Config{Corrective: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := sched.NewSequential()
+	s.Run(seq, 100)
+	min, max := s.MinMax(seq)
+	if math.IsNaN(min) || math.IsNaN(max) || math.IsInf(min, 0) || math.IsInf(max, 0) {
+		t.Fatalf("field blew up: min=%v max=%v", min, max)
+	}
+	// Upwind advection is diffusive; with the antidiffusive correction small
+	// over/undershoots can appear, but the field must stay within a loose
+	// envelope of the initial range [0.05, 1.05].
+	if min < -0.1 || max > 1.5 {
+		t.Errorf("field out of physical envelope: [%v, %v]", min, max)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	p := runtime.GOMAXPROCS(0)
+	if p > 8 {
+		p = 8
+	}
+	g := smallGrid(t)
+	base, err := New(g, Config{Corrective: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqSolver := base.Clone()
+	seq := sched.NewSequential()
+	seqSolver.Run(seq, 25)
+
+	runtimes := []sched.Scheduler{
+		core.New(core.Config{Workers: p, LockOSThread: false}),
+		core.New(core.Config{Workers: p, Barrier: core.BarrierCentralized, LockOSThread: false}),
+		omp.New(omp.Config{Workers: p, Schedule: omp.Static, LockOSThread: false}),
+		omp.New(omp.Config{Workers: p, Schedule: omp.Dynamic, Chunk: 16, LockOSThread: false}),
+	}
+	for _, rt := range runtimes {
+		solver := base.Clone()
+		solver.Run(rt, 25)
+		maxDiff := 0.0
+		for i := range solver.Psi {
+			d := math.Abs(solver.Psi[i] - seqSolver.Psi[i])
+			if d > maxDiff {
+				maxDiff = d
+			}
+		}
+		// The loops are deterministic given the partitioning; only the mass
+		// reduction order could differ. Field updates are per-point
+		// assignments, so results should agree to round-off exactly.
+		if maxDiff > 1e-12 {
+			t.Errorf("%s: field differs from sequential by %v", rt.Name(), maxDiff)
+		}
+		mass := solver.Mass(rt)
+		seqMass := seqSolver.Mass(seq)
+		if math.Abs(mass-seqMass) > 1e-9*math.Abs(seqMass) {
+			t.Errorf("%s: mass %v vs sequential %v", rt.Name(), mass, seqMass)
+		}
+		rt.Close()
+	}
+}
+
+func TestAdvectionMovesTheCone(t *testing.T) {
+	// The rotational velocity field must transport the cone: the location of
+	// the maximum changes after enough steps.
+	g := smallGrid(t)
+	s, err := New(g, Config{Corrective: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	argmax := func(xs []float64) int {
+		best, bi := math.Inf(-1), 0
+		for i, v := range xs {
+			if v > best {
+				best, bi = v, i
+			}
+		}
+		return bi
+	}
+	before := argmax(s.Psi)
+	seq := sched.NewSequential()
+	s.Run(seq, 200)
+	after := argmax(s.Psi)
+	if before == after {
+		t.Errorf("cone did not move (argmax stayed at %d)", before)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	g := smallGrid(t)
+	s, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	seq := sched.NewSequential()
+	s.Run(seq, 5)
+	if s.Steps() == c.Steps() {
+		t.Errorf("clone advanced with the original")
+	}
+	diff := 0.0
+	for i := range c.Psi {
+		diff += math.Abs(c.Psi[i] - s.Psi[i])
+	}
+	if diff == 0 {
+		t.Errorf("running the original did not change its field relative to the clone")
+	}
+}
+
+func TestPaperGridStep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-size grid in -short mode")
+	}
+	g, err := grid.NewPaperGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(g, Config{Corrective: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := sched.NewSequential()
+	m0 := s.Mass(seq)
+	s.Run(seq, 5)
+	m1 := s.Mass(seq)
+	if math.Abs(m1-m0) > 1e-9*math.Abs(m0) {
+		t.Errorf("mass drift on the paper grid: %v -> %v", m0, m1)
+	}
+}

@@ -1,0 +1,384 @@
+// Package omp implements an OpenMP-style parallel-loop runtime used as the
+// baseline the paper compares against.
+//
+// The runtime follows the structure the paper ascribes to the Intel OpenMP
+// runtime for statically scheduled loops:
+//
+//  1. the master publishes the work description,
+//  2. a full *fork barrier* releases the team into the parallel region,
+//  3. workers execute their share (static blocks, dynamic chunks or guided
+//     chunks),
+//  4. a full *join barrier* ends the region.
+//
+// For loops with reduction clauses the runtime inserts an additional
+// barrier-like construct before the join barrier to aggregate the
+// per-thread partial results — three barrier episodes per reducing loop,
+// which is precisely the redundancy the half-barrier scheduler removes
+// (see internal/core).
+package omp
+
+import (
+	"fmt"
+	"runtime"
+
+	"loopsched/internal/barrier"
+	"loopsched/internal/iterspace"
+	"loopsched/internal/pool"
+	"loopsched/internal/sched"
+	"loopsched/internal/topology"
+	"loopsched/internal/trace"
+)
+
+// Schedule selects the loop scheduling policy, mirroring OpenMP's
+// schedule(...) clause.
+type Schedule int
+
+// Schedules.
+const (
+	// Static divides the iteration space into one contiguous block per
+	// worker (schedule(static)).
+	Static Schedule = iota
+	// Dynamic hands out fixed-size chunks from a shared counter
+	// (schedule(dynamic, chunk)); the OpenMP default chunk size is 1.
+	Dynamic
+	// Guided hands out geometrically shrinking chunks
+	// (schedule(guided, chunk)).
+	Guided
+)
+
+// String implements fmt.Stringer.
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// BarrierKind selects the barrier implementation backing the runtime.
+type BarrierKind int
+
+// Barrier kinds.
+const (
+	// BarrierCentralized is a sense-reversing counter barrier.
+	BarrierCentralized BarrierKind = iota
+	// BarrierTree is a topology-aligned tree barrier.
+	BarrierTree
+)
+
+// Config configures the OpenMP-style runtime.
+type Config struct {
+	// Workers is the team size including the master; <= 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Schedule is the loop scheduling policy.
+	Schedule Schedule
+	// Chunk is the chunk size for Dynamic and Guided; <= 0 selects the
+	// OpenMP default (1).
+	Chunk int
+	// Barrier selects the barrier implementation.
+	Barrier BarrierKind
+	// LockOSThread locks workers to OS threads.
+	LockOSThread bool
+	// Name overrides the reported name.
+	Name string
+}
+
+// DefaultConfig returns a static-scheduled runtime over all processors.
+func DefaultConfig() Config {
+	return Config{Workers: runtime.GOMAXPROCS(0), Schedule: Static, Chunk: 1, LockOSThread: true}
+}
+
+type cmdKind int
+
+const (
+	cmdNone cmdKind = iota
+	cmdRun
+	cmdShutdown
+)
+
+type reduceKind int
+
+const (
+	reduceNone reduceKind = iota
+	reduceScalar
+	reduceVec
+)
+
+type command struct {
+	kind    cmdKind
+	n       int
+	body    sched.Body
+	rbody   sched.ReduceBody
+	vbody   sched.VecBody
+	reduce  reduceKind
+	width   int
+	ident   float64
+	combine func(a, b float64) float64
+	chunker *iterspace.Chunker
+	guided  *iterspace.Guided
+}
+
+type paddedF64 struct {
+	v float64
+	_ [120]byte
+}
+
+// Runtime is the OpenMP-style loop runtime. It is driven by a single master
+// goroutine, like an OpenMP program's initial thread.
+type Runtime struct {
+	cfg  Config
+	name string
+	p    int
+
+	team *pool.Team
+	bar  barrier.Full
+
+	cmd command
+
+	scalarViews []paddedF64
+	vecViews    [][]float64
+
+	counters *trace.Counters
+	closed   bool
+}
+
+// New creates and starts an OpenMP-style runtime.
+func New(cfg Config) *Runtime {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Chunk <= 0 {
+		cfg.Chunk = 1
+	}
+	r := &Runtime{
+		cfg:         cfg,
+		name:        cfg.name(),
+		p:           cfg.Workers,
+		scalarViews: make([]paddedF64, cfg.Workers),
+		vecViews:    make([][]float64, cfg.Workers),
+		counters:    trace.New(),
+	}
+	switch cfg.Barrier {
+	case BarrierTree:
+		topo := topology.Detect(cfg.Workers)
+		r.bar = barrier.NewTree(topo.GroupedTree(4, 4))
+	default:
+		r.bar = barrier.NewCentralized(cfg.Workers)
+	}
+	r.team = pool.New(pool.Config{Workers: cfg.Workers, LockOSThread: cfg.LockOSThread, Name: r.name})
+	r.team.Start(r.workerLoop)
+	return r
+}
+
+func (c Config) name() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return "openmp-" + c.Schedule.String()
+}
+
+// Name implements sched.Scheduler.
+func (r *Runtime) Name() string { return r.name }
+
+// P implements sched.Scheduler.
+func (r *Runtime) P() int { return r.p }
+
+// Counters returns the runtime's event counters.
+func (r *Runtime) Counters() *trace.Counters { return r.counters }
+
+// workerLoop is run by workers 1..P-1.
+func (r *Runtime) workerLoop(w int) {
+	for {
+		r.bar.Wait(w) // fork barrier
+		c := r.cmd
+		if c.kind == cmdShutdown {
+			return
+		}
+		r.runShare(w, &c)
+		if c.reduce != reduceNone {
+			// Reduction construct: an extra barrier episode after which the
+			// master aggregates the per-thread results.
+			r.bar.Wait(w)
+		}
+		r.bar.Wait(w) // join barrier
+	}
+}
+
+// runShare executes worker w's portion of the published loop according to
+// the configured schedule.
+func (r *Runtime) runShare(w int, c *command) {
+	switch c.reduce {
+	case reduceScalar:
+		acc := c.ident
+		r.iterate(w, c, func(begin, end int) {
+			acc = c.rbody(w, begin, end, acc)
+		})
+		r.scalarViews[w].v = acc
+	case reduceVec:
+		buf := r.vecViews[w]
+		for i := range buf {
+			buf[i] = 0
+		}
+		r.iterate(w, c, func(begin, end int) {
+			c.vbody(w, begin, end, buf[:c.width])
+		})
+	default:
+		r.iterate(w, c, func(begin, end int) {
+			c.body(w, begin, end)
+		})
+	}
+}
+
+// iterate drives the schedule-specific chunk claiming for worker w, invoking
+// run for every claimed chunk.
+func (r *Runtime) iterate(w int, c *command, run func(begin, end int)) {
+	switch r.cfg.Schedule {
+	case Dynamic:
+		for {
+			rng, ok := c.chunker.Next()
+			if !ok {
+				return
+			}
+			r.counters.Inc(trace.ChunksClaimed)
+			run(rng.Begin, rng.End)
+		}
+	case Guided:
+		for {
+			rng, ok := c.guided.Next()
+			if !ok {
+				return
+			}
+			r.counters.Inc(trace.ChunksClaimed)
+			run(rng.Begin, rng.End)
+		}
+	default:
+		rng := iterspace.Block(c.n, r.p, w)
+		if !rng.Empty() {
+			run(rng.Begin, rng.End)
+		}
+	}
+}
+
+// runLoop publishes a loop and drives the barrier protocol from the master.
+func (r *Runtime) runLoop(c command) {
+	if r.closed {
+		panic("omp: runtime used after Close")
+	}
+	r.counters.Inc(trace.LoopsScheduled)
+	switch r.cfg.Schedule {
+	case Dynamic:
+		c.chunker = iterspace.NewChunker(c.n, r.cfg.Chunk)
+	case Guided:
+		c.guided = iterspace.NewGuided(c.n, r.p, r.cfg.Chunk)
+	}
+	if r.p == 1 {
+		r.cmd = c
+		r.runShare(0, &c)
+		if c.reduce == reduceScalar {
+			r.foldScalar(&c)
+		}
+		if c.reduce == reduceVec {
+			r.foldVec(&c)
+		}
+		return
+	}
+	r.cmd = c
+	r.counters.Inc(trace.ForkPhases)
+	r.counters.Inc(trace.BarrierEpisodes)
+	r.bar.Wait(0) // fork barrier
+	r.runShare(0, &c)
+	if c.reduce != reduceNone {
+		// Reduction barrier, then the master folds the per-thread views in
+		// worker order.
+		r.counters.Inc(trace.BarrierEpisodes)
+		r.bar.Wait(0)
+		if c.reduce == reduceScalar {
+			r.foldScalar(&c)
+		} else {
+			r.foldVec(&c)
+		}
+	}
+	r.counters.Inc(trace.JoinPhases)
+	r.counters.Inc(trace.BarrierEpisodes)
+	r.bar.Wait(0) // join barrier
+}
+
+func (r *Runtime) foldScalar(c *command) {
+	acc := r.scalarViews[0].v
+	for w := 1; w < r.p; w++ {
+		acc = c.combine(acc, r.scalarViews[w].v)
+		r.counters.Inc(trace.Reductions)
+	}
+	r.scalarViews[0].v = acc
+}
+
+func (r *Runtime) foldVec(c *command) {
+	for w := 1; w < r.p; w++ {
+		sched.SumVec(r.vecViews[0][:c.width], r.vecViews[w][:c.width])
+		r.counters.Inc(trace.Reductions)
+	}
+}
+
+// For implements sched.Scheduler.
+func (r *Runtime) For(n int, body sched.Body) {
+	if n <= 0 {
+		return
+	}
+	r.runLoop(command{kind: cmdRun, n: n, body: body})
+}
+
+// ForReduce implements sched.Scheduler.
+func (r *Runtime) ForReduce(n int, identity float64, combine func(a, b float64) float64, body sched.ReduceBody) float64 {
+	if n <= 0 {
+		return identity
+	}
+	c := command{kind: cmdRun, n: n, rbody: body, reduce: reduceScalar, ident: identity, combine: combine}
+	r.runLoop(c)
+	return r.scalarViews[0].v
+}
+
+// ForReduceVec implements sched.Scheduler.
+func (r *Runtime) ForReduceVec(n, width int, body sched.VecBody) []float64 {
+	out := make([]float64, width)
+	if n <= 0 || width <= 0 {
+		return out
+	}
+	r.ensureVecViews(width)
+	c := command{kind: cmdRun, n: n, vbody: body, reduce: reduceVec, width: width}
+	r.runLoop(c)
+	copy(out, r.vecViews[0][:width])
+	return out
+}
+
+func (r *Runtime) ensureVecViews(width int) {
+	if len(r.vecViews[0]) >= width {
+		return
+	}
+	for w := range r.vecViews {
+		r.vecViews[w] = make([]float64, width)
+	}
+}
+
+// Close shuts the team down. Idempotent.
+func (r *Runtime) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	if r.p > 1 {
+		r.cmd = command{kind: cmdShutdown}
+		r.bar.Wait(0)
+	}
+	r.team.Wait()
+}
+
+var _ sched.Scheduler = (*Runtime)(nil)

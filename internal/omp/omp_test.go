@@ -1,0 +1,177 @@
+package omp
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"loopsched/internal/sched"
+	"loopsched/internal/schedtest"
+	"loopsched/internal/trace"
+)
+
+func counts() []int { return schedtest.WorkerCounts(runtime.GOMAXPROCS(0)) }
+
+func TestConformanceStatic(t *testing.T) {
+	schedtest.Run(t, counts(), func(p int) sched.Scheduler {
+		return New(Config{Workers: p, Schedule: Static, LockOSThread: false})
+	})
+}
+
+func TestConformanceDynamic(t *testing.T) {
+	schedtest.RunCommutative(t, counts(), func(p int) sched.Scheduler {
+		return New(Config{Workers: p, Schedule: Dynamic, Chunk: 4, LockOSThread: false})
+	})
+}
+
+func TestConformanceGuided(t *testing.T) {
+	schedtest.RunCommutative(t, counts(), func(p int) sched.Scheduler {
+		return New(Config{Workers: p, Schedule: Guided, Chunk: 2, LockOSThread: false})
+	})
+}
+
+func TestConformanceTreeBarrier(t *testing.T) {
+	schedtest.Run(t, counts(), func(p int) sched.Scheduler {
+		return New(Config{Workers: p, Schedule: Static, Barrier: BarrierTree, LockOSThread: false})
+	})
+}
+
+func TestNames(t *testing.T) {
+	cases := map[Schedule]string{Static: "openmp-static", Dynamic: "openmp-dynamic", Guided: "openmp-guided"}
+	for s, want := range cases {
+		r := New(Config{Workers: 1, Schedule: s, LockOSThread: false})
+		if r.Name() != want {
+			t.Errorf("Name() = %q, want %q", r.Name(), want)
+		}
+		r.Close()
+	}
+	r := New(Config{Workers: 1, Name: "custom", LockOSThread: false})
+	if r.Name() != "custom" {
+		t.Errorf("custom name not honoured: %q", r.Name())
+	}
+	r.Close()
+}
+
+func TestStaticLoopUsesTwoBarrierEpisodes(t *testing.T) {
+	p := 4
+	if runtime.GOMAXPROCS(0) < p {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 2 {
+		t.Skip("needs 2 workers")
+	}
+	r := New(Config{Workers: p, Schedule: Static, LockOSThread: false})
+	defer r.Close()
+	r.Counters().Reset()
+	r.For(100, func(w, b, e int) {})
+	if got := r.Counters().Get(trace.BarrierEpisodes); got != 2 {
+		t.Errorf("plain static loop used %d barrier episodes, want 2 (fork + join)", got)
+	}
+}
+
+func TestReducingLoopUsesThreeBarrierEpisodes(t *testing.T) {
+	// The paper: "The Intel OpenMP runtime implements reductions on top of a
+	// barrier-like construct, which effectively introduces an additional
+	// barrier" — three episodes per reducing loop versus two half-barriers
+	// in the fine-grain runtime.
+	p := 4
+	if runtime.GOMAXPROCS(0) < p {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 2 {
+		t.Skip("needs 2 workers")
+	}
+	r := New(Config{Workers: p, Schedule: Static, LockOSThread: false})
+	defer r.Close()
+	r.Counters().Reset()
+	r.ForReduce(100, 0, func(a, b float64) float64 { return a + b },
+		func(w, b, e int, acc float64) float64 { return acc + float64(e-b) })
+	if got := r.Counters().Get(trace.BarrierEpisodes); got != 3 {
+		t.Errorf("reducing loop used %d barrier episodes, want 3", got)
+	}
+	if got := r.Counters().Get(trace.Reductions); got != int64(p-1) {
+		t.Errorf("reducing loop performed %d combines, want %d", got, p-1)
+	}
+}
+
+func TestDynamicClaimsAllChunks(t *testing.T) {
+	p := 3
+	if runtime.GOMAXPROCS(0) < p {
+		p = runtime.GOMAXPROCS(0)
+	}
+	r := New(Config{Workers: p, Schedule: Dynamic, Chunk: 7, LockOSThread: false})
+	defer r.Close()
+	n := 1000
+	r.Counters().Reset()
+	var covered int64
+	r.For(n, func(w, b, e int) { atomic.AddInt64(&covered, int64(e-b)) })
+	if covered != int64(n) {
+		t.Fatalf("dynamic schedule covered %d of %d iterations", covered, n)
+	}
+	wantChunks := int64((n + 6) / 7)
+	if got := r.Counters().Get(trace.ChunksClaimed); got != wantChunks {
+		t.Errorf("claimed %d chunks, want %d", got, wantChunks)
+	}
+}
+
+func TestGuidedChunksShrink(t *testing.T) {
+	r := New(Config{Workers: 2, Schedule: Guided, Chunk: 1, LockOSThread: false})
+	defer r.Close()
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	var sizes []int
+	r.For(10000, func(w, b, e int) {
+		<-mu
+		sizes = append(sizes, e-b)
+		mu <- struct{}{}
+	})
+	if len(sizes) < 2 {
+		t.Fatalf("guided produced %d chunks", len(sizes))
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 10000 {
+		t.Errorf("guided covered %d iterations, want 10000", total)
+	}
+	// The largest chunk must exceed the smallest: guided chunks decay.
+	min, max := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max <= min {
+		t.Errorf("guided chunk sizes do not decay: min=%d max=%d", min, max)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Workers <= 0 || cfg.Schedule != Static || cfg.Chunk != 1 || !cfg.LockOSThread {
+		t.Errorf("unexpected default config: %+v", cfg)
+	}
+	if Static.String() != "static" || Dynamic.String() != "dynamic" || Guided.String() != "guided" {
+		t.Errorf("Schedule.String() broken")
+	}
+	if Schedule(99).String() == "" {
+		t.Errorf("unknown schedule should still format")
+	}
+}
+
+func TestCloseIdempotentAndPanicsAfterUse(t *testing.T) {
+	r := New(Config{Workers: 2, LockOSThread: false})
+	r.For(10, func(w, b, e int) {})
+	r.Close()
+	r.Close()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic on use after Close")
+		}
+	}()
+	r.For(10, func(w, b, e int) {})
+}

@@ -1,0 +1,118 @@
+// Package phoenix is a Phoenix++-style map-reduce framework for shared
+// memory, the substrate of the paper's Figure 3 workload.
+//
+// Phoenix++ structures a map-reduce job as: split the input into chunks, run
+// map tasks that emit key/value pairs into per-worker *combining containers*
+// (an array container when the key space is small and dense, a hash
+// container otherwise), then merge the containers into the final result. The
+// expensive part for fine-grain jobs is not the map function but how the
+// per-worker containers are combined — which is exactly the reduction path
+// the paper optimises.
+//
+// Two containers are provided:
+//
+//   - ArrayJob: a dense float64-valued container of NumKeys slots, executed
+//     through the scheduler's vector reduction (so the fine-grain runtime
+//     folds it into its join half-barrier, the OpenMP runtime pays its extra
+//     reduction barrier, and the Cilk runtime allocates per-task views);
+//   - HashJob: a generic hash container with per-worker maps merged by the
+//     master, used by the coarser text-processing examples.
+package phoenix
+
+import (
+	"errors"
+
+	"loopsched/internal/sched"
+)
+
+// ArrayJob is a map-reduce job over a dense integer key space [0, NumKeys)
+// with float64 values combined by addition — the shape of Phoenix++'s
+// "array container" with a sum combiner (histograms, linear regression,
+// k-means statistics).
+type ArrayJob struct {
+	// NumKeys is the size of the key space.
+	NumKeys int
+	// Map processes input items [begin, end) on worker w and adds its
+	// contributions into emit (a dense slice of length NumKeys).
+	Map func(w, begin, end int, emit []float64)
+}
+
+// Run executes the job over n input items using the scheduler's vector
+// reduction and returns the combined container.
+func (j ArrayJob) Run(s sched.Scheduler, n int) ([]float64, error) {
+	if j.NumKeys <= 0 {
+		return nil, errors.New("phoenix: ArrayJob.NumKeys must be positive")
+	}
+	if j.Map == nil {
+		return nil, errors.New("phoenix: ArrayJob.Map is nil")
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := s.ForReduceVec(n, j.NumKeys, func(w, begin, end int, acc []float64) {
+		j.Map(w, begin, end, acc)
+	})
+	return out, nil
+}
+
+// HashJob is a map-reduce job with an arbitrary comparable key type and a
+// user-supplied combiner, backed by per-worker hash containers that the
+// master merges after the map phase (Phoenix++'s hash container).
+type HashJob[K comparable, V any] struct {
+	// Map processes input items [begin, end) on worker w, emitting pairs via
+	// emit. Emit may be called any number of times per item.
+	Map func(w, begin, end int, emit func(K, V))
+	// Combine merges two values for the same key; it must be associative.
+	Combine func(a, b V) V
+}
+
+// Run executes the job over n input items on the scheduler and returns the
+// merged container. The per-worker containers are merged in worker order.
+func (j HashJob[K, V]) Run(s sched.Scheduler, n int) (map[K]V, error) {
+	if j.Map == nil || j.Combine == nil {
+		return nil, errors.New("phoenix: HashJob.Map and Combine must be set")
+	}
+	if n < 0 {
+		n = 0
+	}
+	p := s.P()
+	locals := make([]map[K]V, p)
+	s.For(n, func(w, begin, end int) {
+		m := locals[w]
+		if m == nil {
+			m = make(map[K]V)
+			locals[w] = m
+		}
+		j.Map(w, begin, end, func(k K, v V) {
+			if old, ok := m[k]; ok {
+				m[k] = j.Combine(old, v)
+			} else {
+				m[k] = v
+			}
+		})
+	})
+	out := make(map[K]V)
+	for w := 0; w < p; w++ {
+		for k, v := range locals[w] {
+			if old, ok := out[k]; ok {
+				out[k] = j.Combine(old, v)
+			} else {
+				out[k] = v
+			}
+		}
+	}
+	return out, nil
+}
+
+// ChunkedHashJob is like HashJob but lets the map phase process input in
+// explicit chunks of the given size, mimicking Phoenix++'s splitter; chunk
+// granularity interacts with dynamic schedulers (smaller chunks → more
+// scheduling events).
+type ChunkedHashJob[K comparable, V any] struct {
+	HashJob[K, V]
+	// ChunkSize is a hint recorded for documentation; chunking is performed
+	// by the scheduler itself (static blocks or dynamic chunks), so this
+	// field does not change execution and exists to mirror the Phoenix++
+	// API surface used by the examples.
+	ChunkSize int
+}

@@ -1,0 +1,124 @@
+package phoenix
+
+import (
+	"runtime"
+	"testing"
+
+	"loopsched/internal/core"
+	"loopsched/internal/sched"
+)
+
+func pools(t *testing.T) []sched.Scheduler {
+	t.Helper()
+	p := runtime.GOMAXPROCS(0)
+	if p > 6 {
+		p = 6
+	}
+	return []sched.Scheduler{
+		sched.NewSequential(),
+		core.New(core.Config{Workers: p, LockOSThread: false}),
+	}
+}
+
+func TestArrayJobHistogram(t *testing.T) {
+	for _, s := range pools(t) {
+		data := make([]int, 10000)
+		for i := range data {
+			data[i] = i % 8
+		}
+		job := ArrayJob{
+			NumKeys: 8,
+			Map: func(w, begin, end int, emit []float64) {
+				for i := begin; i < end; i++ {
+					emit[data[i]]++
+				}
+			},
+		}
+		hist, err := job.Run(s, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hist {
+			if v != 1250 {
+				t.Errorf("%s: key %d count %v, want 1250", s.Name(), k, v)
+			}
+		}
+		s.Close()
+	}
+}
+
+func TestArrayJobValidation(t *testing.T) {
+	s := sched.NewSequential()
+	if _, err := (ArrayJob{NumKeys: 0, Map: func(w, b, e int, emit []float64) {}}).Run(s, 10); err == nil {
+		t.Errorf("accepted NumKeys=0")
+	}
+	if _, err := (ArrayJob{NumKeys: 3}).Run(s, 10); err == nil {
+		t.Errorf("accepted nil Map")
+	}
+	out, err := (ArrayJob{NumKeys: 3, Map: func(w, b, e int, emit []float64) { emit[0]++ }}).Run(s, -5)
+	if err != nil || out[0] != 0 {
+		t.Errorf("negative n should be an empty job: %v %v", out, err)
+	}
+}
+
+func TestHashJobWordCountStyle(t *testing.T) {
+	words := []string{"a", "b", "a", "c", "a", "b"}
+	for _, s := range pools(t) {
+		job := HashJob[string, int]{
+			Map: func(w, begin, end int, emit func(string, int)) {
+				for i := begin; i < end; i++ {
+					emit(words[i%len(words)], 1)
+				}
+			},
+			Combine: func(a, b int) int { return a + b },
+		}
+		n := 6 * 100
+		got, err := job.Run(s, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got["a"] != 300 || got["b"] != 200 || got["c"] != 100 {
+			t.Errorf("%s: counts = %v", s.Name(), got)
+		}
+		s.Close()
+	}
+}
+
+func TestHashJobValidation(t *testing.T) {
+	s := sched.NewSequential()
+	if _, err := (HashJob[string, int]{}).Run(s, 5); err == nil {
+		t.Errorf("accepted missing Map/Combine")
+	}
+	job := HashJob[int, int]{
+		Map:     func(w, b, e int, emit func(int, int)) { emit(1, 1) },
+		Combine: func(a, b int) int { return a + b },
+	}
+	out, err := job.Run(s, -1)
+	if err != nil || len(out) != 0 {
+		t.Errorf("negative n: %v %v", out, err)
+	}
+}
+
+func TestHashJobMinCombiner(t *testing.T) {
+	s := sched.NewSequential()
+	job := HashJob[int, int]{
+		Map: func(w, begin, end int, emit func(int, int)) {
+			for i := begin; i < end; i++ {
+				emit(i%3, i)
+			}
+		},
+		Combine: func(a, b int) int {
+			if a < b {
+				return a
+			}
+			return b
+		},
+	}
+	got, err := job.Run(s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("min combiner = %v", got)
+	}
+}

@@ -1,0 +1,100 @@
+// Package pool manages the persistent worker team shared by all schedulers
+// in this repository.
+//
+// The paper's runtimes keep a pool of worker pthreads pinned to cores for
+// the lifetime of the program; parallel loops merely wake them. The closest
+// analogue in pure Go is a fixed set of goroutines, each locked to an OS
+// thread (runtime.LockOSThread), created once and parked in the scheduler's
+// own wait loop between parallel regions. This package owns creation,
+// numbering and teardown of those goroutines; the scheduler supplies the
+// body each worker runs.
+//
+// Worker 0 is by convention the master: it is the caller's goroutine and is
+// never spawned by the pool.
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Config controls team creation.
+type Config struct {
+	// Workers is the team size P, including the master. Values <= 0 select
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// LockOSThread locks each spawned worker to an OS thread. This is the
+	// default for benchmark fidelity; disable it for tests that spawn many
+	// teams.
+	LockOSThread bool
+	// Name is used in diagnostics.
+	Name string
+}
+
+// DefaultConfig returns the configuration used when none is supplied.
+func DefaultConfig() Config {
+	return Config{Workers: runtime.GOMAXPROCS(0), LockOSThread: true, Name: "team"}
+}
+
+// Team is a set of persistent workers. The master (worker 0) is the
+// goroutine that calls Start and later the scheduler's loop entry points;
+// workers 1..P-1 are spawned goroutines executing the body supplied to
+// Start until the body returns.
+type Team struct {
+	cfg     Config
+	p       int
+	started bool
+	wg      sync.WaitGroup
+}
+
+// New creates a team (not yet started).
+func New(cfg Config) *Team {
+	p := cfg.Workers
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	cfg.Workers = p
+	return &Team{cfg: cfg, p: p}
+}
+
+// P returns the team size, including the master.
+func (t *Team) P() int { return t.p }
+
+// Config returns the configuration the team was built with.
+func (t *Team) Config() Config { return t.cfg }
+
+// Start spawns workers 1..P-1, each running body(w). The body is expected to
+// loop — waiting for work using the scheduler's own mechanism — and return
+// only when the scheduler shuts down. Start panics if called twice.
+func (t *Team) Start(body func(w int)) {
+	if t.started {
+		panic(fmt.Sprintf("pool: team %q started twice", t.cfg.Name))
+	}
+	t.started = true
+	for w := 1; w < t.p; w++ {
+		t.wg.Add(1)
+		go func(w int) {
+			defer t.wg.Done()
+			if t.cfg.LockOSThread {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
+			body(w)
+		}(w)
+	}
+}
+
+// Wait blocks until every spawned worker's body has returned. The scheduler
+// must have already signalled its workers to exit (for example, by
+// publishing a shutdown command through its fork mechanism), otherwise Wait
+// blocks forever.
+func (t *Team) Wait() {
+	t.wg.Wait()
+}
+
+// Started reports whether Start has been called.
+func (t *Team) Started() bool { return t.started }

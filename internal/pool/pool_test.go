@@ -1,0 +1,79 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestTeamSpawnsWorkers(t *testing.T) {
+	team := New(Config{Workers: 5, LockOSThread: false, Name: "t"})
+	if team.P() != 5 {
+		t.Fatalf("P = %d", team.P())
+	}
+	var seen [5]atomic.Bool
+	team.Start(func(w int) {
+		if w < 1 || w >= 5 {
+			t.Errorf("worker id %d out of range", w)
+			return
+		}
+		seen[w].Store(true)
+	})
+	team.Wait()
+	for w := 1; w < 5; w++ {
+		if !seen[w].Load() {
+			t.Errorf("worker %d never ran", w)
+		}
+	}
+	if seen[0].Load() {
+		t.Errorf("worker 0 (the master) must not be spawned")
+	}
+	if !team.Started() {
+		t.Errorf("Started() = false after Start")
+	}
+}
+
+func TestTeamDefaults(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Workers <= 0 || !cfg.LockOSThread {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	team := New(Config{Workers: 0, LockOSThread: false})
+	if team.P() < 1 {
+		t.Errorf("P = %d", team.P())
+	}
+	if team.Config().Workers != team.P() {
+		t.Errorf("config not normalised")
+	}
+}
+
+func TestSingleWorkerTeam(t *testing.T) {
+	team := New(Config{Workers: 1, LockOSThread: false})
+	ran := false
+	team.Start(func(w int) { ran = true })
+	team.Wait() // no workers to wait for
+	if ran {
+		t.Errorf("a 1-worker team must not spawn anything")
+	}
+}
+
+func TestLockOSThreadWorkersRun(t *testing.T) {
+	team := New(Config{Workers: 3, LockOSThread: true})
+	var count atomic.Int32
+	team.Start(func(w int) { count.Add(1) })
+	team.Wait()
+	if count.Load() != 2 {
+		t.Errorf("ran %d workers, want 2", count.Load())
+	}
+}
+
+func TestDoubleStartPanics(t *testing.T) {
+	team := New(Config{Workers: 2, LockOSThread: false})
+	team.Start(func(w int) {})
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic on second Start")
+		}
+		team.Wait()
+	}()
+	team.Start(func(w int) {})
+}

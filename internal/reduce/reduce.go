@@ -1,0 +1,150 @@
+// Package reduce provides the reduction abstractions shared by the
+// schedulers: a monoid-style operation descriptor, typed convenience
+// constructors, and per-worker view sets that are allocated statically at
+// the start of a loop (the paper's optimisation over Cilk's lazily created
+// hyperobject views).
+//
+// The operations are treated as associative but not necessarily commutative:
+// all combine orders used by the schedulers fold views in increasing worker
+// index order, which — with block-partitioned iteration spaces — equals
+// iteration order, preserving the Cilk reducer contract.
+package reduce
+
+// Op describes a reduction over values of type T: an identity element and an
+// associative combine function. Combine must not retain its arguments.
+type Op[T any] struct {
+	// Identity returns a fresh identity (neutral) element.
+	Identity func() T
+	// Combine folds right into left and returns the result. It must be
+	// associative; it need not be commutative.
+	Combine func(left, right T) T
+}
+
+// Sum returns the addition reduction over a numeric type.
+func Sum[T int | int32 | int64 | float32 | float64]() Op[T] {
+	return Op[T]{
+		Identity: func() T { var z T; return z },
+		Combine:  func(a, b T) T { return a + b },
+	}
+}
+
+// Prod returns the multiplication reduction over a numeric type.
+func Prod[T int | int32 | int64 | float32 | float64]() Op[T] {
+	return Op[T]{
+		Identity: func() T { return 1 },
+		Combine:  func(a, b T) T { return a * b },
+	}
+}
+
+// Max returns the maximum reduction with the given smallest-possible value
+// as identity.
+func Max[T int | int32 | int64 | float32 | float64](lowest T) Op[T] {
+	return Op[T]{
+		Identity: func() T { return lowest },
+		Combine: func(a, b T) T {
+			if a >= b {
+				return a
+			}
+			return b
+		},
+	}
+}
+
+// Min returns the minimum reduction with the given largest-possible value as
+// identity.
+func Min[T int | int32 | int64 | float32 | float64](highest T) Op[T] {
+	return Op[T]{
+		Identity: func() T { return highest },
+		Combine: func(a, b T) T {
+			if a <= b {
+				return a
+			}
+			return b
+		},
+	}
+}
+
+// Append returns the slice-concatenation reduction — the canonical
+// non-commutative reducer (Cilk's list-append reducer). It is used by tests
+// to verify that every scheduler preserves iteration order in its combines.
+func Append[T any]() Op[[]T] {
+	return Op[[]T]{
+		Identity: func() []T { return nil },
+		Combine:  func(a, b []T) []T { return append(a, b...) },
+	}
+}
+
+// Views is a statically allocated set of per-worker partial results for one
+// reduction. The fine-grain scheduler allocates Views once per loop (or
+// reuses a cached set) instead of creating views lazily on first touch the
+// way the baseline Cilk runtime does.
+//
+// Each view is padded to its own cache-line group to avoid false sharing
+// between workers updating adjacent views.
+type Views[T any] struct {
+	op    Op[T]
+	views []paddedView[T]
+}
+
+const viewPad = 128
+
+type paddedView[T any] struct {
+	v T
+	_ [viewPad]byte
+}
+
+// NewViews allocates views for p workers, each initialised to the identity.
+func NewViews[T any](op Op[T], p int) *Views[T] {
+	vs := &Views[T]{op: op, views: make([]paddedView[T], p)}
+	vs.Reset()
+	return vs
+}
+
+// Reset reinitialises every view to the identity so the set can be reused by
+// the next loop without reallocation.
+func (vs *Views[T]) Reset() {
+	for i := range vs.views {
+		vs.views[i].v = vs.op.Identity()
+	}
+}
+
+// P returns the number of views.
+func (vs *Views[T]) P() int { return len(vs.views) }
+
+// Get returns the current value of worker w's view.
+func (vs *Views[T]) Get(w int) T { return vs.views[w].v }
+
+// Set overwrites worker w's view.
+func (vs *Views[T]) Set(w int, v T) { vs.views[w].v = v }
+
+// Update folds a value produced by worker w into its view (view ⊕ v).
+func (vs *Views[T]) Update(w int, v T) {
+	vs.views[w].v = vs.op.Combine(vs.views[w].v, v)
+}
+
+// CombineInto folds worker `from`'s view into worker `into`'s view and
+// resets `from` to the identity. This is the operation invoked from the join
+// half-barrier while climbing the tree: exactly P-1 invocations fold all
+// views into the root's.
+func (vs *Views[T]) CombineInto(into, from int) {
+	vs.views[into].v = vs.op.Combine(vs.views[into].v, vs.views[from].v)
+	vs.views[from].v = vs.op.Identity()
+}
+
+// Fold sequentially folds all views, in increasing worker order, into a
+// single value and resets the views. It is the fallback used by schedulers
+// that do not merge the reduction into their synchronisation (OpenMP-style
+// separate reduction pass).
+func (vs *Views[T]) Fold() T {
+	acc := vs.op.Identity()
+	for i := range vs.views {
+		acc = vs.op.Combine(acc, vs.views[i].v)
+		vs.views[i].v = vs.op.Identity()
+	}
+	return acc
+}
+
+// Root returns the root view value (worker 0's view) without resetting it;
+// used after a combining join where all other views have already been folded
+// in and reset.
+func (vs *Views[T]) Root() T { return vs.views[0].v }

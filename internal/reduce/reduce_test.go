@@ -1,0 +1,121 @@
+package reduce
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSumProdMaxMin(t *testing.T) {
+	s := Sum[int]()
+	if s.Identity() != 0 || s.Combine(3, 4) != 7 {
+		t.Errorf("Sum misbehaves")
+	}
+	p := Prod[float64]()
+	if p.Identity() != 1 || p.Combine(3, 4) != 12 {
+		t.Errorf("Prod misbehaves")
+	}
+	mx := Max[int](-1 << 62)
+	if mx.Combine(3, 9) != 9 || mx.Combine(9, 3) != 9 || mx.Identity() != -1<<62 {
+		t.Errorf("Max misbehaves")
+	}
+	mn := Min[int](1 << 62)
+	if mn.Combine(3, 9) != 3 || mn.Combine(9, 3) != 3 {
+		t.Errorf("Min misbehaves")
+	}
+}
+
+func TestAppendIsOrdered(t *testing.T) {
+	op := Append[int]()
+	got := op.Combine(op.Combine(op.Identity(), []int{1, 2}), []int{3})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Append fold = %v", got)
+	}
+}
+
+func TestViewsLifecycle(t *testing.T) {
+	vs := NewViews(Sum[float64](), 4)
+	if vs.P() != 4 {
+		t.Fatalf("P = %d", vs.P())
+	}
+	for w := 0; w < 4; w++ {
+		if vs.Get(w) != 0 {
+			t.Errorf("view %d not initialised to identity", w)
+		}
+		vs.Update(w, float64(w+1))
+	}
+	vs.CombineInto(0, 1)
+	if vs.Get(0) != 3 || vs.Get(1) != 0 {
+		t.Errorf("CombineInto: got %v and %v", vs.Get(0), vs.Get(1))
+	}
+	total := vs.Fold()
+	if total != 10 { // 1+2+3+4
+		t.Errorf("Fold = %v, want 10", total)
+	}
+	for w := 0; w < 4; w++ {
+		if vs.Get(w) != 0 {
+			t.Errorf("Fold did not reset view %d", w)
+		}
+	}
+	vs.Set(2, 42)
+	if vs.Get(2) != 42 {
+		t.Errorf("Set failed")
+	}
+	if vs.Root() != 0 {
+		t.Errorf("Root should read view 0")
+	}
+	vs.Reset()
+	if vs.Get(2) != 0 {
+		t.Errorf("Reset failed")
+	}
+}
+
+func TestViewsOrderedFold(t *testing.T) {
+	vs := NewViews(Append[int](), 3)
+	vs.Update(0, []int{0})
+	vs.Update(1, []int{1})
+	vs.Update(2, []int{2})
+	// Tree-style pairwise combination in worker order.
+	vs.CombineInto(1, 2)
+	vs.CombineInto(0, 1)
+	got := vs.Root()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("ordered fold = %v", got)
+	}
+}
+
+func TestPropertyFoldEqualsSequentialSum(t *testing.T) {
+	f := func(vals []int32, pRaw uint8) bool {
+		p := int(pRaw%8) + 1
+		vs := NewViews(Sum[int64](), p)
+		var want int64
+		for i, v := range vals {
+			vs.Update(i%p, int64(v))
+			want += int64(v)
+		}
+		return vs.Fold() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCombineIntoConservesSum(t *testing.T) {
+	f := func(vals []int16, aRaw, bRaw uint8) bool {
+		const p = 6
+		vs := NewViews(Sum[int64](), p)
+		var want int64
+		for i, v := range vals {
+			vs.Update(i%p, int64(v))
+			want += int64(v)
+		}
+		a := int(aRaw) % p
+		b := int(bRaw) % p
+		if a != b {
+			vs.CombineInto(a, b)
+		}
+		return vs.Fold() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+package sched
+
+import (
+	"testing"
+)
+
+func TestSequentialFor(t *testing.T) {
+	s := NewSequential()
+	if s.Name() != "sequential" || s.P() != 1 {
+		t.Errorf("metadata wrong")
+	}
+	var chunks int
+	var total int
+	s.For(10, func(w, begin, end int) {
+		chunks++
+		total += end - begin
+		if w != 0 {
+			t.Errorf("worker id %d", w)
+		}
+	})
+	if chunks != 1 || total != 10 {
+		t.Errorf("sequential For: %d chunks covering %d", chunks, total)
+	}
+	s.For(0, func(w, b, e int) { t.Errorf("body called for empty loop") })
+	s.Close()
+}
+
+func TestSequentialReduce(t *testing.T) {
+	s := NewSequential()
+	got := s.ForReduce(5, 100, func(a, b float64) float64 { return a + b },
+		func(w, b, e int, acc float64) float64 { return acc + float64(e-b) })
+	if got != 105 {
+		t.Errorf("ForReduce = %v", got)
+	}
+	if got := s.ForReduce(0, 7, nil, nil); got != 7 {
+		t.Errorf("empty ForReduce = %v", got)
+	}
+	v := s.ForReduceVec(4, 2, func(w, b, e int, acc []float64) {
+		acc[0] += float64(e - b)
+		acc[1] += 1
+	})
+	if v[0] != 4 || v[1] != 1 {
+		t.Errorf("ForReduceVec = %v", v)
+	}
+	v = s.ForReduceVec(0, 3, nil)
+	if len(v) != 3 {
+		t.Errorf("empty vec reduce has wrong width: %v", v)
+	}
+}
+
+func TestSumVec(t *testing.T) {
+	dst := []float64{1, 2, 3}
+	SumVec(dst, []float64{10, 20, 30})
+	if dst[0] != 11 || dst[1] != 22 || dst[2] != 33 {
+		t.Errorf("SumVec = %v", dst)
+	}
+}

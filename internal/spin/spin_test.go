@@ -1,0 +1,108 @@
+package spin
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWaitReturnsWhenConditionTrue(t *testing.T) {
+	var flag atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		Wait(flag.Load)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatalf("Wait returned before the condition was set")
+	case <-time.After(time.Millisecond):
+	}
+	flag.Store(true)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("Wait did not observe the condition")
+	}
+}
+
+func TestWaitImmediate(t *testing.T) {
+	calls := 0
+	Wait(func() bool { calls++; return true })
+	if calls != 1 {
+		t.Errorf("condition evaluated %d times, want 1", calls)
+	}
+}
+
+func TestWaitBounded(t *testing.T) {
+	if WaitBounded(func() bool { return false }, 10) {
+		t.Errorf("WaitBounded reported success for a never-true condition")
+	}
+	if !WaitBounded(func() bool { return true }, 0) {
+		t.Errorf("WaitBounded must poll at least once")
+	}
+	n := 0
+	ok := WaitBounded(func() bool { n++; return n > 3 }, 100)
+	if !ok {
+		t.Errorf("WaitBounded missed a condition that became true")
+	}
+}
+
+func TestWaitUint32(t *testing.T) {
+	var v atomic.Uint32
+	go func() {
+		time.Sleep(time.Millisecond)
+		v.Store(7)
+	}()
+	WaitUint32(&v, 7)
+	if v.Load() != 7 {
+		t.Fatalf("unexpected value")
+	}
+
+	var w atomic.Uint32
+	go func() {
+		time.Sleep(time.Millisecond)
+		w.Store(3)
+	}()
+	if got := WaitUint32Not(&w, 0); got != 3 {
+		t.Errorf("WaitUint32Not = %d, want 3", got)
+	}
+}
+
+func TestWaitUint64AtLeast(t *testing.T) {
+	var v atomic.Uint64
+	go func() {
+		for i := 0; i < 10; i++ {
+			time.Sleep(100 * time.Microsecond)
+			v.Add(1)
+		}
+	}()
+	if got := WaitUint64AtLeast(&v, 5); got < 5 {
+		t.Errorf("returned %d, want >= 5", got)
+	}
+}
+
+func TestBackoffGrowsAndResets(t *testing.T) {
+	var b Backoff
+	b.Pause()
+	if b.n != 8 {
+		t.Errorf("after first pause n = %d, want 8", b.n)
+	}
+	for i := 0; i < 20; i++ {
+		b.Pause()
+	}
+	if b.n < 1024 {
+		t.Errorf("backoff did not saturate: %d", b.n)
+	}
+	b.Reset()
+	if b.n != 0 {
+		t.Errorf("Reset did not clear the backoff")
+	}
+}
+
+func TestPauseTiersDoNotPanic(t *testing.T) {
+	// Exercise all three tiers of the backoff policy directly.
+	for _, i := range []int{0, ActiveSpins, ActiveSpins + 1, YieldThreshold, YieldThreshold + 5} {
+		pause(i)
+	}
+}

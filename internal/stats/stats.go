@@ -1,0 +1,164 @@
+// Package stats provides the small statistical toolkit used by the
+// benchmark harness: summary statistics, robust repetition helpers and
+// simple linear least squares. Everything is float64 and allocation-light.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	Min    float64
+	Max    float64
+	Stddev float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Median(xs)
+	return s
+}
+
+// Median returns the median of the sample (average of the middle two for
+// even sizes). The input is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MinDuration returns the smallest of the supplied durations; benchmark
+// timing conventionally reports the minimum of several repetitions as the
+// least-noisy estimate of the true cost.
+func MinDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	min := ds[0]
+	for _, d := range ds[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// MedianDuration returns the median of the supplied durations.
+func MedianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = float64(d)
+	}
+	return time.Duration(Median(xs))
+}
+
+// LinearFit fits y ≈ a + b·x by ordinary least squares and returns the
+// intercept a, slope b and the coefficient of determination R².
+func LinearFit(x, y []float64) (a, b, r2 float64, err error) {
+	if len(x) != len(y) {
+		return 0, 0, 0, errors.New("stats: mismatched sample lengths")
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return 0, 0, 0, errors.New("stats: need at least two points")
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, 0, errors.New("stats: degenerate x sample")
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	// R².
+	my := sy / n
+	var ssTot, ssRes float64
+	for i := range x {
+		fit := a + b*x[i]
+		ssRes += (y[i] - fit) * (y[i] - fit)
+		ssTot += (y[i] - my) * (y[i] - my)
+	}
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	} else {
+		r2 = 1
+	}
+	return a, b, r2, nil
+}
+
+// Timer measures wall-clock durations of repeated runs of a function and
+// returns them. The function is run once untimed to warm caches when warmup
+// is true.
+func Timer(reps int, warmup bool, f func()) []time.Duration {
+	if reps <= 0 {
+		reps = 1
+	}
+	if warmup {
+		f()
+	}
+	out := make([]time.Duration, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		f()
+		out[i] = time.Since(start)
+	}
+	return out
+}

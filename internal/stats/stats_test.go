@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stddev = %v", s.Stddev)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+	one := Summarize([]float64{7})
+	if one.Stddev != 0 || one.Median != 7 {
+		t.Errorf("singleton summary = %+v", one)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("Median = %v", m)
+	}
+	if m := Median(nil); m != 0 {
+		t.Errorf("Median(nil) = %v", m)
+	}
+	// Input must not be reordered.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 || Mean([]float64{2, 4}) != 3 {
+		t.Errorf("Mean broken")
+	}
+}
+
+func TestDurations(t *testing.T) {
+	ds := []time.Duration{3 * time.Millisecond, time.Millisecond, 2 * time.Millisecond}
+	if MinDuration(ds) != time.Millisecond {
+		t.Errorf("MinDuration = %v", MinDuration(ds))
+	}
+	if MedianDuration(ds) != 2*time.Millisecond {
+		t.Errorf("MedianDuration = %v", MedianDuration(ds))
+	}
+	if MinDuration(nil) != 0 || MedianDuration(nil) != 0 {
+		t.Errorf("empty durations should yield 0")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 2.5 + 1.5*x[i]
+	}
+	a, b, r2, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-2.5) > 1e-9 || math.Abs(b-1.5) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Errorf("fit = %v %v %v", a, b, r2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Errorf("accepted a single point")
+	}
+	if _, _, _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Errorf("accepted mismatched lengths")
+	}
+	if _, _, _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Errorf("accepted degenerate x")
+	}
+}
+
+func TestPropertyLinearFitRecoversLine(t *testing.T) {
+	f := func(aRaw, bRaw int8, nRaw uint8) bool {
+		n := int(nRaw%20) + 3
+		a := float64(aRaw) / 4
+		b := float64(bRaw) / 8
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i)
+			y[i] = a + b*x[i]
+		}
+		ga, gb, r2, err := LinearFit(x, y)
+		if err != nil {
+			return false
+		}
+		return math.Abs(ga-a) < 1e-6 && math.Abs(gb-b) < 1e-6 && r2 > 0.999999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	calls := 0
+	ds := Timer(3, true, func() { calls++ })
+	if len(ds) != 3 || calls != 4 { // 1 warm-up + 3 timed
+		t.Errorf("Timer ran %d times, returned %d samples", calls, len(ds))
+	}
+	ds = Timer(0, false, func() { calls++ })
+	if len(ds) != 1 {
+		t.Errorf("Timer with reps<=0 should run once")
+	}
+	for _, d := range ds {
+		if d < 0 {
+			t.Errorf("negative duration %v", d)
+		}
+	}
+}

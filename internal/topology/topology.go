@@ -1,0 +1,322 @@
+// Package topology models the shape of the machine for the purpose of tuning
+// tree barriers and worker placement.
+//
+// The paper tunes its Mellor-Crummey/Scott style tree barrier to the
+// organisation of the evaluation machine (4 sockets × 12 cores). Pure Go
+// cannot query socket boundaries portably, so this package models a
+// two-level hierarchy — groups of workers that are assumed to share a cache
+// domain — and derives per-level fan-outs for the barrier tree from it. The
+// defaults are chosen from runtime.NumCPU; tests and the harness can build
+// explicit topologies.
+package topology
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Topology describes a two-level machine: NumGroups groups ("sockets") of
+// GroupSize workers each. Workers are numbered 0..P-1; worker w belongs to
+// group w/GroupSize.
+type Topology struct {
+	// P is the total number of workers.
+	P int
+	// NumGroups is the number of cache/socket domains.
+	NumGroups int
+	// GroupSize is the number of workers per group. The last group may be
+	// smaller if P is not a multiple of GroupSize.
+	GroupSize int
+}
+
+// Detect builds a topology for p workers on the current machine. If p <= 0,
+// runtime.NumCPU() workers are assumed. The group size is a guess: 12 workers
+// per group (a typical cores-per-socket figure, and the figure of the paper's
+// machine), clamped to p.
+func Detect(p int) Topology {
+	if p <= 0 {
+		p = runtime.NumCPU()
+	}
+	gs := 12
+	if gs > p {
+		gs = p
+	}
+	ng := (p + gs - 1) / gs
+	return Topology{P: p, NumGroups: ng, GroupSize: gs}
+}
+
+// New builds a topology with an explicit group size. It panics if p <= 0 or
+// groupSize <= 0.
+func New(p, groupSize int) Topology {
+	if p <= 0 {
+		panic(fmt.Sprintf("topology: non-positive worker count %d", p))
+	}
+	if groupSize <= 0 {
+		panic(fmt.Sprintf("topology: non-positive group size %d", groupSize))
+	}
+	if groupSize > p {
+		groupSize = p
+	}
+	return Topology{P: p, NumGroups: (p + groupSize - 1) / groupSize, GroupSize: groupSize}
+}
+
+// Group returns the group index of worker w.
+func (t Topology) Group(w int) int {
+	if t.GroupSize <= 0 {
+		return 0
+	}
+	return w / t.GroupSize
+}
+
+// GroupMembers returns the worker indices in group g, in increasing order.
+func (t Topology) GroupMembers(g int) []int {
+	lo := g * t.GroupSize
+	hi := lo + t.GroupSize
+	if hi > t.P {
+		hi = t.P
+	}
+	if lo >= hi {
+		return nil
+	}
+	m := make([]int, 0, hi-lo)
+	for w := lo; w < hi; w++ {
+		m = append(m, w)
+	}
+	return m
+}
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	return fmt.Sprintf("topology{P=%d groups=%d×%d}", t.P, t.NumGroups, t.GroupSize)
+}
+
+// TreeShape describes the fan-out of a barrier tree: node i's children in
+// the flattened array representation. Shapes built by this package have an
+// additional *ordering* property that the combining join barrier relies on
+// for non-commutative reductions: the subtree rooted at any worker covers a
+// contiguous range of worker indices starting at that worker, and a node's
+// children appear in increasing order of their (disjoint, adjacent) ranges.
+// Folding "own view, then each child's folded subtree in child order"
+// therefore reproduces the sequential (iteration-order) fold.
+type TreeShape struct {
+	// P is the number of leaves (= workers).
+	P int
+	// Parent[i] is the parent worker index of worker i, or -1 for the root
+	// (worker 0).
+	Parent []int
+	// Children[i] lists the children of worker i in increasing order.
+	Children [][]int
+	// Fanout is the maximum fan-out the shape was built with (0 if mixed).
+	Fanout int
+}
+
+// RadixTree builds an ordered tree over p workers where every node has at
+// most fanout children and every subtree covers a contiguous index range.
+// Worker 0 is the root. fanout < 2 is treated as 2.
+func RadixTree(p, fanout int) TreeShape {
+	if p <= 0 {
+		panic("topology: RadixTree with non-positive p")
+	}
+	if fanout < 2 {
+		fanout = 2
+	}
+	s := TreeShape{P: p, Parent: make([]int, p), Children: make([][]int, p), Fanout: fanout}
+	for i := range s.Parent {
+		s.Parent[i] = -1
+	}
+	members := make([]int, p)
+	for i := range members {
+		members[i] = i
+	}
+	buildOrderedSubtree(&s, members, fanout)
+	return s
+}
+
+// buildOrderedSubtree links members[1:] under members[0] as up to `fanout`
+// contiguous segments, recursing into each segment. members must be sorted.
+func buildOrderedSubtree(s *TreeShape, members []int, fanout int) {
+	if len(members) <= 1 {
+		return
+	}
+	root := members[0]
+	rest := members[1:]
+	segments := splitSegments(rest, fanout)
+	for _, seg := range segments {
+		child := seg[0]
+		s.Parent[child] = root
+		s.Children[root] = append(s.Children[root], child)
+		buildOrderedSubtree(s, seg, fanout)
+	}
+}
+
+// splitSegments splits a sorted slice into at most k non-empty contiguous
+// segments of near-equal length, preserving order.
+func splitSegments(rest []int, k int) [][]int {
+	n := len(rest)
+	if n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	segs := make([][]int, 0, k)
+	base := n / k
+	rem := n % k
+	idx := 0
+	for i := 0; i < k; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		if size == 0 {
+			continue
+		}
+		segs = append(segs, rest[idx:idx+size])
+		idx += size
+	}
+	return segs
+}
+
+// GroupedTree builds a topology-aligned ordered tree: the first level of
+// segmentation follows the groups (so cross-group traffic happens only
+// between group roots and the global root), and within each group workers
+// form an ordered radix subtree with fan-out innerFanout. outerFanout bounds
+// the number of group roots attached directly to the global root; additional
+// group roots chain under earlier group roots. Both fan-outs default to 4
+// when < 2.
+func (t Topology) GroupedTree(innerFanout, outerFanout int) TreeShape {
+	if innerFanout < 2 {
+		innerFanout = 4
+	}
+	if outerFanout < 2 {
+		outerFanout = 4
+	}
+	s := TreeShape{P: t.P, Parent: make([]int, t.P), Children: make([][]int, t.P), Fanout: innerFanout}
+	for i := range s.Parent {
+		s.Parent[i] = -1
+	}
+	// Build each group's internal ordered subtree.
+	groupRoots := make([]int, 0, t.NumGroups)
+	for g := 0; g < t.NumGroups; g++ {
+		members := t.GroupMembers(g)
+		if len(members) == 0 {
+			continue
+		}
+		groupRoots = append(groupRoots, members[0])
+		buildOrderedSubtree(&s, members, innerFanout)
+	}
+	// Link group roots: group roots (beyond the first, which is the global
+	// root) are segmented under the global root with fan-out outerFanout,
+	// preserving order. Because groups hold contiguous worker ranges and
+	// group roots are their first members, ordering is preserved.
+	buildOrderedGroupRoots(&s, groupRoots, outerFanout)
+	for i := range s.Children {
+		sortInts(s.Children[i])
+	}
+	return s
+}
+
+// buildOrderedGroupRoots links roots[1:] under roots[0]. To keep subtree
+// ranges contiguous, every group root is attached directly to the previous
+// level in order: segments of group roots chain so that a parent group's
+// index is always lower than its children's, and a group root's subtree
+// (its own group plus any later groups below it) remains a contiguous range.
+func buildOrderedGroupRoots(s *TreeShape, roots []int, fanout int) {
+	if len(roots) <= 1 {
+		return
+	}
+	// Attach group roots to the global root in segments, recursively: the
+	// same contiguous-segment construction as within groups, except that the
+	// "members" are group roots. A group root that becomes an interior node
+	// keeps its own group subtree AND gains later group roots as children;
+	// its combined range stays contiguous because groups are contiguous and
+	// ordered.
+	buildOrderedSubtree(s, roots, fanout)
+}
+
+// Validate checks structural invariants of the shape: worker 0 is the only
+// root, every other worker has a parent with a smaller index is NOT required,
+// but the parent relation must be acyclic and consistent with Children.
+func (s TreeShape) Validate() error {
+	if s.P <= 0 {
+		return fmt.Errorf("topology: shape has %d leaves", s.P)
+	}
+	if len(s.Parent) != s.P || len(s.Children) != s.P {
+		return fmt.Errorf("topology: shape arrays have wrong length")
+	}
+	roots := 0
+	for i, p := range s.Parent {
+		if p == -1 {
+			roots++
+			continue
+		}
+		if p < 0 || p >= s.P {
+			return fmt.Errorf("topology: worker %d has out-of-range parent %d", i, p)
+		}
+		if p == i {
+			return fmt.Errorf("topology: worker %d is its own parent", i)
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("topology: %d roots, want 1", roots)
+	}
+	// Check parent/children consistency and reachability (acyclicity).
+	seen := make([]bool, s.P)
+	for i := 0; i < s.P; i++ {
+		steps := 0
+		for w := i; w != -1; w = s.Parent[w] {
+			steps++
+			if steps > s.P {
+				return fmt.Errorf("topology: cycle reachable from worker %d", i)
+			}
+		}
+		seen[i] = true
+	}
+	for i, kids := range s.Children {
+		for _, c := range kids {
+			if c < 0 || c >= s.P || s.Parent[c] != i {
+				return fmt.Errorf("topology: children/parent mismatch at node %d child %d", i, c)
+			}
+		}
+	}
+	_ = seen
+	return nil
+}
+
+// Depth returns the depth of the tree (root has depth 0; a single worker has
+// depth 0).
+func (s TreeShape) Depth() int {
+	max := 0
+	for i := 0; i < s.P; i++ {
+		d := 0
+		for w := i; s.Parent[w] != -1; w = s.Parent[w] {
+			d++
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Root returns the index of the root worker.
+func (s TreeShape) Root() int {
+	for i, p := range s.Parent {
+		if p == -1 {
+			return i
+		}
+	}
+	return 0
+}
+
+func sortInts(a []int) {
+	// Insertion sort: children lists are tiny (≤ fan-out).
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

@@ -1,0 +1,166 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDetectDefaults(t *testing.T) {
+	topo := Detect(0)
+	if topo.P <= 0 || topo.GroupSize <= 0 || topo.NumGroups <= 0 {
+		t.Fatalf("Detect(0) returned a degenerate topology: %+v", topo)
+	}
+	topo = Detect(48)
+	if topo.P != 48 || topo.GroupSize != 12 || topo.NumGroups != 4 {
+		t.Errorf("Detect(48) = %+v, want the paper's 4x12 organisation", topo)
+	}
+	topo = Detect(5)
+	if topo.P != 5 || topo.GroupSize != 5 || topo.NumGroups != 1 {
+		t.Errorf("Detect(5) = %+v", topo)
+	}
+}
+
+func TestNewValidationAndGroups(t *testing.T) {
+	topo := New(10, 4)
+	if topo.NumGroups != 3 {
+		t.Errorf("10 workers in groups of 4: %d groups, want 3", topo.NumGroups)
+	}
+	if g := topo.Group(0); g != 0 {
+		t.Errorf("Group(0) = %d", g)
+	}
+	if g := topo.Group(9); g != 2 {
+		t.Errorf("Group(9) = %d", g)
+	}
+	if m := topo.GroupMembers(2); len(m) != 2 || m[0] != 8 || m[1] != 9 {
+		t.Errorf("GroupMembers(2) = %v", m)
+	}
+	if m := topo.GroupMembers(5); m != nil {
+		t.Errorf("out-of-range group should have no members, got %v", m)
+	}
+	if topo.String() == "" {
+		t.Errorf("empty String()")
+	}
+	for _, f := range []func(){func() { New(0, 4) }, func() { New(4, 0) }, func() { RadixTree(0, 2) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRadixTreeStructure(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8, 16, 48, 100} {
+		for _, fan := range []int{2, 3, 4, 8} {
+			s := RadixTree(p, fan)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("RadixTree(%d,%d): %v", p, fan, err)
+			}
+			if s.Root() != 0 {
+				t.Errorf("RadixTree(%d,%d) root = %d, want 0", p, fan, s.Root())
+			}
+			for i, kids := range s.Children {
+				if len(kids) > fan {
+					t.Errorf("RadixTree(%d,%d): node %d has %d children, fan-out %d", p, fan, i, len(kids), fan)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupedTreeStructureAndDepth(t *testing.T) {
+	topo := New(48, 12)
+	s := topo.GroupedTree(4, 4)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Root() != 0 {
+		t.Errorf("root = %d", s.Root())
+	}
+	// 48 workers in 4 groups of 12 with fan-out 4: depth should be small
+	// (log-ish), certainly below 6.
+	if d := s.Depth(); d == 0 || d > 6 {
+		t.Errorf("unexpected depth %d for 48 workers", d)
+	}
+	// Group roots 12, 24, 36 must not be children of nodes outside group 0's
+	// root chain: their parent must be another group root or worker 0.
+	for _, gr := range []int{12, 24, 36} {
+		par := s.Parent[gr]
+		if par != 0 && par != 12 && par != 24 {
+			t.Errorf("group root %d has parent %d, want a group root or 0", gr, par)
+		}
+	}
+}
+
+func TestTreeShapeDepthSingle(t *testing.T) {
+	s := RadixTree(1, 4)
+	if s.Depth() != 0 {
+		t.Errorf("single-node depth = %d", s.Depth())
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejectsBrokenShapes(t *testing.T) {
+	// Cycle.
+	s := TreeShape{P: 2, Parent: []int{1, 0}, Children: [][]int{{1}, {0}}}
+	if err := s.Validate(); err == nil {
+		t.Errorf("cycle not rejected")
+	}
+	// Two roots.
+	s = TreeShape{P: 2, Parent: []int{-1, -1}, Children: [][]int{nil, nil}}
+	if err := s.Validate(); err == nil {
+		t.Errorf("forest not rejected")
+	}
+	// Self-parent.
+	s = TreeShape{P: 2, Parent: []int{-1, 1}, Children: [][]int{nil, {1}}}
+	if err := s.Validate(); err == nil {
+		t.Errorf("self-parent not rejected")
+	}
+	// Children/parent mismatch.
+	s = TreeShape{P: 3, Parent: []int{-1, 0, 0}, Children: [][]int{{1}, {2}, nil}}
+	if err := s.Validate(); err == nil {
+		t.Errorf("children/parent mismatch not rejected")
+	}
+}
+
+func TestPropertyEveryWorkerReachesRoot(t *testing.T) {
+	f := func(pRaw, fanRaw, groupRaw uint8) bool {
+		p := int(pRaw%64) + 1
+		fan := int(fanRaw%7) + 2
+		group := int(groupRaw%16) + 1
+		for _, s := range []TreeShape{RadixTree(p, fan), New(p, group).GroupedTree(fan, 3)} {
+			if err := s.Validate(); err != nil {
+				return false
+			}
+			root := s.Root()
+			for w := 0; w < p; w++ {
+				steps := 0
+				v := w
+				for v != root {
+					v = s.Parent[v]
+					steps++
+					if steps > p {
+						return false
+					}
+				}
+			}
+			// Edge count of a tree.
+			edges := 0
+			for _, kids := range s.Children {
+				edges += len(kids)
+			}
+			if edges != p-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

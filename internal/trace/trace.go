@@ -1,0 +1,114 @@
+// Package trace provides cheap, always-on counters of scheduler events.
+// They cost one padded atomic increment per event and are used by the
+// ablation benchmarks and the test suite to verify structural claims of the
+// paper — for example, that a reducing loop under the fine-grain scheduler
+// performs exactly P-1 combine operations, or that the half-barrier
+// scheduler executes half as many barrier phases as the full-barrier one.
+package trace
+
+import "sync/atomic"
+
+// Event enumerates the counted scheduler events.
+type Event int
+
+// Counted events.
+const (
+	// LoopsScheduled counts parallel loops started.
+	LoopsScheduled Event = iota
+	// ForkPhases counts fork-side synchronisation phases (release waves or
+	// full barriers at the start of a loop).
+	ForkPhases
+	// JoinPhases counts join-side synchronisation phases.
+	JoinPhases
+	// BarrierEpisodes counts full-barrier episodes.
+	BarrierEpisodes
+	// Reductions counts combine operations applied to reduction views.
+	Reductions
+	// Steals counts successful work-stealing events.
+	Steals
+	// FailedSteals counts steal attempts that found the victim empty.
+	FailedSteals
+	// Spawns counts tasks spawned by the work-stealing runtime.
+	Spawns
+	// ChunksClaimed counts dynamically claimed chunks.
+	ChunksClaimed
+	// ViewsCreated counts reducer views created lazily.
+	ViewsCreated
+
+	numEvents
+)
+
+var eventNames = [...]string{
+	LoopsScheduled:  "loops",
+	ForkPhases:      "fork-phases",
+	JoinPhases:      "join-phases",
+	BarrierEpisodes: "barrier-episodes",
+	Reductions:      "reductions",
+	Steals:          "steals",
+	FailedSteals:    "failed-steals",
+	Spawns:          "spawns",
+	ChunksClaimed:   "chunks-claimed",
+	ViewsCreated:    "views-created",
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	if int(e) < len(eventNames) && eventNames[e] != "" {
+		return eventNames[e]
+	}
+	return "unknown"
+}
+
+type paddedCounter struct {
+	v atomic.Int64
+	_ [120]byte
+}
+
+// Counters is a set of event counters. The zero value is ready to use; a
+// nil *Counters is also valid and counts nothing, so schedulers can be run
+// with tracing disabled at zero cost beyond a nil check.
+type Counters struct {
+	c [numEvents]paddedCounter
+}
+
+// New returns a fresh counter set.
+func New() *Counters { return &Counters{} }
+
+// Add increments the counter for ev by n. Safe on a nil receiver.
+func (t *Counters) Add(ev Event, n int64) {
+	if t == nil {
+		return
+	}
+	t.c[ev].v.Add(n)
+}
+
+// Inc increments the counter for ev by one. Safe on a nil receiver.
+func (t *Counters) Inc(ev Event) { t.Add(ev, 1) }
+
+// Get returns the current value of the counter for ev. A nil receiver
+// returns 0.
+func (t *Counters) Get(ev Event) int64 {
+	if t == nil {
+		return 0
+	}
+	return t.c[ev].v.Load()
+}
+
+// Reset zeroes all counters. Safe on a nil receiver.
+func (t *Counters) Reset() {
+	if t == nil {
+		return
+	}
+	for i := range t.c {
+		t.c[i].v.Store(0)
+	}
+}
+
+// Snapshot returns a map of event name to value for reporting.
+func (t *Counters) Snapshot() map[string]int64 {
+	out := make(map[string]int64, int(numEvents))
+	for e := Event(0); e < numEvents; e++ {
+		out[e.String()] = t.Get(e)
+	}
+	return out
+}

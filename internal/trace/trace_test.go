@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := New()
+	c.Inc(Steals)
+	c.Add(Reductions, 5)
+	if c.Get(Steals) != 1 || c.Get(Reductions) != 5 || c.Get(Spawns) != 0 {
+		t.Errorf("counter values wrong: %v", c.Snapshot())
+	}
+	c.Reset()
+	if c.Get(Steals) != 0 || c.Get(Reductions) != 0 {
+		t.Errorf("Reset did not clear counters")
+	}
+}
+
+func TestNilCountersAreSafe(t *testing.T) {
+	var c *Counters
+	c.Inc(Steals)
+	c.Add(Reductions, 3)
+	c.Reset()
+	if c.Get(Steals) != 0 {
+		t.Errorf("nil counters should read 0")
+	}
+}
+
+func TestSnapshotAndNames(t *testing.T) {
+	c := New()
+	c.Inc(LoopsScheduled)
+	snap := c.Snapshot()
+	if snap["loops"] != 1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if len(snap) != int(numEvents) {
+		t.Errorf("snapshot has %d entries, want %d", len(snap), numEvents)
+	}
+	for e := Event(0); e < numEvents; e++ {
+		if e.String() == "" || e.String() == "unknown" {
+			t.Errorf("event %d has no name", e)
+		}
+	}
+	if Event(250).String() != "unknown" {
+		t.Errorf("out-of-range event should be unknown")
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 10000
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc(BarrierEpisodes)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get(BarrierEpisodes); got != goroutines*per {
+		t.Errorf("lost updates: %d", got)
+	}
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCalibrateUnitIsPositiveAndCached(t *testing.T) {
+	a := CalibrateUnit()
+	b := CalibrateUnit()
+	if a <= 0 {
+		t.Fatalf("unit cost %v", a)
+	}
+	if a != b {
+		t.Errorf("calibration not cached: %v vs %v", a, b)
+	}
+}
+
+func TestCalibrateTargets(t *testing.T) {
+	w := Calibrate(1000) // ~1 µs per iteration
+	if w.UnitsPerIter < 1 {
+		t.Fatalf("units = %d", w.UnitsPerIter)
+	}
+	if w.NsPerIter <= 0 {
+		t.Fatalf("NsPerIter = %v", w.NsPerIter)
+	}
+	// A tiny target still yields at least one unit.
+	tiny := Calibrate(0.0001)
+	if tiny.UnitsPerIter != 1 {
+		t.Errorf("tiny target should clamp to 1 unit, got %d", tiny.UnitsPerIter)
+	}
+}
+
+func TestWorkRunAccumulates(t *testing.T) {
+	w := Work{UnitsPerIter: 10, NsPerIter: 1}
+	a := w.Run(0, 100)
+	b := w.Run(0, 100)
+	if a != b {
+		t.Errorf("Run is not deterministic: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Errorf("Run returned 0; the kernel may have been optimised away")
+	}
+	if w.Iter(3) == 0 {
+		t.Errorf("Iter returned 0")
+	}
+	if w.SequentialNs(1000) != 1000 {
+		t.Errorf("SequentialNs = %v", w.SequentialNs(1000))
+	}
+}
+
+func TestWorkDurationScalesWithUnits(t *testing.T) {
+	small := Work{UnitsPerIter: 100}
+	large := Work{UnitsPerIter: 10000}
+	timeIt := func(w Work) time.Duration {
+		start := time.Now()
+		for r := 0; r < 50; r++ {
+			Sink += w.Run(0, 10)
+		}
+		return time.Since(start)
+	}
+	ts := timeIt(small)
+	tl := timeIt(large)
+	if tl < 10*ts {
+		t.Errorf("100x more units only took %.1fx longer (%v vs %v); kernel may be optimised away",
+			float64(tl)/float64(ts+1), tl, ts)
+	}
+}
+
+func TestNewSweepShape(t *testing.T) {
+	s := NewSweep(100, 2*time.Microsecond, 2*time.Millisecond, 12)
+	if len(s.Counts) < 5 {
+		t.Fatalf("sweep has only %d points", len(s.Counts))
+	}
+	for i := 1; i < len(s.Counts); i++ {
+		if s.Counts[i] <= s.Counts[i-1] {
+			t.Errorf("sweep counts not strictly increasing: %v", s.Counts)
+			break
+		}
+	}
+	if s.Counts[0] < 1 {
+		t.Errorf("first count %d", s.Counts[0])
+	}
+	// The largest loop should be roughly maxTotal/NsPerIter.
+	last := float64(s.Counts[len(s.Counts)-1]) * s.Work.NsPerIter
+	if last < float64((1 * time.Millisecond).Nanoseconds()) {
+		t.Errorf("sweep tops out at %.0f ns of work, want >= 1 ms", last)
+	}
+	// Degenerate arguments still produce a sane sweep.
+	d := NewSweep(100, time.Millisecond, time.Microsecond, 1)
+	if len(d.Counts) < 2 {
+		t.Errorf("degenerate sweep: %v", d.Counts)
+	}
+}

@@ -1,0 +1,243 @@
+// Package loopsched is a low-overhead parallel loop scheduler for fine-grain
+// (microsecond-scale) loops, reproducing the runtime described in
+//
+//	M. Arif and H. Vandierendonck, "POSTER: Reducing the Burden of Parallel
+//	Loop Schedulers for Many-Core Processors", PPoPP 2018.
+//
+// A Pool owns a team of persistent workers (goroutines locked to OS
+// threads). Parallel loops are published to the team with a single release
+// wave and completed with a single join wave — the paper's *half-barrier*
+// pattern — instead of the two (or, with reductions, three) full barriers a
+// conventional fork/join runtime executes. Reductions are folded into the
+// join wave, so a reducing loop costs exactly P-1 combine operations applied
+// in iteration order, which keeps non-commutative reducers correct.
+//
+// # Quick start
+//
+//	pool := loopsched.New(loopsched.Config{})
+//	defer pool.Close()
+//
+//	pool.ForEach(len(xs), func(i int) { xs[i] *= 2 })
+//
+//	sum := pool.ReduceFloat64(len(xs), 0,
+//		func(a, b float64) float64 { return a + b },
+//		func(w, lo, hi int, acc float64) float64 {
+//			for i := lo; i < hi; i++ { acc += xs[i] }
+//			return acc
+//		})
+//
+// The baseline runtimes the paper compares against (an OpenMP-style
+// fork/join runtime and a Cilk-style work-stealing runtime) live under
+// internal/ and are exercised by the benchmark harness in cmd/ and
+// bench_test.go; library users only need this package.
+package loopsched
+
+import (
+	"fmt"
+
+	"loopsched/internal/core"
+	"loopsched/internal/reduce"
+	"loopsched/internal/sched"
+)
+
+// BarrierKind selects the synchronisation substrate of a Pool.
+type BarrierKind int
+
+// Barrier kinds.
+const (
+	// BarrierTree is a topology-aligned tree barrier (the default and the
+	// paper's choice).
+	BarrierTree BarrierKind = iota
+	// BarrierCentralized is a single-counter barrier; it is simpler but its
+	// cost grows linearly with the worker count.
+	BarrierCentralized
+)
+
+// Config configures a Pool. The zero value selects the defaults: all
+// available processors, tree barrier, half-barrier synchronisation, workers
+// locked to OS threads.
+type Config struct {
+	// Workers is the team size including the caller; <= 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Barrier selects the synchronisation substrate.
+	Barrier BarrierKind
+	// FullBarrier disables the half-barrier optimisation and uses
+	// conventional full barriers at fork and join; it exists for
+	// experimentation and for reproducing the paper's ablation.
+	FullBarrier bool
+	// GroupSize overrides the number of workers assumed to share a cache
+	// domain when shaping the barrier tree; <= 0 uses a heuristic.
+	GroupSize int
+	// InnerFanout and OuterFanout tune the barrier tree's fan-out within and
+	// across groups; values < 2 select the defaults.
+	InnerFanout, OuterFanout int
+	// DisableThreadLock keeps workers as ordinary goroutines instead of
+	// locking them to OS threads. Locking is the default because it gives
+	// the scheduler stable worker identities; disable it when creating many
+	// short-lived pools (for example, in tests).
+	DisableThreadLock bool
+}
+
+// Pool is a team of persistent workers executing parallel loops for a single
+// master goroutine (the goroutine that created the pool). Its methods are
+// not safe for concurrent use from multiple goroutines.
+type Pool struct {
+	s *core.Scheduler
+}
+
+// New creates a pool. Call Close to release its workers.
+func New(cfg Config) *Pool {
+	kind := core.BarrierTree
+	if cfg.Barrier == BarrierCentralized {
+		kind = core.BarrierCentralized
+	}
+	mode := core.ModeHalf
+	if cfg.FullBarrier {
+		mode = core.ModeFull
+	}
+	s := core.New(core.Config{
+		Workers:      cfg.Workers,
+		Barrier:      kind,
+		Mode:         mode,
+		GroupSize:    cfg.GroupSize,
+		InnerFanout:  cfg.InnerFanout,
+		OuterFanout:  cfg.OuterFanout,
+		LockOSThread: !cfg.DisableThreadLock,
+	})
+	return &Pool{s: s}
+}
+
+// NewDefault creates a pool with the default configuration.
+func NewDefault() *Pool { return New(Config{}) }
+
+// Workers returns the team size, including the master.
+func (p *Pool) Workers() int { return p.s.P() }
+
+// Close releases the pool's workers. The pool must not be used afterwards.
+// Close is idempotent.
+func (p *Pool) Close() { p.s.Close() }
+
+// Scheduler exposes the underlying runtime through the internal scheduler
+// interface; it is used by the benchmark harness and example applications
+// that accept any runtime.
+func (p *Pool) Scheduler() sched.Scheduler { return p.s }
+
+// String implements fmt.Stringer.
+func (p *Pool) String() string {
+	return fmt.Sprintf("loopsched.Pool{workers=%d, %s, %s}", p.s.P(), p.s.Config().Barrier, p.s.Config().Mode)
+}
+
+// For executes body over contiguous chunks of [0, n), one chunk per worker
+// (static block partitioning). body receives the worker index and the
+// half-open chunk bounds.
+func (p *Pool) For(n int, body func(worker, low, high int)) {
+	p.s.For(n, body)
+}
+
+// ForRange executes body over contiguous chunks of [0, n) without exposing
+// the worker index.
+func (p *Pool) ForRange(n int, body func(low, high int)) {
+	p.s.For(n, func(w, low, high int) { body(low, high) })
+}
+
+// ForEach executes body once per index in [0, n).
+func (p *Pool) ForEach(n int, body func(i int)) {
+	p.s.For(n, func(w, low, high int) {
+		for i := low; i < high; i++ {
+			body(i)
+		}
+	})
+}
+
+// ReduceFloat64 executes a reducing loop over [0, n): each worker folds its
+// chunk into a private accumulator starting at identity, and the per-worker
+// results are combined — inside the join wave, in iteration order — with
+// combine.
+func (p *Pool) ReduceFloat64(n int, identity float64, combine func(a, b float64) float64, body func(worker, low, high int, acc float64) float64) float64 {
+	return p.s.ForReduce(n, identity, combine, body)
+}
+
+// ReduceVec executes a loop that accumulates element-wise into a vector of
+// width float64 values (for example, the moment sums of a regression) and
+// returns the combined vector.
+func (p *Pool) ReduceVec(n, width int, body func(worker, low, high int, acc []float64)) []float64 {
+	return p.s.ForReduceVec(n, width, body)
+}
+
+// Op describes a reduction operation over values of type T: an identity
+// constructor and an associative (not necessarily commutative) combine.
+type Op[T any] = reduce.Op[T]
+
+// SumOp returns the addition reduction for a numeric type.
+func SumOp[T int | int32 | int64 | float32 | float64]() Op[T] { return reduce.Sum[T]() }
+
+// MaxOp returns the maximum reduction with the given lowest value as
+// identity.
+func MaxOp[T int | int32 | int64 | float32 | float64](lowest T) Op[T] { return reduce.Max[T](lowest) }
+
+// MinOp returns the minimum reduction with the given highest value as
+// identity.
+func MinOp[T int | int32 | int64 | float32 | float64](highest T) Op[T] { return reduce.Min[T](highest) }
+
+// AppendOp returns the slice-concatenation reduction — the canonical
+// non-commutative (ordered) reducer.
+func AppendOp[T any]() Op[[]T] { return reduce.Append[T]() }
+
+// Reduce executes a reducing loop with an arbitrary view type T. Per-worker
+// views are allocated statically before the loop starts (the paper's
+// replacement for lazily created Cilk reducer views) and folded into the
+// join wave in iteration order with exactly Workers()-1 combine operations.
+func Reduce[T any](p *Pool, n int, op Op[T], body func(worker, low, high int, acc T) T) T {
+	views := reduce.NewViews(op, p.Workers())
+	p.s.ForCombine(n,
+		func(w, low, high int) {
+			views.Set(w, body(w, low, high, views.Get(w)))
+		},
+		views.CombineInto,
+	)
+	return views.Root()
+}
+
+// Reducer is a reusable reduction variable bound to a pool: the equivalent
+// of a Cilk reducer hyperobject, except that its per-worker views are
+// allocated once (statically) and reused across loops instead of being
+// created lazily and merged at steals. Use it when the same reduction
+// variable is updated from many loops, or when a loop updates several
+// reduction variables at once.
+type Reducer[T any] struct {
+	pool  *Pool
+	op    Op[T]
+	views *reduce.Views[T]
+}
+
+// NewReducer creates a reducer bound to the pool.
+func NewReducer[T any](p *Pool, op Op[T]) *Reducer[T] {
+	return &Reducer[T]{pool: p, op: op, views: reduce.NewViews(op, p.Workers())}
+}
+
+// View returns a pointer-free accessor pair for worker w: the current view
+// value and a setter. Most callers should use Update instead.
+func (r *Reducer[T]) View(w int) T { return r.views.Get(w) }
+
+// Update folds x into worker w's view. It must only be called from loop
+// bodies running on the reducer's pool, using the worker index the body
+// received.
+func (r *Reducer[T]) Update(w int, x T) { r.views.Update(w, x) }
+
+// Set overwrites worker w's view.
+func (r *Reducer[T]) Set(w int, x T) { r.views.Set(w, x) }
+
+// ForCombine runs a loop on the reducer's pool and folds the reducer's
+// views inside the join wave; after it returns, the combined value is
+// available from Value. Exactly Workers()-1 combines are performed.
+func (r *Reducer[T]) ForCombine(n int, body func(worker, low, high int)) {
+	r.pool.s.ForCombine(n, body, r.views.CombineInto)
+}
+
+// Value returns the reduction of all views (after ForCombine, that is the
+// root view) and resets the reducer for reuse.
+func (r *Reducer[T]) Value() T {
+	v := r.views.Fold()
+	return v
+}

@@ -1,0 +1,248 @@
+package loopsched
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func testPool(t *testing.T, cfg Config) *Pool {
+	t.Helper()
+	cfg.DisableThreadLock = true
+	if cfg.Workers <= 0 {
+		p := runtime.GOMAXPROCS(0)
+		if p > 8 {
+			p = 8
+		}
+		cfg.Workers = p
+	}
+	pool := New(cfg)
+	t.Cleanup(pool.Close)
+	return pool
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Barrier: BarrierCentralized},
+		{FullBarrier: true},
+		{Workers: 1},
+		{Workers: 3, GroupSize: 2, InnerFanout: 2, OuterFanout: 2},
+	} {
+		pool := testPool(t, cfg)
+		n := 5000
+		marks := make([]int32, n)
+		pool.ForEach(n, func(i int) { atomic.AddInt32(&marks[i], 1) })
+		for i, m := range marks {
+			if m != 1 {
+				t.Fatalf("%v: index %d visited %d times", pool, i, m)
+			}
+		}
+	}
+}
+
+func TestForAndForRange(t *testing.T) {
+	pool := testPool(t, Config{})
+	var covered atomic.Int64
+	pool.For(1000, func(worker, low, high int) {
+		if worker < 0 || worker >= pool.Workers() {
+			t.Errorf("worker %d out of range", worker)
+		}
+		covered.Add(int64(high - low))
+	})
+	if covered.Load() != 1000 {
+		t.Errorf("For covered %d", covered.Load())
+	}
+	covered.Store(0)
+	pool.ForRange(777, func(low, high int) { covered.Add(int64(high - low)) })
+	if covered.Load() != 777 {
+		t.Errorf("ForRange covered %d", covered.Load())
+	}
+}
+
+func TestReduceFloat64(t *testing.T) {
+	pool := testPool(t, Config{})
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = float64(i % 97)
+	}
+	got := pool.ReduceFloat64(len(xs), 0,
+		func(a, b float64) float64 { return a + b },
+		func(w, lo, hi int, acc float64) float64 {
+			for i := lo; i < hi; i++ {
+				acc += xs[i]
+			}
+			return acc
+		})
+	want := 0.0
+	for _, x := range xs {
+		want += x
+	}
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestReduceVec(t *testing.T) {
+	pool := testPool(t, Config{})
+	n := 4321
+	v := pool.ReduceVec(n, 2, func(w, lo, hi int, acc []float64) {
+		for i := lo; i < hi; i++ {
+			acc[0]++
+			acc[1] += float64(i)
+		}
+	})
+	if int(v[0]) != n || v[1] != float64(n)*float64(n-1)/2 {
+		t.Errorf("ReduceVec = %v", v)
+	}
+}
+
+func TestGenericReduceOrderedAppend(t *testing.T) {
+	// The strongest ordering test: concatenating per-iteration slices must
+	// reproduce 0..n-1 exactly, for every barrier/mode configuration.
+	for _, cfg := range []Config{{}, {Barrier: BarrierCentralized}, {FullBarrier: true}, {Barrier: BarrierCentralized, FullBarrier: true}} {
+		pool := testPool(t, cfg)
+		n := 2000
+		got := Reduce(pool, n, AppendOp[int](), func(w, lo, hi int, acc []int) []int {
+			for i := lo; i < hi; i++ {
+				acc = append(acc, i)
+			}
+			return acc
+		})
+		if len(got) != n {
+			t.Fatalf("%v: got %d elements", pool, len(got))
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("%v: ordered reduction violated iteration order", pool)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("%v: element %d = %d", pool, i, v)
+			}
+		}
+	}
+}
+
+func TestGenericReduceSumAndMax(t *testing.T) {
+	pool := testPool(t, Config{})
+	n := 10000
+	sum := Reduce(pool, n, SumOp[int64](), func(w, lo, hi int, acc int64) int64 {
+		for i := lo; i < hi; i++ {
+			acc += int64(i)
+		}
+		return acc
+	})
+	if sum != int64(n)*int64(n-1)/2 {
+		t.Errorf("generic sum = %d", sum)
+	}
+	max := Reduce(pool, n, MaxOp[int](-1), func(w, lo, hi int, acc int) int {
+		for i := lo; i < hi; i++ {
+			v := (i * 37) % 1009
+			if v > acc {
+				acc = v
+			}
+		}
+		return acc
+	})
+	want := 0
+	for i := 0; i < n; i++ {
+		if v := (i * 37) % 1009; v > want {
+			want = v
+		}
+	}
+	if max != want {
+		t.Errorf("generic max = %d, want %d", max, want)
+	}
+	min := Reduce(pool, n, MinOp[int](1<<62), func(w, lo, hi int, acc int) int {
+		for i := lo; i < hi; i++ {
+			v := (i*37)%1009 + 3
+			if v < acc {
+				acc = v
+			}
+		}
+		return acc
+	})
+	if min != 3 {
+		t.Errorf("generic min = %d, want 3", min)
+	}
+}
+
+func TestReducerHyperobjectStyle(t *testing.T) {
+	pool := testPool(t, Config{})
+	r := NewReducer(pool, SumOp[int64]())
+	n := 5000
+	r.ForCombine(n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r.Update(w, int64(i))
+		}
+	})
+	if got := r.Value(); got != int64(n)*int64(n-1)/2 {
+		t.Errorf("reducer value = %d", got)
+	}
+	// Reusable: a second loop starts from a clean state.
+	r.ForCombine(10, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r.Update(w, 1)
+		}
+	})
+	if got := r.Value(); got != 10 {
+		t.Errorf("second reduction = %d, want 10", got)
+	}
+	r.Set(0, 41)
+	r.Update(0, 1)
+	if r.View(0) != 42 {
+		t.Errorf("View/Set/Update broken: %d", r.View(0))
+	}
+}
+
+func TestPoolMetadata(t *testing.T) {
+	pool := testPool(t, Config{Workers: 2})
+	if pool.Workers() != 2 {
+		t.Errorf("Workers = %d", pool.Workers())
+	}
+	if pool.String() == "" {
+		t.Errorf("empty String")
+	}
+	if pool.Scheduler() == nil || pool.Scheduler().Name() == "" {
+		t.Errorf("Scheduler() not exposed")
+	}
+	// Close is idempotent (Cleanup will close again).
+	pool.Close()
+}
+
+func TestEmptyLoops(t *testing.T) {
+	pool := testPool(t, Config{})
+	called := false
+	pool.ForEach(0, func(i int) { called = true })
+	pool.ForRange(-1, func(lo, hi int) { called = true })
+	if called {
+		t.Errorf("body invoked for an empty loop")
+	}
+	if got := Reduce(pool, 0, SumOp[int](), func(w, lo, hi int, acc int) int { return acc + 1 }); got != 0 {
+		t.Errorf("empty generic reduce = %d", got)
+	}
+}
+
+func TestPropertyGenericReduceMatchesSerial(t *testing.T) {
+	pool := testPool(t, Config{})
+	f := func(vals []int32) bool {
+		n := len(vals)
+		got := Reduce(pool, n, SumOp[int64](), func(w, lo, hi int, acc int64) int64 {
+			for i := lo; i < hi; i++ {
+				acc += int64(vals[i])
+			}
+			return acc
+		})
+		var want int64
+		for _, v := range vals {
+			want += int64(v)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
