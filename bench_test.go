@@ -22,6 +22,7 @@ package loopsched_test
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -29,6 +30,7 @@ import (
 	"loopsched/internal/bench"
 	"loopsched/internal/core"
 	"loopsched/internal/grid"
+	"loopsched/internal/jobs"
 	"loopsched/internal/linreg"
 	"loopsched/internal/mpdata"
 	"loopsched/internal/sched"
@@ -228,6 +230,41 @@ func BenchmarkAblation_Reduction(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_ = s.ForReduce(table1LoopIters, 0, combine, body)
 			}
+		})
+	}
+}
+
+// BenchmarkMultitenant_Throughput measures aggregate job throughput when
+// concurrent tenants share one persistent team through the jobs subsystem:
+// each benchmark iteration has every tenant submit one ~100 µs parallel-loop
+// job and wait for it.
+func BenchmarkMultitenant_Throughput(b *testing.B) {
+	work := workload.Calibrate(100)
+	for _, tenants := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("tenants-%d", tenants), func(b *testing.B) {
+			s := jobs.New(jobs.Config{Workers: benchWorkers()})
+			defer s.Close()
+			body := func(w, lo, hi int) { workload.Consume(work.Run(lo, hi)) }
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for t := 0; t < tenants; t++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						j, err := s.Submit(jobs.Request{N: 1024, Body: body})
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := j.Wait(); err != nil {
+							b.Error(err)
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			b.ReportMetric(float64(tenants)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 		})
 	}
 }

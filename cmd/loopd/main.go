@@ -1,0 +1,42 @@
+// Command loopd is a long-lived daemon serving parallel-loop jobs over HTTP:
+// the multi-tenant front-end of the half-barrier loop scheduler. One
+// persistent worker team is shared by every request; concurrent jobs are
+// molded onto sub-teams and complete through per-job half-barrier join waves,
+// so the daemon never pays a full barrier on the serving path.
+//
+// Endpoints:
+//
+//	POST /run?workload=spin&n=4096&jobs=8   submit and await jobs of a named
+//	                                        workload (see GET /stats for names)
+//	GET  /stats                             queue depth, occupancy and job
+//	                                        latency percentiles as JSON
+//	GET  /metrics                           the same in Prometheus text format
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "shared team size (0 = GOMAXPROCS)")
+	maxPerJob := flag.Int("max-workers-per-job", 0, "sub-team cap per job (0 = no cap)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = default)")
+	lock := flag.Bool("lock-os-threads", false, "pin workers to OS threads")
+	flag.Parse()
+
+	srv := newServer(serverConfig{
+		Workers:          *workers,
+		MaxWorkersPerJob: *maxPerJob,
+		QueueDepth:       *queue,
+		LockOSThread:     *lock,
+	})
+	defer srv.Close()
+
+	log.Printf("loopd: serving on %s with %d shared workers", *addr, srv.rt.P())
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"loopsched/internal/bench"
+	"loopsched/internal/jobs"
+)
+
+// serverConfig configures the daemon's shared jobs runtime.
+type serverConfig struct {
+	// Workers is the shared team size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// MaxWorkersPerJob caps every job's sub-team; <= 0 means no cap.
+	MaxWorkersPerJob int
+	// QueueDepth bounds the admission queue (Submit blocks when full).
+	QueueDepth int
+	// LockOSThread pins workers to OS threads (benchmark fidelity; off by
+	// default for a serving daemon).
+	LockOSThread bool
+}
+
+// server is the HTTP front-end over one shared multi-tenant jobs scheduler.
+// Every /run request is a tenant: its jobs are molded onto sub-teams of the
+// one persistent worker pool, so concurrent requests share the machine
+// without full-barrier synchronisation between their loops.
+type server struct {
+	rt      *jobs.Scheduler
+	started time.Time
+	mux     *http.ServeMux
+}
+
+func newServer(cfg serverConfig) *server {
+	s := &server{
+		rt: jobs.New(jobs.Config{
+			Workers:          cfg.Workers,
+			MaxWorkersPerJob: cfg.MaxWorkersPerJob,
+			QueueDepth:       cfg.QueueDepth,
+			LockOSThread:     cfg.LockOSThread,
+			Name:             "loopd",
+		}),
+		started: time.Now(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /run", s.handleRun)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close drains and releases the shared team.
+func (s *server) Close() { s.rt.Close() }
+
+// Limits keeping one request from monopolising the daemon.
+const (
+	maxJobsPerRequest   = 1024
+	maxIterationsPerJob = 1 << 28
+)
+
+// runJobResult is the outcome of one job of a /run request.
+type runJobResult struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	Result  float64 `json:"result"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// runResponse is the JSON body of a /run response.
+type runResponse struct {
+	Workload    string         `json:"workload"`
+	Jobs        int            `json:"jobs"`
+	Iterations  int            `json:"iterations_per_job"`
+	WallSeconds float64        `json:"wall_seconds"`
+	Results     []runJobResult `json:"results"`
+}
+
+// handleRun submits one or more jobs of a named workload (see
+// bench.JobWorkloads) and waits for them. Query parameters: workload, n
+// (iterations per job), jobs (concurrent jobs in this request), iterns
+// (target ns/iteration for calibrated workloads), maxworkers, grain.
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	workload := r.FormValue("workload")
+	if workload == "" {
+		workload = "spin"
+	}
+	n, err := intParam(r, "n", 4096, 1, maxIterationsPerJob)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	nJobs, err := intParam(r, "jobs", 1, 1, maxJobsPerRequest)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	iterNs, err := intParam(r, "iterns", 0, 0, 1<<20)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	maxWorkers, err := intParam(r, "maxworkers", 0, 0, 1<<16)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	grain, err := intParam(r, "grain", 0, 0, maxIterationsPerJob)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.runJobs(w, workload, n, nJobs, float64(iterNs), maxWorkers, grain)
+}
+
+// runJobs performs the fan-out/fan-in of one /run request.
+func (s *server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, iterNs float64, maxWorkers, grain int) {
+	params := bench.JobParams{N: n, IterNs: iterNs, MaxWorkers: maxWorkers, Grain: grain}
+	if _, err := bench.NewJobRequest(workload, params); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := runResponse{Workload: workload, Jobs: nJobs, Iterations: n, Results: make([]runJobResult, nJobs)}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < nJobs; i++ {
+		req, err := bench.NewJobRequest(workload, params)
+		if err != nil {
+			resp.Results[i].Error = err.Error()
+			continue
+		}
+		j, err := s.rt.Submit(req)
+		if err != nil {
+			resp.Results[i].Error = err.Error()
+			continue
+		}
+		wg.Add(1)
+		go func(i int, j *jobs.Job) {
+			defer wg.Done()
+			jobStart := time.Now()
+			v, err := j.Wait()
+			resp.Results[i].Seconds = time.Since(jobStart).Seconds()
+			resp.Results[i].Workers = j.Workers()
+			resp.Results[i].Result = v
+			if err != nil {
+				resp.Results[i].Error = err.Error()
+			}
+		}(i, j)
+	}
+	wg.Wait()
+	resp.WallSeconds = time.Since(start).Seconds()
+	writeJSON(w, resp)
+}
+
+// statsResponse is the JSON body of /stats.
+type statsResponse struct {
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Workloads     []string   `json:"workloads"`
+	Queue         jobs.Stats `json:"queue"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workloads:     bench.JobWorkloads(),
+		Queue:         s.rt.Stats(),
+	})
+}
+
+// handleMetrics renders the scheduler's aggregate state in the Prometheus
+// text exposition format (hand-rolled: the daemon has no dependencies
+// outside the standard library).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.rt.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("loopd_workers", "size of the shared worker team", float64(st.Workers))
+	gauge("loopd_busy_workers", "workers currently executing a job share", float64(st.BusyWorkers))
+	gauge("loopd_queue_depth", "jobs waiting for admission", float64(st.QueueDepth))
+	gauge("loopd_jobs_running", "jobs currently admitted and running", float64(st.Running))
+	counter("loopd_jobs_submitted_total", "jobs ever submitted", float64(st.Submitted))
+	counter("loopd_jobs_completed_total", "jobs ever completed", float64(st.Completed))
+	counter("loopd_jobs_canceled_total", "jobs canceled before start", float64(st.Canceled))
+	counter("loopd_iterations_total", "loop iterations ever executed", float64(st.IterationsDone))
+	gauge("loopd_uptime_seconds", "seconds since the daemon started", time.Since(s.started).Seconds())
+	fmt.Fprintf(w, "# HELP loopd_job_latency_seconds job latency from submission to completion (recent window)\n")
+	fmt.Fprintf(w, "# TYPE loopd_job_latency_seconds summary\n")
+	for _, q := range []struct {
+		q string
+		v time.Duration
+	}{{"0.5", st.LatencyP50}, {"0.95", st.LatencyP95}, {"0.99", st.LatencyP99}} {
+		fmt.Fprintf(w, "loopd_job_latency_seconds{quantile=%q} %g\n", q.q, q.v.Seconds())
+	}
+}
+
+// intParam parses an integer query parameter with a default and inclusive
+// bounds.
+func intParam(r *http.Request, name string, def, min, max int) (int, error) {
+	raw := r.FormValue(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	if v < min || v > max {
+		return 0, fmt.Errorf("parameter %q = %d out of range [%d, %d]", name, v, min, max)
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"loopsched/internal/spin"
+)
+
+func TestMain(m *testing.M) {
+	// See internal/jobs: shrink the spin thresholds so sub-team join waves on
+	// small test machines yield quickly.
+	spin.ActiveSpins = 1 << 6
+	spin.YieldThreshold = 1 << 8
+	os.Exit(m.Run())
+}
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	srv := newServer(serverConfig{Workers: 4})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// TestConcurrentRunRequests is the acceptance shape: at least 8 concurrent
+// /run tenants against one shared pool, each verifying its reduction result,
+// with the whole test run under -race.
+func TestConcurrentRunRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	const tenants = 12
+	var wg sync.WaitGroup
+	for g := 0; g < tenants; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 1000 + g
+			resp, err := http.Post(
+				fmt.Sprintf("%s/run?workload=sum&n=%d&jobs=2", ts.URL, n), "", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				body, _ := io.ReadAll(resp.Body)
+				t.Errorf("tenant %d: status %d: %s", g, resp.StatusCode, body)
+				return
+			}
+			var rr runResponse
+			if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+				t.Error(err)
+				return
+			}
+			if rr.Jobs != 2 || len(rr.Results) != 2 {
+				t.Errorf("tenant %d: %+v", g, rr)
+				return
+			}
+			want := float64(n) * float64(n-1) / 2
+			for i, res := range rr.Results {
+				if res.Error != "" {
+					t.Errorf("tenant %d job %d: %s", g, i, res.Error)
+				}
+				if res.Result != want {
+					t.Errorf("tenant %d job %d: result %v, want %v", g, i, res.Result, want)
+				}
+				if res.Workers < 1 {
+					t.Errorf("tenant %d job %d: ran on %d workers", g, i, res.Workers)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	if _, err := http.Post(ts.URL+"/run?workload=sum&n=500", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queue.Workers != 4 {
+		t.Errorf("workers = %d, want 4", st.Queue.Workers)
+	}
+	if st.Queue.Completed < 1 {
+		t.Errorf("completed = %d", st.Queue.Completed)
+	}
+	if len(st.Workloads) < 3 {
+		t.Errorf("workloads = %v", st.Workloads)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Errorf("uptime = %v", st.UptimeSeconds)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	if _, err := http.Post(ts.URL+"/run?workload=sum&n=500&jobs=3", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE loopd_workers gauge",
+		"loopd_workers 4",
+		"# TYPE loopd_jobs_completed_total counter",
+		"loopd_job_latency_seconds{quantile=\"0.99\"}",
+		"loopd_iterations_total 1500",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunParameterValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, url := range []string{
+		"/run?workload=no-such-workload",
+		"/run?n=abc",
+		"/run?n=-5",
+		"/run?jobs=100000",
+	} {
+		resp, err := http.Post(ts.URL+url, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, resp.StatusCode)
+		}
+	}
+	// Method matters: /run is POST-only, /stats GET-only.
+	resp, err := http.Get(ts.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /run: status %d, want 405", resp.StatusCode)
+	}
+}

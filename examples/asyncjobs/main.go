@@ -1,0 +1,69 @@
+// Command asyncjobs demonstrates the asynchronous multi-job API: many
+// goroutines submit parallel loops to one shared pool, fan out a group and
+// read a reduction result from a job handle.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"loopsched"
+)
+
+func main() {
+	pool := loopsched.New(loopsched.Config{})
+	defer pool.Close()
+	fmt.Printf("pool: %v\n", pool)
+
+	// Concurrent tenants: each goroutine submits its own loop jobs.
+	var wg sync.WaitGroup
+	var total sync.Map
+	for tenant := 0; tenant < 4; tenant++ {
+		wg.Add(1)
+		go func(tenant int) {
+			defer wg.Done()
+			n := 100000 * (tenant + 1)
+			j := pool.SubmitReduce(n, 0,
+				func(a, b float64) float64 { return a + b },
+				func(w, lo, hi int, acc float64) float64 {
+					for i := lo; i < hi; i++ {
+						acc += float64(i)
+					}
+					return acc
+				})
+			sum, err := j.Result()
+			if err != nil {
+				panic(err)
+			}
+			total.Store(tenant, sum)
+		}(tenant)
+	}
+	wg.Wait()
+	for tenant := 0; tenant < 4; tenant++ {
+		v, _ := total.Load(tenant)
+		n := 100000 * (tenant + 1)
+		fmt.Printf("tenant %d: sum over [0,%d) = %.0f (want %.0f)\n",
+			tenant, n, v, float64(n)*float64(n-1)/2)
+	}
+
+	// Fan-out/fan-in with a Group.
+	g := pool.Group()
+	out := make([]int, 1<<16)
+	g.ForEach(len(out), func(i int) { out[i] = 2 * i })
+	count := g.Reduce(len(out), 0,
+		func(a, b float64) float64 { return a + b },
+		func(w, lo, hi int, acc float64) float64 { return acc + float64(hi-lo) })
+	if err := g.Wait(); err != nil {
+		panic(err)
+	}
+	c, _ := count.Result()
+	fmt.Printf("group: doubled %d elements, counted %.0f\n", len(out), c)
+
+	// Cancellation: a job canceled before it starts never runs.
+	j := pool.Submit(10, func(i int) { fmt.Println("should not print") })
+	if j.Cancel() {
+		fmt.Println("canceled a queued job:", func() error { return j.Wait() }())
+	} else {
+		fmt.Println("job started before cancel; result:", func() error { return j.Wait() }())
+	}
+}

@@ -1,14 +1,37 @@
 package barrier
 
 import (
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
 
+	"loopsched/internal/spin"
 	"loopsched/internal/topology"
 )
+
+func TestMain(m *testing.M) {
+	// These tests oversubscribe GOMAXPROCS on purpose (participants allows up
+	// to 2x the machine size), so the production spin thresholds — tuned for
+	// dedicated, pinned workers — turn every wait into ~1 ms of fruitless
+	// polling before the first yield. Shrink them so oversubscribed waiters
+	// yield almost immediately; the synchronisation logic under test is
+	// unchanged.
+	spin.ActiveSpins = 1 << 6
+	spin.YieldThreshold = 1 << 8
+	os.Exit(m.Run())
+}
+
+// episodes returns full in the default mode and short under -short: the
+// heavy contention/iteration cases only add confidence, not coverage.
+func episodes(full, short int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
 
 // participants returns worker counts to exercise, bounded by the machine.
 func participants() []int {
@@ -47,7 +70,7 @@ func makeHalfPairs(p int) map[string]HalfPair {
 // TestFullBarrierSynchronises checks the fundamental barrier property: no
 // worker leaves episode e before every worker has entered it.
 func TestFullBarrierSynchronises(t *testing.T) {
-	const episodes = 50
+	episodes := episodes(50, 8)
 	for _, p := range participants() {
 		for name, bar := range makeFulls(p) {
 			var entered atomic.Int64
@@ -84,7 +107,7 @@ func TestFullBarrierSynchronises(t *testing.T) {
 // of a parallel loop: the master publishes data, releases, the workers read
 // it and contribute, join, and the master observes every contribution.
 func TestHalfBarrierLoopProtocol(t *testing.T) {
-	const loops = 200
+	loops := episodes(200, 25)
 	for _, p := range participants() {
 		if p < 2 {
 			continue
@@ -256,7 +279,7 @@ func TestTreeShapeOrderingProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: episodes(200, 50)}); err != nil {
 		t.Error(err)
 	}
 }
@@ -293,7 +316,7 @@ func subtreesContiguous(s topology.TreeShape) bool {
 // TestBarrierReuseManyEpisodes stresses episode bookkeeping with thousands
 // of episodes on a small worker count.
 func TestBarrierReuseManyEpisodes(t *testing.T) {
-	const episodes = 2000
+	episodes := episodes(2000, 200)
 	p := 4
 	for name, bar := range makeFulls(p) {
 		var sum atomic.Int64

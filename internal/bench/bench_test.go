@@ -238,6 +238,86 @@ func TestVerifyLinreg(t *testing.T) {
 	}
 }
 
+func TestRunMultitenantSmall(t *testing.T) {
+	opt := MultitenantOptions{
+		Workers:       4,
+		Tenants:       8,
+		JobsPerTenant: 5,
+		Workload:      "sum",
+		Params:        JobParams{N: 1000},
+	}
+	res, err := RunMultitenant(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsTotal != 40 || res.Workload != "sum" {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	if res.WallSeconds <= 0 || res.JobsPerSecond <= 0 || res.IterationsPerSecond <= 0 {
+		t.Errorf("non-positive throughput: %+v", res)
+	}
+	if res.Stats.Completed != 40 {
+		t.Errorf("completed = %d, want 40", res.Stats.Completed)
+	}
+	if res.Stats.IterationsDone != 40*1000 {
+		t.Errorf("iterations = %d", res.Stats.IterationsDone)
+	}
+	var buf bytes.Buffer
+	if err := WriteMultitenant(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Multi-tenant", "jobs/s", "lat p99"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("multitenant report missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestJobWorkloadRegistry(t *testing.T) {
+	names := JobWorkloads()
+	if len(names) < 3 {
+		t.Fatalf("job workload registry too small: %v", names)
+	}
+	for _, name := range names {
+		req, err := NewJobRequest(name, JobParams{N: 100})
+		if err != nil {
+			t.Fatalf("NewJobRequest(%q): %v", name, err)
+		}
+		if req.N != 100 {
+			t.Errorf("%s: N = %d", name, req.N)
+		}
+		if req.Body == nil && req.RBody == nil {
+			t.Errorf("%s: request has no body", name)
+		}
+	}
+	if _, err := NewJobRequest("no-such-workload", JobParams{}); err == nil {
+		t.Errorf("unknown workload accepted")
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) != 5 {
+		t.Fatalf("scenario registry: %v", names)
+	}
+	for _, want := range []string{"table1", "mpdata", "linreg", "ablation", "multitenant"} {
+		if _, ok := scenarios[want]; !ok {
+			t.Errorf("scenario %q not registered", want)
+		}
+	}
+	if err := RunScenario("bogus", &bytes.Buffer{}); err == nil {
+		t.Errorf("unknown scenario accepted")
+	}
+	// The multitenant scenario is cheap enough to smoke-run here.
+	var buf bytes.Buffer
+	if err := RunScenario("multitenant", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Multi-tenant") {
+		t.Errorf("scenario report:\n%s", buf.String())
+	}
+}
+
 func TestRunAblationSmall(t *testing.T) {
 	opt := AblationOptions{Workers: 2, LoopIters: 64, IterNs: 50, Loops: 10, Reps: 1, Fanouts: []int{2}}
 	rows, err := RunAblation(opt)

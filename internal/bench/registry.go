@@ -7,8 +7,10 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
+	"time"
 
 	"loopsched/internal/cilk"
 	"loopsched/internal/core"
@@ -75,6 +77,81 @@ func NewScheduler(name string, p int) (sched.Scheduler, error) {
 		p = runtime.GOMAXPROCS(0)
 	}
 	return f(p), nil
+}
+
+// Scenario is a named experiment runnable with small default options; it
+// writes its report through the package's report path. The cmd tools expose
+// richer per-scenario flags; scenarios exist so that callers (cmd/loopd, the
+// test suite, quick smoke runs) can trigger any experiment by name.
+type Scenario func(w io.Writer) error
+
+// scenarios maps scenario names to quick-run implementations.
+var scenarios = map[string]Scenario{
+	"table1": func(w io.Writer) error {
+		rows, err := Table1(BurdenOptions{Points: 6, Reps: 2, MaxTotal: 2 * time.Millisecond})
+		if err != nil {
+			return err
+		}
+		return WriteTable1(w, rows)
+	},
+	"mpdata": func(w io.Writer) error {
+		res, err := RunMPDATA(MPDATAOptions{Steps: 3, Reps: 1, Rows: 20, Cols: 20, ThreadCounts: shortThreadCounts()})
+		if err != nil {
+			return err
+		}
+		return WriteMPDATA(w, res)
+	},
+	"linreg": func(w io.Writer) error {
+		res, err := RunLinreg(LinregOptions{Points: 1 << 16, Reps: 1, ThreadCounts: shortThreadCounts()})
+		if err != nil {
+			return err
+		}
+		return WriteLinreg(w, res, "a")
+	},
+	"ablation": func(w io.Writer) error {
+		opt := AblationOptions{LoopIters: 64, IterNs: 50, Loops: 20, Reps: 1, Fanouts: []int{2, 4}}
+		rows, err := RunAblation(opt)
+		if err != nil {
+			return err
+		}
+		return WriteAblation(w, rows, opt)
+	},
+	"multitenant": func(w io.Writer) error {
+		res, err := RunMultitenant(MultitenantOptions{Tenants: 8, JobsPerTenant: 10, Params: JobParams{N: 2048}})
+		if err != nil {
+			return err
+		}
+		return WriteMultitenant(w, res)
+	},
+}
+
+// shortThreadCounts returns {1} on a single-processor machine and {1, 2}
+// otherwise: the axis of a smoke-run scaling scenario.
+func shortThreadCounts() []int {
+	if runtime.GOMAXPROCS(0) < 2 {
+		return []int{1}
+	}
+	return []int{1, 2}
+}
+
+// ScenarioNames returns the registered scenario names in sorted order.
+func ScenarioNames() []string {
+	out := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunScenario runs the named scenario with its quick default options,
+// writing the report to w.
+func RunScenario(name string, w io.Writer) error {
+	f, ok := scenarios[name]
+	if !ok {
+		return fmt.Errorf("bench: unknown scenario %q (known: %v)", name, ScenarioNames())
+	}
+	return f(w)
 }
 
 // Table1Schedulers returns the scheduler names of the rows of Table 1, in

@@ -132,6 +132,25 @@ func WriteLinreg(w io.Writer, res LinregResult, panel string) error {
 	return nil
 }
 
+// WriteMultitenant renders the multi-tenant throughput scenario: aggregate
+// job and iteration throughput of many concurrent tenants sharing one worker
+// team, with the scheduler's latency percentiles.
+func WriteMultitenant(w io.Writer, res MultitenantResult) error {
+	fmt.Fprintf(w, "Multi-tenant job throughput (%d tenants x %d-iteration %q jobs on %d shared workers)\n",
+		res.Tenants, res.Iterations, res.Workload, res.Workers)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "jobs\twall (s)\tjobs/s\titer/s\tlat p50\tlat p95\tlat p99")
+	fmt.Fprintf(tw, "%d\t%.3f\t%.1f\t%.3g\t%s\t%s\t%s\n",
+		res.JobsTotal, res.WallSeconds, res.JobsPerSecond, res.IterationsPerSecond,
+		res.Stats.LatencyP50, res.Stats.LatencyP95, res.Stats.LatencyP99)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\ncompleted %d jobs (%d canceled), %d iterations total, no full barrier paid by any job\n",
+		res.Stats.Completed, res.Stats.Canceled, res.Stats.IterationsDone)
+	return nil
+}
+
 // Markdown helpers used by EXPERIMENTS.md generation in the cmd tools.
 
 // Table1Markdown renders the burden rows as a GitHub-flavoured markdown table.

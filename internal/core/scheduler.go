@@ -264,13 +264,17 @@ func (s *Scheduler) joinMaster(c *command) {
 }
 
 // runLoop publishes a loop, executes the master's share and waits for the
-// workers. Single-worker schedulers bypass synchronisation entirely.
+// workers. Single-worker schedulers bypass synchronisation entirely but still
+// count one (degenerate) fork and join phase, so the structural counters the
+// tests and ablations rely on are independent of the machine size.
 func (s *Scheduler) runLoop(c command) {
 	s.mustOpen()
 	s.counters.Inc(trace.LoopsScheduled)
 	if s.p == 1 {
 		s.cmd = c
+		s.counters.Inc(trace.ForkPhases)
 		s.runShare(0, &c)
+		s.counters.Inc(trace.JoinPhases)
 		return
 	}
 	s.fork(c)
@@ -295,13 +299,6 @@ func (s *Scheduler) ForReduce(n int, identity float64, combine func(a, b float64
 		return identity
 	}
 	c := command{kind: cmdRun, n: n, rbody: body, reduce: reduceScalar, ident: identity, combine: combine}
-	if s.p == 1 {
-		s.mustOpen()
-		s.counters.Inc(trace.LoopsScheduled)
-		s.cmd = c
-		s.runShare(0, &c)
-		return s.scalarViews[0].v
-	}
 	s.runLoop(c)
 	return s.scalarViews[0].v
 }
@@ -315,14 +312,6 @@ func (s *Scheduler) ForReduceVec(n, width int, body sched.VecBody) []float64 {
 	}
 	s.ensureVecViews(width)
 	c := command{kind: cmdRun, n: n, vbody: body, reduce: reduceVec, width: width}
-	if s.p == 1 {
-		s.mustOpen()
-		s.counters.Inc(trace.LoopsScheduled)
-		s.cmd = c
-		s.runShare(0, &c)
-		copy(out, s.vecViews[0][:width])
-		return out
-	}
 	s.runLoop(c)
 	copy(out, s.vecViews[0][:width])
 	return out

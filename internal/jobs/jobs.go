@@ -1,0 +1,226 @@
+// Package jobs multiplexes many concurrent parallel-loop jobs onto one
+// persistent worker team: the multi-tenant counterpart of the single-master
+// fine-grain scheduler in internal/core.
+//
+// The paper's half-barrier insight — workers are dedicated and idle between
+// loops, so a loop needs only one release wave at the fork and one join wave
+// at the completion — is applied here *across* jobs instead of within one
+// master's loop stream. Each admitted job runs on a moldable sub-team of
+// k <= P workers: the dispatcher hands the job to k idle workers in a single
+// release wave (a channel send per worker; the dispatcher never waits for
+// the sub-team to assemble), each worker executes its static block of the
+// iteration space, and the sub-team completes through the join half-barrier
+// of internal/barrier — non-root workers announce arrival and return to the
+// idle pool immediately, the sub-root folds any reduction views in worker
+// order (exactly k-1 combines) and publishes the result. No job ever pays a
+// full barrier, and jobs coordinate only through the admission queue: there
+// is no global synchronisation on the execution hot path.
+//
+// The sub-team size k is chosen at admission from the queue depth and the
+// job's size (see Scheduler.teamSize), so a lone job spreads across the
+// machine while a burst of jobs degrades gracefully to one worker each.
+package jobs
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"loopsched/internal/barrier"
+	"loopsched/internal/iterspace"
+	"loopsched/internal/sched"
+)
+
+// Errors returned by Job.Wait.
+var (
+	// ErrCanceled reports that the job was canceled before it started.
+	ErrCanceled = errors.New("jobs: job canceled")
+	// ErrClosed reports that the scheduler was closed before the job could be
+	// submitted.
+	ErrClosed = errors.New("jobs: scheduler closed")
+)
+
+// State is the lifecycle state of a Job.
+type State int32
+
+// Job states.
+const (
+	// Pending: submitted, waiting in the admission queue.
+	Pending State = iota
+	// Running: admitted; a sub-team is executing the loop.
+	Running
+	// Done: completed (result and error are final).
+	Done
+	// Canceled: canceled before admission; the loop never ran.
+	Canceled
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Canceled:
+		return "canceled"
+	default:
+		return "unknown"
+	}
+}
+
+// Request describes one parallel-loop job. Exactly one of Body and RBody
+// must be set.
+type Request struct {
+	// N is the iteration space [0, N). Non-positive N completes immediately.
+	N int
+	// Body is a plain loop body. The worker index it receives is the
+	// *sub-team* index in [0, k) where k is the number of workers the job was
+	// molded onto — the same contract as sched.Body, with P replaced by k.
+	Body sched.Body
+	// RBody, Identity and Combine describe a scalar reducing loop: per-worker
+	// partials start at Identity and are folded with Combine in sub-worker
+	// order inside the join wave (k-1 combines, non-commutative safe).
+	RBody    sched.ReduceBody
+	Identity float64
+	Combine  func(a, b float64) float64
+	// MaxWorkers caps the sub-team size for this job; <= 0 means no cap
+	// beyond the scheduler's own limits.
+	MaxWorkers int
+	// Grain is the minimum number of iterations per worker worth the
+	// synchronisation; the sub-team never exceeds ceil(N/Grain) workers.
+	// <= 0 selects 1.
+	Grain int
+	// Label tags the job in statistics (for example the workload name).
+	Label string
+}
+
+// paddedPartial is one sub-worker's reduction view on its own cache line.
+type paddedPartial struct {
+	v float64
+	_ [120]byte
+}
+
+// Job is one submitted parallel loop. Its methods are safe for concurrent
+// use.
+type Job struct {
+	req   Request
+	state atomic.Int32
+	done  chan struct{}
+
+	// Written by the completing worker (or by Cancel) strictly before done is
+	// closed; read only after <-done.
+	result float64
+	err    error
+
+	// workers is the molded sub-team size, atomic because submitters may
+	// poll it while the dispatcher admits the job.
+	workers atomic.Int32
+
+	// partials holds the per-sub-worker reduction views for reducing jobs.
+	partials []paddedPartial
+
+	submitted time.Time
+	started   time.Time
+
+	s *Scheduler
+}
+
+// State returns the job's current state.
+func (j *Job) State() State { return State(j.state.Load()) }
+
+// Done returns a channel closed when the job completes or is canceled.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job completes and returns the reduction result (0
+// for non-reducing jobs) and any error (ErrCanceled if the job was canceled
+// before it started).
+func (j *Job) Wait() (float64, error) {
+	<-j.done
+	return j.result, j.err
+}
+
+// Cancel cancels the job if it has not been admitted yet and reports whether
+// it did. A running or completed job is not interrupted: cancellation is an
+// admission-queue operation, the execution hot path is never arbitrated.
+func (j *Job) Cancel() bool {
+	if !j.state.CompareAndSwap(int32(Pending), int32(Canceled)) {
+		return false
+	}
+	j.err = ErrCanceled
+	close(j.done)
+	if j.s != nil {
+		j.s.canceled.Add(1)
+	}
+	return true
+}
+
+// Workers returns the sub-team size the job ran on (0 until it is admitted).
+func (j *Job) Workers() int { return int(j.workers.Load()) }
+
+// Label returns the request's label.
+func (j *Job) Label() string { return j.req.Label }
+
+// assignment is the work descriptor the dispatcher hands to one worker: its
+// sub-team index, the sub-team size and the sub-team's join half-barrier.
+type assignment struct {
+	job *Job
+	sub int
+	k   int
+	// bar is the sub-team's half-barrier; nil when k == 1.
+	bar barrier.HalfPair
+}
+
+// run executes this worker's share of the job and participates in the join
+// wave. It is called on the jobs-scheduler worker that received the
+// assignment.
+func (a *assignment) run() {
+	j := a.job
+	r := iterspace.Block(j.req.N, a.k, a.sub)
+	if j.req.RBody != nil {
+		acc := j.req.Identity
+		if !r.Empty() {
+			acc = j.req.RBody(a.sub, r.Begin, r.End, acc)
+		}
+		j.partials[a.sub].v = acc
+	} else if !r.Empty() {
+		j.req.Body(a.sub, r.Begin, r.End)
+	}
+	if a.k == 1 {
+		j.complete()
+		return
+	}
+	// Join wave: non-root sub-workers announce arrival and return to the
+	// idle pool without waiting for the rest of the sub-team (the half the
+	// half-barrier keeps); the sub-root collects arrivals in sub-worker order,
+	// folding reduction views as they arrive.
+	a.bar.JoinCombine(a.sub, j.combineInto())
+	if a.sub == 0 {
+		j.complete()
+	}
+}
+
+// combineInto returns the join-wave view fold for reducing jobs, or nil.
+func (j *Job) combineInto() func(into, from int) {
+	if j.req.RBody == nil {
+		return nil
+	}
+	return func(into, from int) {
+		j.partials[into].v = j.req.Combine(j.partials[into].v, j.partials[from].v)
+	}
+}
+
+// complete publishes the job's result. Called exactly once, by the sub-root
+// (or by the scheduler for degenerate jobs).
+func (j *Job) complete() {
+	if j.req.RBody != nil {
+		j.result = j.partials[0].v
+	}
+	j.state.Store(int32(Done))
+	if j.s != nil {
+		j.s.recordCompletion(j)
+	}
+	close(j.done)
+}

@@ -1,0 +1,352 @@
+package jobs
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loopsched/internal/barrier"
+	"loopsched/internal/pool"
+	"loopsched/internal/stats"
+)
+
+// Config configures a jobs scheduler.
+type Config struct {
+	// Workers is the shared team size P; <= 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the admission queue; Submit blocks once this many
+	// jobs are waiting (backpressure instead of unbounded memory growth).
+	// <= 0 selects 1024.
+	QueueDepth int
+	// MaxWorkersPerJob caps every job's sub-team size; <= 0 means no cap
+	// (a lone job may use the whole team).
+	MaxWorkersPerJob int
+	// LatencyWindow is the number of recent completions kept for the latency
+	// percentiles in Stats; <= 0 selects 1024.
+	LatencyWindow int
+	// LockOSThread locks the workers to OS threads (benchmark fidelity);
+	// serving daemons and tests usually leave it false so idle workers are
+	// cheap goroutines.
+	LockOSThread bool
+	// Name is used in diagnostics.
+	Name string
+}
+
+func (c *Config) normalize() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 1024
+	}
+	if c.Name == "" {
+		c.Name = "jobs"
+	}
+}
+
+// Scheduler multiplexes parallel-loop jobs from many concurrent submitters
+// onto one persistent worker team. All methods are safe for concurrent use.
+type Scheduler struct {
+	cfg  Config
+	p    int
+	team *pool.Team
+
+	// queue is the admission queue; the single dispatcher goroutine is its
+	// only consumer.
+	queue chan *Job
+	// free holds the ids of idle workers; workers return themselves after
+	// finishing a share, the dispatcher takes ids when molding a sub-team.
+	free chan int
+	// assign carries at most one in-flight assignment per worker: the
+	// dispatcher's release wave is k buffered sends and never blocks.
+	assign []chan *assignment
+
+	submitMu       sync.RWMutex
+	closed         bool
+	dispatcherDone chan struct{}
+
+	depth     atomic.Int64
+	running   atomic.Int64
+	submitted atomic.Int64
+	completed atomic.Int64
+	canceled  atomic.Int64
+	itersDone atomic.Int64
+
+	lat latRing
+}
+
+// New creates and starts a jobs scheduler.
+func New(cfg Config) *Scheduler {
+	cfg.normalize()
+	s := &Scheduler{
+		cfg:            cfg,
+		p:              cfg.Workers,
+		queue:          make(chan *Job, cfg.QueueDepth),
+		free:           make(chan int, cfg.Workers),
+		assign:         make([]chan *assignment, cfg.Workers),
+		dispatcherDone: make(chan struct{}),
+	}
+	s.lat.init(cfg.LatencyWindow)
+	for w := 0; w < s.p; w++ {
+		s.assign[w] = make(chan *assignment, 1)
+		s.free <- w
+	}
+	s.team = pool.New(pool.Config{Workers: s.p, LockOSThread: cfg.LockOSThread, Name: cfg.Name})
+	s.team.StartAll(s.worker)
+	go s.dispatch()
+	return s
+}
+
+// P returns the team size.
+func (s *Scheduler) P() int { return s.p }
+
+// Name returns the scheduler's diagnostic name.
+func (s *Scheduler) Name() string { return s.cfg.Name }
+
+// Submit enqueues a job and returns immediately. It blocks only when the
+// admission queue is full. Submit is safe from any number of goroutines.
+func (s *Scheduler) Submit(req Request) (*Job, error) {
+	switch {
+	case req.Body == nil && req.RBody == nil:
+		return nil, errors.New("jobs: request needs a Body or an RBody")
+	case req.Body != nil && req.RBody != nil:
+		return nil, errors.New("jobs: request must set exactly one of Body and RBody")
+	case req.RBody != nil && req.Combine == nil:
+		return nil, errors.New("jobs: reducing request needs a Combine")
+	}
+	j := &Job{req: req, done: make(chan struct{}), s: s, submitted: time.Now()}
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.submitted.Add(1)
+	if req.N <= 0 {
+		// Degenerate loop: complete inline, never queued. A reducing job
+		// still yields its identity.
+		j.state.Store(int32(Running))
+		j.started = j.submitted
+		if req.RBody != nil {
+			j.partials = make([]paddedPartial, 1)
+			j.partials[0].v = req.Identity
+		}
+		j.complete()
+		return j, nil
+	}
+	s.depth.Add(1)
+	s.queue <- j
+	return j, nil
+}
+
+// teamSize picks the moldable sub-team size for a job: bounded by the
+// scheduler-wide and per-job caps, by the job's size (never fewer than Grain
+// iterations per worker), and by the queue pressure — with waiting jobs
+// behind this one, each admitted job takes only its fair share of the team
+// so concurrent tenants run side by side instead of serialising.
+func (s *Scheduler) teamSize(j *Job, waiting int) int {
+	k := s.p
+	if s.cfg.MaxWorkersPerJob > 0 && k > s.cfg.MaxWorkersPerJob {
+		k = s.cfg.MaxWorkersPerJob
+	}
+	if j.req.MaxWorkers > 0 && k > j.req.MaxWorkers {
+		k = j.req.MaxWorkers
+	}
+	grain := j.req.Grain
+	if grain <= 0 {
+		grain = 1
+	}
+	if bySize := (j.req.N + grain - 1) / grain; k > bySize {
+		k = bySize
+	}
+	if fair := s.p / (waiting + 1); k > fair {
+		k = fair
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// dispatch is the admission loop: it pops jobs in submission order, molds a
+// sub-team for each and performs the fork-side release wave (one buffered
+// channel send per chosen worker; like the paper's release half-barrier, the
+// dispatcher does not wait for the sub-team, it moves straight to the next
+// job).
+func (s *Scheduler) dispatch() {
+	defer close(s.dispatcherDone)
+	for j := range s.queue {
+		s.depth.Add(-1)
+		if !j.state.CompareAndSwap(int32(Pending), int32(Running)) {
+			continue // canceled while queued
+		}
+		want := s.teamSize(j, int(s.depth.Load()))
+		ids := s.acquire(want)
+		k := len(ids)
+		j.workers.Store(int32(k))
+		j.started = time.Now()
+		if j.req.RBody != nil {
+			j.partials = make([]paddedPartial, k)
+		}
+		var bar barrier.HalfPair
+		if k > 1 {
+			bar = barrier.NewCentralized(k)
+		}
+		s.running.Add(1)
+		for sub, id := range ids {
+			s.assign[id] <- &assignment{job: j, sub: sub, k: k, bar: bar}
+		}
+	}
+}
+
+// acquire takes up to want idle workers, blocking only for the first: a job
+// always makes progress with whatever fraction of the team is free, which is
+// what makes the teams moldable rather than rigid.
+func (s *Scheduler) acquire(want int) []int {
+	ids := make([]int, 1, want)
+	ids[0] = <-s.free
+	for len(ids) < want {
+		select {
+		case id := <-s.free:
+			ids = append(ids, id)
+		default:
+			return ids
+		}
+	}
+	return ids
+}
+
+// worker is the body of every team member: execute one assignment, return to
+// the idle pool, repeat until the scheduler closes.
+func (s *Scheduler) worker(id int) {
+	for a := range s.assign[id] {
+		a.run()
+		s.free <- id
+	}
+}
+
+// recordCompletion updates the aggregate statistics; called by the sub-root
+// exactly once per job.
+func (s *Scheduler) recordCompletion(j *Job) {
+	now := time.Now()
+	s.completed.Add(1)
+	if j.req.N > 0 {
+		s.itersDone.Add(int64(j.req.N))
+	}
+	if j.workers.Load() > 0 {
+		s.running.Add(-1)
+	}
+	s.lat.add(now.Sub(j.submitted).Seconds(), now.Sub(j.started).Seconds())
+}
+
+// Close drains the admission queue, waits for every in-flight job and
+// releases the workers. Jobs submitted before Close complete normally;
+// Submit fails with ErrClosed afterwards. Close is idempotent.
+func (s *Scheduler) Close() {
+	s.submitMu.Lock()
+	if s.closed {
+		s.submitMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.submitMu.Unlock()
+	close(s.queue)
+	<-s.dispatcherDone
+	// Collect every worker from the idle pool: once all P are held, no
+	// assignment is in flight and the team can be released.
+	for i := 0; i < s.p; i++ {
+		<-s.free
+	}
+	for _, ch := range s.assign {
+		close(ch)
+	}
+	s.team.Wait()
+}
+
+// Stats is a snapshot of the scheduler's aggregate state. The JSON field
+// names are stable (cmd/loopd serves this struct); durations marshal as
+// nanoseconds, Go's time.Duration encoding.
+type Stats struct {
+	Workers     int   `json:"workers"`
+	BusyWorkers int   `json:"busy_workers"`
+	QueueDepth  int   `json:"queue_depth"`
+	Running     int   `json:"running"`
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Canceled    int64 `json:"canceled"`
+	// IterationsDone is the total number of loop iterations completed.
+	IterationsDone int64 `json:"iterations_done"`
+	// Latency quantiles (submission to completion) over the recent window.
+	LatencyP50 time.Duration `json:"latency_p50_ns"`
+	LatencyP95 time.Duration `json:"latency_p95_ns"`
+	LatencyP99 time.Duration `json:"latency_p99_ns"`
+	// Run quantiles (admission to completion) over the recent window.
+	RunP50 time.Duration `json:"run_p50_ns"`
+	RunP95 time.Duration `json:"run_p95_ns"`
+	RunP99 time.Duration `json:"run_p99_ns"`
+	// LatencySamples is the number of completions in the window.
+	LatencySamples int `json:"latency_samples"`
+}
+
+// Stats returns a snapshot of queue depth, occupancy and latency
+// percentiles.
+func (s *Scheduler) Stats() Stats {
+	st := Stats{
+		Workers:        s.p,
+		BusyWorkers:    s.p - len(s.free),
+		QueueDepth:     int(s.depth.Load()),
+		Running:        int(s.running.Load()),
+		Submitted:      s.submitted.Load(),
+		Completed:      s.completed.Load(),
+		Canceled:       s.canceled.Load(),
+		IterationsDone: s.itersDone.Load(),
+	}
+	tot, run := s.lat.snapshot()
+	st.LatencySamples = len(tot)
+	if len(tot) > 0 {
+		q := stats.Quantiles(tot, 0.5, 0.95, 0.99)
+		st.LatencyP50, st.LatencyP95, st.LatencyP99 = secs(q[0]), secs(q[1]), secs(q[2])
+		q = stats.Quantiles(run, 0.5, 0.95, 0.99)
+		st.RunP50, st.RunP95, st.RunP99 = secs(q[0]), secs(q[1]), secs(q[2])
+	}
+	return st
+}
+
+func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+// latRing is a fixed-size window of recent job latencies.
+type latRing struct {
+	mu  sync.Mutex
+	tot []float64 // submission -> completion, seconds
+	run []float64 // admission -> completion, seconds
+	idx int
+	n   int
+}
+
+func (r *latRing) init(capacity int) {
+	r.tot = make([]float64, capacity)
+	r.run = make([]float64, capacity)
+}
+
+func (r *latRing) add(tot, run float64) {
+	r.mu.Lock()
+	r.tot[r.idx] = tot
+	r.run[r.idx] = run
+	r.idx = (r.idx + 1) % len(r.tot)
+	if r.n < len(r.tot) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+func (r *latRing) snapshot() (tot, run []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tot = append([]float64(nil), r.tot[:r.n]...)
+	run = append([]float64(nil), r.run[:r.n]...)
+	return tot, run
+}

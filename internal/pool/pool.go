@@ -88,6 +88,30 @@ func (t *Team) Start(body func(w int)) {
 	}
 }
 
+// StartAll spawns all P workers 0..P-1, each running body(w). It serves
+// runtimes with no distinguished master goroutine — the multi-tenant jobs
+// scheduler, whose submitters are transient request goroutines that must not
+// be conscripted into loop execution. Like Start, the body is expected to
+// loop until the scheduler shuts down. StartAll panics if the team was
+// already started.
+func (t *Team) StartAll(body func(w int)) {
+	if t.started {
+		panic(fmt.Sprintf("pool: team %q started twice", t.cfg.Name))
+	}
+	t.started = true
+	for w := 0; w < t.p; w++ {
+		t.wg.Add(1)
+		go func(w int) {
+			defer t.wg.Done()
+			if t.cfg.LockOSThread {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
+			body(w)
+		}(w)
+	}
+}
+
 // Wait blocks until every spawned worker's body has returned. The scheduler
 // must have already signalled its workers to exit (for example, by
 // publishing a shutdown command through its fork mechanism), otherwise Wait

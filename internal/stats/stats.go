@@ -65,6 +65,53 @@ func Median(xs []float64) float64 {
 	return (cp[mid-1] + cp[mid]) / 2
 }
 
+// Quantile returns the q-quantile of the sample (q clamped to [0, 1]) using
+// linear interpolation between order statistics. The input is not modified.
+// An empty sample yields 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return quantileSorted(cp, q)
+}
+
+// quantileSorted interpolates the q-quantile of an already-sorted non-empty
+// sample.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quantiles returns the given quantiles of the sample in one pass over a
+// single sorted copy; it is the latency-percentile helper used by the jobs
+// subsystem's statistics endpoint.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	for i, q := range qs {
+		out[i] = quantileSorted(cp, q)
+	}
+	return out
+}
+
 // Mean returns the arithmetic mean (0 for an empty sample).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -39,6 +39,51 @@ func TestMedianEven(t *testing.T) {
 	}
 }
 
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5} // unsorted on purpose; input must not be modified
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+		{-1, 1}, {2, 5}, // clamped
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if xs[0] != 4 {
+		t.Errorf("input modified: %v", xs)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("singleton quantile = %v", got)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	got := Quantiles(xs, 0, 0.5, 1)
+	want := []float64{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Quantiles = %v, want %v", got, want)
+		}
+	}
+	if out := Quantiles(nil, 0.5, 0.9); len(out) != 2 || out[0] != 0 || out[1] != 0 {
+		t.Errorf("empty Quantiles = %v", out)
+	}
+	// Agreement with Quantile and Median.
+	for _, q := range []float64{0.1, 0.42, 0.77} {
+		if Quantiles(xs, q)[0] != Quantile(xs, q) {
+			t.Errorf("Quantiles(%v) disagrees with Quantile", q)
+		}
+	}
+	if Quantile(xs, 0.5) != Median(xs) {
+		t.Errorf("median quantile disagrees with Median")
+	}
+}
+
 func TestMean(t *testing.T) {
 	if Mean(nil) != 0 || Mean([]float64{2, 4}) != 3 {
 		t.Errorf("Mean broken")

@@ -8,6 +8,7 @@ package workload
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -63,31 +64,37 @@ func Calibrate(targetNs float64) Work {
 	return Work{UnitsPerIter: units, NsPerIter: unitNs * float64(units)}
 }
 
-// calibratedUnitNs caches the measured cost of a single kernel unit.
-var calibratedUnitNs float64
+// calibratedUnitNs caches the measured cost of a single kernel unit;
+// calibrateOnce makes the measurement safe from concurrent callers (the
+// loopd daemon calibrates from HTTP handler goroutines).
+var (
+	calibrateOnce    sync.Once
+	calibratedUnitNs float64
+)
 
 // CalibrateUnit measures (once) and returns the cost in nanoseconds of a
-// single kernel unit.
+// single kernel unit. Safe for concurrent use.
 func CalibrateUnit() float64 {
-	if calibratedUnitNs > 0 {
-		return calibratedUnitNs
-	}
-	const probeUnits = 1 << 16
-	best := math.MaxFloat64
-	for rep := 0; rep < 5; rep++ {
-		start := time.Now()
-		Sink += kernel(probeUnits, uint64(rep)+1)
-		elapsed := float64(time.Since(start).Nanoseconds())
-		per := elapsed / probeUnits
-		if per < best {
-			best = per
+	calibrateOnce.Do(func() {
+		const probeUnits = 1 << 16
+		best := math.MaxFloat64
+		var acc uint64
+		for rep := 0; rep < 5; rep++ {
+			start := time.Now()
+			acc += kernel(probeUnits, uint64(rep)+1)
+			elapsed := float64(time.Since(start).Nanoseconds())
+			per := elapsed / probeUnits
+			if per < best {
+				best = per
+			}
 		}
-	}
-	if best <= 0 || math.IsInf(best, 0) {
-		best = 1 // pathological timer resolution; assume 1 ns per unit
-	}
-	calibratedUnitNs = best
-	return best
+		Consume(acc) // defeat dead-code elimination without touching Sink
+		if best <= 0 || math.IsInf(best, 0) {
+			best = 1 // pathological timer resolution; assume 1 ns per unit
+		}
+		calibratedUnitNs = best
+	})
+	return calibratedUnitNs
 }
 
 // Iter runs the calibrated work for iteration i and returns a value that

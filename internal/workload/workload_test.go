@@ -1,9 +1,30 @@
 package workload
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
+
+func TestCalibrateUnitIsSafeConcurrently(t *testing.T) {
+	// The loopd daemon calibrates from HTTP handler goroutines; concurrent
+	// first calls must race-cleanly agree on one value.
+	var wg sync.WaitGroup
+	vals := make([]float64, 8)
+	for i := range vals {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i] = CalibrateUnit()
+		}(i)
+	}
+	wg.Wait()
+	for i, v := range vals {
+		if v != vals[0] || v <= 0 {
+			t.Fatalf("goroutine %d saw unit cost %v, want %v", i, v, vals[0])
+		}
+	}
+}
 
 func TestCalibrateUnitIsPositiveAndCached(t *testing.T) {
 	a := CalibrateUnit()

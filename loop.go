@@ -34,8 +34,10 @@ package loopsched
 
 import (
 	"fmt"
+	"sync"
 
 	"loopsched/internal/core"
+	"loopsched/internal/jobs"
 	"loopsched/internal/reduce"
 	"loopsched/internal/sched"
 )
@@ -79,11 +81,20 @@ type Config struct {
 	DisableThreadLock bool
 }
 
-// Pool is a team of persistent workers executing parallel loops for a single
-// master goroutine (the goroutine that created the pool). Its methods are
-// not safe for concurrent use from multiple goroutines.
+// Pool is a team of persistent workers executing parallel loops. The
+// synchronous methods (For, ForEach, the reductions) belong to a single
+// master goroutine — the goroutine that created the pool — and are not safe
+// for concurrent use. The asynchronous methods (Submit, SubmitFor,
+// SubmitReduce, Group) are safe from any number of goroutines: they route
+// through a multi-tenant jobs runtime that multiplexes concurrent loop jobs
+// onto a second persistent team of the same size, created lazily on first
+// use.
 type Pool struct {
 	s *core.Scheduler
+
+	jobsMu     sync.Mutex
+	jobsRT     *jobs.Scheduler
+	jobsClosed bool
 }
 
 // New creates a pool. Call Close to release its workers.
@@ -114,9 +125,37 @@ func NewDefault() *Pool { return New(Config{}) }
 // Workers returns the team size, including the master.
 func (p *Pool) Workers() int { return p.s.P() }
 
-// Close releases the pool's workers. The pool must not be used afterwards.
-// Close is idempotent.
-func (p *Pool) Close() { p.s.Close() }
+// Close releases the pool's workers (and the async jobs runtime, if it was
+// ever used; queued jobs are drained first). The pool must not be used
+// afterwards. Close is idempotent.
+func (p *Pool) Close() {
+	p.jobsMu.Lock()
+	rt := p.jobsRT
+	p.jobsRT = nil
+	p.jobsClosed = true
+	p.jobsMu.Unlock()
+	if rt != nil {
+		rt.Close()
+	}
+	p.s.Close()
+}
+
+// jobs returns the lazily created async runtime, or nil after Close.
+func (p *Pool) jobs() *jobs.Scheduler {
+	p.jobsMu.Lock()
+	defer p.jobsMu.Unlock()
+	if p.jobsRT == nil && !p.jobsClosed {
+		// The async team is never locked to OS threads: unlike the
+		// synchronous team's spin-waiting workers, jobs workers park on
+		// channels between jobs, and pinning a second P threads would only
+		// oversubscribe the machine.
+		p.jobsRT = jobs.New(jobs.Config{
+			Workers: p.s.P(),
+			Name:    "async-" + p.s.Name(),
+		})
+	}
+	return p.jobsRT
+}
 
 // Scheduler exposes the underlying runtime through the internal scheduler
 // interface; it is used by the benchmark harness and example applications
@@ -240,4 +279,152 @@ func (r *Reducer[T]) ForCombine(n int, body func(worker, low, high int)) {
 func (r *Reducer[T]) Value() T {
 	v := r.views.Fold()
 	return v
+}
+
+// Async error sentinels, for errors.Is against Job.Wait results.
+var (
+	// ErrCanceled is returned by Wait on a job canceled before it started.
+	ErrCanceled = jobs.ErrCanceled
+	// ErrClosed is returned by Wait on a job submitted after Close.
+	ErrClosed = jobs.ErrClosed
+)
+
+// Job is a handle to an asynchronously submitted parallel loop. Many jobs
+// run concurrently on the pool's async team: each is molded onto a sub-team
+// of k workers chosen from the queue pressure and the job's size, and
+// completes through a single join half-barrier wave — concurrent jobs never
+// synchronise with each other. Job methods are safe for concurrent use.
+type Job struct {
+	inner *jobs.Job
+	err   error // submission error; the job never ran
+}
+
+// Wait blocks until the job completes and returns its error (nil on
+// success). Canceled jobs return ErrCanceled.
+func (j *Job) Wait() error {
+	_, err := j.Result()
+	return err
+}
+
+// Result blocks until the job completes and returns the reduction result
+// (0 for non-reducing jobs) and any error.
+func (j *Job) Result() (float64, error) {
+	if j.inner == nil {
+		return 0, j.err
+	}
+	return j.inner.Wait()
+}
+
+// Cancel cancels the job if it has not started yet and reports whether it
+// did; a canceled job's Wait returns an error and its body never runs.
+func (j *Job) Cancel() bool {
+	if j.inner == nil {
+		return false
+	}
+	return j.inner.Cancel()
+}
+
+// Workers returns the sub-team size the job was molded onto (0 until it is
+// admitted).
+func (j *Job) Workers() int {
+	if j.inner == nil {
+		return 0
+	}
+	return j.inner.Workers()
+}
+
+// failedJob wraps a submission error as an already-completed Job so call
+// sites can chain Submit(...).Wait() without a separate error path.
+func failedJob(err error) *Job { return &Job{err: err} }
+
+// submit routes a request to the async runtime.
+func (p *Pool) submit(req jobs.Request) *Job {
+	rt := p.jobs()
+	if rt == nil {
+		return failedJob(jobs.ErrClosed)
+	}
+	j, err := rt.Submit(req)
+	if err != nil {
+		return failedJob(err)
+	}
+	return &Job{inner: j}
+}
+
+// Submit starts body once per index in [0, n) asynchronously and returns a
+// handle. Unlike the synchronous methods, Submit is safe from any number of
+// goroutines: concurrent jobs share the pool's async team, partitioned among
+// them without full barriers.
+func (p *Pool) Submit(n int, body func(i int)) *Job {
+	return p.submit(jobs.Request{N: n, Body: func(w, low, high int) {
+		for i := low; i < high; i++ {
+			body(i)
+		}
+	}})
+}
+
+// SubmitFor is the asynchronous For: body receives the sub-team worker index
+// (in [0, k) for a job molded onto k workers) and its contiguous chunk
+// bounds.
+func (p *Pool) SubmitFor(n int, body func(worker, low, high int)) *Job {
+	return p.submit(jobs.Request{N: n, Body: body})
+}
+
+// SubmitReduce is the asynchronous ReduceFloat64: per-sub-worker partials
+// are folded — in iteration order, inside the job's join wave — with
+// combine. The result is available from Job.Result.
+func (p *Pool) SubmitReduce(n int, identity float64, combine func(a, b float64) float64, body func(worker, low, high int, acc float64) float64) *Job {
+	return p.submit(jobs.Request{N: n, RBody: body, Identity: identity, Combine: combine})
+}
+
+// Group collects asynchronously submitted jobs for fan-out/fan-in: submit
+// any number of loops from any goroutines, then Wait for all of them at
+// once. The zero Group is not valid; obtain one from Pool.Group.
+type Group struct {
+	p  *Pool
+	mu sync.Mutex
+	js []*Job
+}
+
+// Group returns a new empty job group bound to the pool.
+func (p *Pool) Group() *Group { return &Group{p: p} }
+
+// add registers a job with the group and returns it.
+func (g *Group) add(j *Job) *Job {
+	g.mu.Lock()
+	g.js = append(g.js, j)
+	g.mu.Unlock()
+	return j
+}
+
+// ForEach submits body over [0, n) as a job in the group.
+func (g *Group) ForEach(n int, body func(i int)) *Job {
+	return g.add(g.p.Submit(n, body))
+}
+
+// For submits a chunked loop as a job in the group.
+func (g *Group) For(n int, body func(worker, low, high int)) *Job {
+	return g.add(g.p.SubmitFor(n, body))
+}
+
+// Reduce submits a reducing loop as a job in the group; read its result from
+// the returned handle after Wait.
+func (g *Group) Reduce(n int, identity float64, combine func(a, b float64) float64, body func(worker, low, high int, acc float64) float64) *Job {
+	return g.add(g.p.SubmitReduce(n, identity, combine, body))
+}
+
+// Wait blocks until every job submitted through the group has completed and
+// returns the first error encountered (in submission order). The group can
+// keep accepting jobs while Wait runs; jobs added after Wait returns need a
+// new Wait.
+func (g *Group) Wait() error {
+	g.mu.Lock()
+	js := append([]*Job(nil), g.js...)
+	g.mu.Unlock()
+	var first error
+	for _, j := range js {
+		if err := j.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

@@ -1,9 +1,11 @@
 package loopsched
 
 import (
+	"errors"
 	"math"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -224,6 +226,108 @@ func TestEmptyLoops(t *testing.T) {
 	if got := Reduce(pool, 0, SumOp[int](), func(w, lo, hi int, acc int) int { return acc + 1 }); got != 0 {
 		t.Errorf("empty generic reduce = %d", got)
 	}
+}
+
+func TestSubmitAsyncMatchesSynchronous(t *testing.T) {
+	pool := testPool(t, Config{})
+	n := 8192
+	sync := make([]float64, n)
+	pool.ForEach(n, func(i int) { sync[i] = float64(i) * 1.5 })
+
+	async := make([]float64, n)
+	if err := pool.Submit(n, func(i int) { async[i] = float64(i) * 1.5 }).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range sync {
+		if math.Float64bits(async[i]) != math.Float64bits(sync[i]) {
+			t.Fatalf("index %d: async %v != sync %v", i, async[i], sync[i])
+		}
+	}
+}
+
+func TestSubmitReduceResult(t *testing.T) {
+	pool := testPool(t, Config{})
+	n := 12345
+	j := pool.SubmitReduce(n, 0, func(a, b float64) float64 { return a + b },
+		func(w, lo, hi int, acc float64) float64 {
+			for i := lo; i < hi; i++ {
+				acc += float64(i)
+			}
+			return acc
+		})
+	got, err := j.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(n) * float64(n-1) / 2; got != want {
+		t.Errorf("async sum = %v, want %v", got, want)
+	}
+}
+
+func TestSubmitIsSafeFromManyGoroutines(t *testing.T) {
+	pool := testPool(t, Config{})
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := pool.Submit(250, func(i int) { total.Add(1) }).Wait(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != 12*20*250 {
+		t.Errorf("covered %d iterations, want %d", got, 12*20*250)
+	}
+}
+
+func TestGroupFanOutFanIn(t *testing.T) {
+	pool := testPool(t, Config{})
+	g := pool.Group()
+	outs := make([][]int, 6)
+	for k := range outs {
+		k := k
+		n := 100 * (k + 1)
+		outs[k] = make([]int, n)
+		g.ForEach(n, func(i int) { outs[k][i] = i + k })
+	}
+	sum := g.Reduce(1000, 0, func(a, b float64) float64 { return a + b },
+		func(w, lo, hi int, acc float64) float64 { return acc + float64(hi-lo) })
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for k, out := range outs {
+		for i, v := range out {
+			if v != i+k {
+				t.Fatalf("job %d index %d = %d, want %d", k, i, v, i+k)
+			}
+		}
+	}
+	if v, err := sum.Result(); err != nil || v != 1000 {
+		t.Errorf("group reduce = %v, %v", v, err)
+	}
+}
+
+func TestSubmitAfterCloseFails(t *testing.T) {
+	pool := New(Config{Workers: 2, DisableThreadLock: true})
+	if err := pool.Submit(10, func(i int) {}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	if err := pool.Submit(10, func(i int) {}).Wait(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseWithoutSubmitDoesNotCreateAsyncRuntime(t *testing.T) {
+	pool := New(Config{Workers: 2, DisableThreadLock: true})
+	pool.ForEach(10, func(i int) {})
+	pool.Close() // must not hang or spawn the async team
 }
 
 func TestPropertyGenericReduceMatchesSerial(t *testing.T) {
