@@ -24,6 +24,8 @@ func main() {
 	workers := flag.Int("workers", 0, "shared team size (0 = GOMAXPROCS)")
 	maxPerJob := flag.Int("max-workers-per-job", 0, "sub-team cap per job (0 = no cap)")
 	queue := flag.Int("queue", 0, "admission queue depth (0 = default)")
+	grain := flag.Int("grain", 0, "default self-scheduling chunk size in iterations (0 = heuristic)")
+	elastic := flag.Bool("elastic", true, "let sub-teams grow/shrink after admission (chunked self-scheduling)")
 	lock := flag.Bool("lock-os-threads", false, "pin workers to OS threads")
 	flag.Parse()
 
@@ -31,6 +33,8 @@ func main() {
 		Workers:          *workers,
 		MaxWorkersPerJob: *maxPerJob,
 		QueueDepth:       *queue,
+		DefaultGrain:     *grain,
+		DisableElastic:   !*elastic,
 		LockOSThread:     *lock,
 	})
 	defer srv.Close()

@@ -20,6 +20,11 @@ type serverConfig struct {
 	MaxWorkersPerJob int
 	// QueueDepth bounds the admission queue (Submit blocks when full).
 	QueueDepth int
+	// DefaultGrain is the self-scheduling chunk size for jobs that don't set
+	// grain; <= 0 selects the per-job heuristic.
+	DefaultGrain int
+	// DisableElastic freezes sub-teams at admission (rigid static blocks).
+	DisableElastic bool
 	// LockOSThread pins workers to OS threads (benchmark fidelity; off by
 	// default for a serving daemon).
 	LockOSThread bool
@@ -41,6 +46,8 @@ func newServer(cfg serverConfig) *server {
 			Workers:          cfg.Workers,
 			MaxWorkersPerJob: cfg.MaxWorkersPerJob,
 			QueueDepth:       cfg.QueueDepth,
+			DefaultGrain:     cfg.DefaultGrain,
+			DisableElastic:   cfg.DisableElastic,
 			LockOSThread:     cfg.LockOSThread,
 			Name:             "loopd",
 		}),
@@ -119,10 +126,14 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.runJobs(w, workload, n, nJobs, float64(iterNs), maxWorkers, grain)
 }
 
-// runJobs performs the fan-out/fan-in of one /run request.
+// runJobs performs the fan-out/fan-in of one /run request. The workload is
+// built (and, for calibrated workloads, calibrated) exactly once and the
+// request value reused for every job: request bodies are stateless, and the
+// calibration cache in bench keeps repeat requests off the measurement path.
 func (s *server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, iterNs float64, maxWorkers, grain int) {
 	params := bench.JobParams{N: n, IterNs: iterNs, MaxWorkers: maxWorkers, Grain: grain}
-	if _, err := bench.NewJobRequest(workload, params); err != nil {
+	req, err := bench.NewJobRequest(workload, params)
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -130,11 +141,6 @@ func (s *server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, i
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < nJobs; i++ {
-		req, err := bench.NewJobRequest(workload, params)
-		if err != nil {
-			resp.Results[i].Error = err.Error()
-			continue
-		}
 		j, err := s.rt.Submit(req)
 		if err != nil {
 			resp.Results[i].Error = err.Error()
@@ -185,6 +191,21 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
 	}
+	// summary emits a conforming Prometheus summary: the quantile series
+	// plus the <name>_sum and <name>_count series the exposition format
+	// requires of the summary type. The quantiles are over the recent
+	// window; sum and count are cumulative.
+	summary := func(name, help string, p50, p95, p99 time.Duration, sum float64, count int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
+		for _, q := range []struct {
+			q string
+			v time.Duration
+		}{{"0.5", p50}, {"0.95", p95}, {"0.99", p99}} {
+			fmt.Fprintf(w, "%s{quantile=%q} %g\n", name, q.q, q.v.Seconds())
+		}
+		fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, count)
+	}
 	gauge("loopd_workers", "size of the shared worker team", float64(st.Workers))
 	gauge("loopd_busy_workers", "workers currently executing a job share", float64(st.BusyWorkers))
 	gauge("loopd_queue_depth", "jobs waiting for admission", float64(st.QueueDepth))
@@ -193,15 +214,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("loopd_jobs_completed_total", "jobs ever completed", float64(st.Completed))
 	counter("loopd_jobs_canceled_total", "jobs canceled before start", float64(st.Canceled))
 	counter("loopd_iterations_total", "loop iterations ever executed", float64(st.IterationsDone))
+	counter("loopd_workers_grown_total", "workers that joined an already-running job (elastic growth)", float64(st.Grown))
+	counter("loopd_workers_peeled_total", "workers that left a running job to serve waiting tenants (elastic shrink)", float64(st.Peeled))
 	gauge("loopd_uptime_seconds", "seconds since the daemon started", time.Since(s.started).Seconds())
-	fmt.Fprintf(w, "# HELP loopd_job_latency_seconds job latency from submission to completion (recent window)\n")
-	fmt.Fprintf(w, "# TYPE loopd_job_latency_seconds summary\n")
-	for _, q := range []struct {
-		q string
-		v time.Duration
-	}{{"0.5", st.LatencyP50}, {"0.95", st.LatencyP95}, {"0.99", st.LatencyP99}} {
-		fmt.Fprintf(w, "loopd_job_latency_seconds{quantile=%q} %g\n", q.q, q.v.Seconds())
-	}
+	summary("loopd_job_latency_seconds", "job latency from submission to completion",
+		st.LatencyP50, st.LatencyP95, st.LatencyP99, st.LatencySumSeconds, st.Completed)
+	summary("loopd_job_run_seconds", "job run time from admission to completion",
+		st.RunP50, st.RunP95, st.RunP99, st.RunSumSeconds, st.Completed)
 }
 
 // intParam parses an integer query parameter with a default and inclusive

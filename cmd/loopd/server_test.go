@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -135,6 +136,92 @@ func TestMetricsEndpoint(t *testing.T) {
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// parseExposition parses Prometheus text exposition into type declarations
+// and sample values, failing the test on malformed lines.
+func parseExposition(t *testing.T, text string) (types map[string]string, samples map[string]float64) {
+	t.Helper()
+	types = make(map[string]string)
+	samples = make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("sample %q has non-numeric value: %v", line, err)
+		}
+		samples[fields[0]] = v
+	}
+	return types, samples
+}
+
+func TestMetricsSummaryConformance(t *testing.T) {
+	// A Prometheus summary must expose <name>{quantile=...}, <name>_sum and
+	// <name>_count series; the daemon previously emitted only the latency
+	// quantiles. Parse the real exposition output and check both summaries.
+	_, ts := newTestServer(t)
+	const jobs = 4
+	if _, err := http.Post(ts.URL+fmt.Sprintf("/run?workload=sum&n=800&jobs=%d", jobs), "", nil); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parseExposition(t, string(body))
+	for _, name := range []string{"loopd_job_latency_seconds", "loopd_job_run_seconds"} {
+		if got := types[name]; got != "summary" {
+			t.Errorf("%s TYPE = %q, want summary", name, got)
+		}
+		for _, q := range []string{"0.5", "0.95", "0.99"} {
+			series := fmt.Sprintf("%s{quantile=%q}", name, q)
+			if _, ok := samples[series]; !ok {
+				t.Errorf("summary %s missing series %s", name, series)
+			}
+		}
+		sum, ok := samples[name+"_sum"]
+		if !ok || sum <= 0 {
+			t.Errorf("summary %s missing positive _sum (got %v, present %v)", name, sum, ok)
+		}
+		count, ok := samples[name+"_count"]
+		if !ok {
+			t.Errorf("summary %s missing _count", name)
+		}
+		if completed := samples["loopd_jobs_completed_total"]; ok && count != completed {
+			t.Errorf("%s_count = %v, want completed total %v", name, count, completed)
+		}
+	}
+	for _, name := range []string{"loopd_workers_grown_total", "loopd_workers_peeled_total"} {
+		if got := types[name]; got != "counter" {
+			t.Errorf("%s TYPE = %q, want counter", name, got)
+		}
+		if v, ok := samples[name]; !ok || v < 0 {
+			t.Errorf("%s sample missing or negative: %v (present %v)", name, v, ok)
 		}
 	}
 }

@@ -11,6 +11,23 @@ import (
 	"loopsched/internal/workload"
 )
 
+// calCache memoizes workload.Calibrate per target ns/iteration, so building
+// a job request is allocation-only on the serving hot path: cmd/loopd builds
+// one request per submitted job, and without the cache every HTTP job would
+// re-run the calibration probe.
+var calCache sync.Map // float64 target ns -> workload.Work
+
+// calibrated returns the calibrated work for the target per-iteration cost,
+// measuring at most once per distinct target.
+func calibrated(targetNs float64) workload.Work {
+	if w, ok := calCache.Load(targetNs); ok {
+		return w.(workload.Work)
+	}
+	w := workload.Calibrate(targetNs)
+	calCache.Store(targetNs, w)
+	return w
+}
+
 // JobParams parameterizes a named job workload.
 type JobParams struct {
 	// N is the iteration count; <= 0 selects 4096 (the order of the paper's
@@ -40,7 +57,7 @@ var jobWorkloads = map[string]func(p JobParams) jobs.Request{
 	// spin: a calibrated busy-work loop, the body of the Table 1 burden
 	// micro-benchmark.
 	"spin": func(p JobParams) jobs.Request {
-		work := workload.Calibrate(p.IterNs)
+		work := calibrated(p.IterNs)
 		return jobs.Request{
 			N:     p.N,
 			Label: "spin",
@@ -51,13 +68,38 @@ var jobWorkloads = map[string]func(p JobParams) jobs.Request{
 			Grain:      p.Grain,
 		}
 	},
+	// spinskew: busy work whose per-iteration cost grows linearly across the
+	// iteration space (the last iteration costs ~8x the first). Under static
+	// block partitioning the top block dominates and k-1 sub-workers idle
+	// behind one straggler; chunked self-scheduling balances it.
+	"spinskew": func(p JobParams) jobs.Request {
+		work := calibrated(p.IterNs)
+		n := p.N
+		return jobs.Request{
+			N:     n,
+			Label: "spinskew",
+			Body: func(w, lo, hi int) {
+				var acc uint64
+				for i := lo; i < hi; i++ {
+					for rep := 0; rep <= 7*i/n; rep++ {
+						acc += work.Iter(i)
+					}
+				}
+				workload.Consume(acc)
+			},
+			MaxWorkers: p.MaxWorkers,
+			Grain:      p.Grain,
+		}
+	},
 	// sum: the canonical reducing loop (sum of the iteration index), whose
-	// result the caller can verify as n(n-1)/2.
+	// result the caller can verify as n(n-1)/2. Integer-valued and
+	// commutative, so the elastic arrival-order fold stays bit-exact.
 	"sum": func(p JobParams) jobs.Request {
 		return jobs.Request{
-			N:       p.N,
-			Label:   "sum",
-			Combine: func(a, b float64) float64 { return a + b },
+			N:           p.N,
+			Label:       "sum",
+			Commutative: true,
+			Combine:     func(a, b float64) float64 { return a + b },
 			RBody: func(w, lo, hi int, acc float64) float64 {
 				for i := lo; i < hi; i++ {
 					acc += float64(i)
@@ -71,11 +113,12 @@ var jobWorkloads = map[string]func(p JobParams) jobs.Request{
 	// spinsum: calibrated busy work folded into a scalar reduction — the
 	// shape of the map-reduce kernels of Figure 3, with a checkable result.
 	"spinsum": func(p JobParams) jobs.Request {
-		work := workload.Calibrate(p.IterNs)
+		work := calibrated(p.IterNs)
 		return jobs.Request{
-			N:       p.N,
-			Label:   "spinsum",
-			Combine: func(a, b float64) float64 { return a + b },
+			N:           p.N,
+			Label:       "spinsum",
+			Commutative: true,
+			Combine:     func(a, b float64) float64 { return a + b },
 			RBody: func(w, lo, hi int, acc float64) float64 {
 				workload.Consume(work.Run(lo, hi))
 				return acc + float64(hi-lo)
@@ -125,6 +168,9 @@ type MultitenantOptions struct {
 	MaxWorkersPerJob int
 	// QueueDepth bounds the admission queue; <= 0 selects the default.
 	QueueDepth int
+	// DisableElastic freezes sub-teams at admission (rigid static blocks),
+	// for comparing against the elastic scheduler.
+	DisableElastic bool
 }
 
 func (o *MultitenantOptions) normalize() {
@@ -173,6 +219,7 @@ func RunMultitenant(opt MultitenantOptions) (MultitenantResult, error) {
 		Workers:          opt.Workers,
 		MaxWorkersPerJob: opt.MaxWorkersPerJob,
 		QueueDepth:       opt.QueueDepth,
+		DisableElastic:   opt.DisableElastic,
 		LockOSThread:     LockThreads,
 		Name:             "multitenant",
 	})

@@ -123,6 +123,20 @@ var scenarios = map[string]Scenario{
 		}
 		return WriteMultitenant(w, res)
 	},
+	"burst": func(w io.Writer) error {
+		elastic, rigid, err := RunBurstComparison(BurstOptions{Workers: 4, BigN: 4096, BurstJobs: 8, BurstN: 256, IterNs: 1500})
+		if err != nil {
+			return err
+		}
+		return WriteBurst(w, elastic, rigid)
+	},
+	"skew": func(w io.Writer) error {
+		elastic, rigid, err := RunSkewComparison(SkewOptions{Workers: 4, N: 4096, Jobs: 3, IterNs: 300})
+		if err != nil {
+			return err
+		}
+		return WriteSkew(w, elastic, rigid)
+	},
 }
 
 // shortThreadCounts returns {1} on a single-processor machine and {1, 2}

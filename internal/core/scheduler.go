@@ -160,12 +160,15 @@ func (s *Scheduler) runShare(w int, c *command) {
 		}
 		s.scalarViews[w].v = acc
 	case reduceVec:
-		buf := s.vecViews[w]
+		// Zero only the active width: the retained view may be much wider
+		// after an earlier wide ForReduceVec, and the join wave only ever
+		// reads buf[:width].
+		buf := s.vecViews[w][:c.width]
 		for i := range buf {
 			buf[i] = 0
 		}
 		if !r.Empty() {
-			c.vbody(w, r.Begin, r.End, buf[:c.width])
+			c.vbody(w, r.Begin, r.End, buf)
 		}
 	default:
 		if !r.Empty() {

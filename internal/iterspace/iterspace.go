@@ -107,12 +107,26 @@ type Chunker struct {
 // NewChunker creates a dynamic chunker over n iterations with the given
 // chunk size (minimum 1).
 func NewChunker(n, chunk int) *Chunker {
+	c := &Chunker{}
+	c.Init(n, chunk)
+	return c
+}
+
+// Init (re)initialises an embedded Chunker in place over n iterations with
+// the given chunk size (minimum 1), so that callers embedding a Chunker by
+// value — one atomic cursor per job, say — need no extra allocation. It must
+// not be called concurrently with Next.
+func (c *Chunker) Init(n, chunk int) {
 	if chunk <= 0 {
 		chunk = 1
 	}
-	c := &Chunker{n: int64(n), chunk: int64(chunk)}
-	return c
+	c.n = int64(n)
+	c.chunk = int64(chunk)
+	c.next.Store(0)
 }
+
+// Chunk returns the chunk size handed out by Next.
+func (c *Chunker) Chunk() int { return int(c.chunk) }
 
 // Next claims the next chunk. It returns an empty range (ok == false) once
 // the iteration space is exhausted.

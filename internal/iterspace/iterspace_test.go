@@ -182,6 +182,38 @@ func TestChunkerSequential(t *testing.T) {
 	}
 }
 
+func TestChunkerInitInPlace(t *testing.T) {
+	// Init supports embedding a Chunker by value (one cursor per job, no
+	// allocation) and re-targeting it to a fresh iteration space.
+	var c Chunker
+	c.Init(7, 4)
+	if c.Chunk() != 4 {
+		t.Errorf("Chunk = %d, want 4", c.Chunk())
+	}
+	var got []Range
+	for {
+		r, ok := c.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	want := []Range{{0, 4}, {4, 7}}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("chunks = %v, want %v", got, want)
+	}
+	c.Init(5, 0) // chunk <= 0 selects 1, cursor rewinds
+	if c.Chunk() != 1 {
+		t.Errorf("Chunk = %d, want 1", c.Chunk())
+	}
+	if c.Remaining() != 5 {
+		t.Errorf("Remaining = %d after re-Init, want 5", c.Remaining())
+	}
+	if r, ok := c.Next(); !ok || (r != Range{0, 1}) {
+		t.Errorf("Next after re-Init = %v,%v", r, ok)
+	}
+}
+
 func TestChunkerConcurrent(t *testing.T) {
 	const n = 100000
 	c := NewChunker(n, 7)

@@ -5,24 +5,44 @@
 // The paper's half-barrier insight — workers are dedicated and idle between
 // loops, so a loop needs only one release wave at the fork and one join wave
 // at the completion — is applied here *across* jobs instead of within one
-// master's loop stream. Each admitted job runs on a moldable sub-team of
-// k <= P workers: the dispatcher hands the job to k idle workers in a single
-// release wave (a channel send per worker; the dispatcher never waits for
-// the sub-team to assemble), each worker executes its static block of the
-// iteration space, and the sub-team completes through the join half-barrier
-// of internal/barrier — non-root workers announce arrival and return to the
-// idle pool immediately, the sub-root folds any reduction views in worker
-// order (exactly k-1 combines) and publishes the result. No job ever pays a
-// full barrier, and jobs coordinate only through the admission queue: there
-// is no global synchronisation on the execution hot path.
+// master's loop stream. Each admitted job runs on a sub-team of k <= P
+// workers: the dispatcher hands the job to k idle workers in a single release
+// wave (a channel send per worker; the dispatcher never waits for the
+// sub-team to assemble), and the sub-team completes through a join wave over
+// exactly the workers that participated. No job ever pays a full barrier, and
+// jobs coordinate only through the admission queue: on the execution hot path
+// a worker's only shared-state operation is one atomic chunk claim.
 //
-// The sub-team size k is chosen at admission from the queue depth and the
-// job's size (see Scheduler.teamSize), so a lone job spreads across the
-// machine while a burst of jobs degrades gracefully to one worker each.
+// # Elastic sub-teams
+//
+// Unlike the paper's dedicated teams, sub-teams here are *elastic*:
+//
+//   - Within a job, workers self-schedule grain-sized chunks from a per-job
+//     atomic cursor instead of executing one static block each, so a
+//     sub-worker that finishes early takes more chunks instead of idling
+//     behind a straggler (skewed bodies no longer leave k-1 workers idle).
+//   - A sub-team can grow after admission: an idle worker joins a running
+//     job that still has unclaimed work, bounded by the job's worker caps.
+//   - A sub-team shrinks under queue pressure: a worker that finishes a
+//     chunk while other tenants wait in the admission queue peels off (never
+//     the last participant) and returns to the dispatcher, which re-molds it
+//     onto a waiting job. This fixes the convoy effect — a lone job that
+//     grabbed all P workers yields them chunk-by-chunk to a later burst.
+//
+// The join stays a half-barrier-shaped wave over the workers that actually
+// participated: leaving workers fold their partial (for reducing jobs) and
+// decrement the participant count without waiting for anyone; the last one
+// out completes the job. Reducing jobs take the elastic path only when the
+// request declares its combine Commutative — partials are then folded in
+// arrival order. Non-commutative reductions keep the rigid path: a static
+// block per sub-worker, a fixed sub-team and a join half-barrier that folds
+// views in worker order (exactly k-1 combines), bit-for-bit the same result
+// as the synchronous scheduler.
 package jobs
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -77,21 +97,30 @@ type Request struct {
 	// N is the iteration space [0, N). Non-positive N completes immediately.
 	N int
 	// Body is a plain loop body. The worker index it receives is the
-	// *sub-team* index in [0, k) where k is the number of workers the job was
-	// molded onto — the same contract as sched.Body, with P replaced by k.
+	// *sub-team* index: a dense id in [0, K) where K never exceeds the job's
+	// worker caps (and never exceeds the team size P). Under elastic
+	// execution a sub-worker may be called with several disjoint chunks, in
+	// increasing iteration order per sub-worker.
 	Body sched.Body
 	// RBody, Identity and Combine describe a scalar reducing loop: per-worker
-	// partials start at Identity and are folded with Combine in sub-worker
-	// order inside the join wave (k-1 combines, non-commutative safe).
+	// partials start at Identity and are folded with Combine. Unless
+	// Commutative is set, the fold happens in sub-worker order inside the
+	// join wave (k-1 combines, non-commutative safe) over static blocks.
 	RBody    sched.ReduceBody
 	Identity float64
 	Combine  func(a, b float64) float64
+	// Commutative declares Combine commutative (and Identity a true
+	// identity), allowing the runtime to execute the reduction elastically:
+	// chunked self-scheduling with partials folded in arrival order. Leave
+	// it false for ordered (non-commutative) reductions.
+	Commutative bool
 	// MaxWorkers caps the sub-team size for this job; <= 0 means no cap
 	// beyond the scheduler's own limits.
 	MaxWorkers int
-	// Grain is the minimum number of iterations per worker worth the
-	// synchronisation; the sub-team never exceeds ceil(N/Grain) workers.
-	// <= 0 selects 1.
+	// Grain is the self-scheduling chunk size in iterations — the smallest
+	// unit of work worth one atomic claim. It is also the minimum number of
+	// iterations per worker: the sub-team never exceeds ceil(N/Grain)
+	// workers. <= 0 selects the scheduler's default heuristic.
 	Grain int
 	// Label tags the job in statistics (for example the workload name).
 	Label string
@@ -115,12 +144,30 @@ type Job struct {
 	result float64
 	err    error
 
-	// workers is the molded sub-team size, atomic because submitters may
-	// poll it while the dispatcher admits the job.
+	// workers is the peak sub-team size (for rigid jobs, the molded size k),
+	// atomic because submitters may poll it while the job runs.
 	workers atomic.Int32
 
-	// partials holds the per-sub-worker reduction views for reducing jobs.
+	// partials holds the per-sub-worker reduction views for rigid reducing
+	// jobs.
 	partials []paddedPartial
+
+	// Elastic execution state (nil/zero for rigid jobs).
+	elastic bool
+	// cursor hands out grain-sized chunks of [0, N); one atomic add per
+	// claim is the hot path's only shared-state operation.
+	cursor iterspace.Chunker
+	// active counts the participants currently executing chunks. Growth
+	// CASes it up from >= 1 only; the decrement to 0 completes the job, so a
+	// completed job can never be resurrected.
+	active atomic.Int32
+	// slots holds the free dense sub-worker ids in [0, maxK); capacity maxK.
+	slots chan int
+	maxK  int
+	// redMu guards acc, the shared accumulator elastic reducing jobs fold
+	// into at leave time (once per participant, not per chunk).
+	redMu sync.Mutex
+	acc   float64
 
 	submitted time.Time
 	started   time.Time
@@ -153,24 +200,156 @@ func (j *Job) Cancel() bool {
 	close(j.done)
 	if j.s != nil {
 		j.s.canceled.Add(1)
+		// The job still sits in the admission queue, but it no longer waits
+		// for workers: take it out of the depth other tenants' fair share is
+		// computed from. The dispatcher skips the depth decrement for jobs
+		// whose Pending->Running CAS fails, so exactly one side accounts for
+		// each job.
+		j.s.depth.Add(-1)
 	}
 	return true
 }
 
-// Workers returns the sub-team size the job ran on (0 until it is admitted).
+// Workers returns the peak sub-team size the job has run on (0 until it is
+// admitted). Elastic jobs may grow and shrink while running; the peak is the
+// largest number of simultaneous participants.
 func (j *Job) Workers() int { return int(j.workers.Load()) }
 
 // Label returns the request's label.
 func (j *Job) Label() string { return j.req.Label }
 
+// initElastic prepares the elastic execution state for a job about to be
+// admitted on k initial workers, with the given chunk size and participant
+// cap. Called by the dispatcher strictly before the release wave.
+func (j *Job) initElastic(k, chunk, maxK int) {
+	j.elastic = true
+	j.cursor.Init(j.req.N, chunk)
+	j.maxK = maxK
+	j.slots = make(chan int, maxK)
+	for i := 0; i < maxK; i++ {
+		j.slots <- i
+	}
+	j.acc = j.req.Identity
+	j.active.Store(int32(k))
+	j.workers.Store(int32(k))
+}
+
+// tryGrow attempts to reserve a participant slot on a running elastic job.
+// It returns the dense sub-worker id to use, or ok == false when the job is
+// at its cap, has no unclaimed work, or is completing. The CAS loop joins
+// only while at least one participant remains, so a completed job is never
+// resurrected.
+func (j *Job) tryGrow() (sub int, ok bool) {
+	if !j.elastic || j.cursor.Remaining() == 0 {
+		return 0, false
+	}
+	select {
+	case sub = <-j.slots:
+	default:
+		return 0, false // at the participant cap
+	}
+	for {
+		a := j.active.Load()
+		if a < 1 {
+			j.slots <- sub // completing or completed; hand the slot back
+			return 0, false
+		}
+		if j.active.CompareAndSwap(a, a+1) {
+			if a+1 > j.workers.Load() {
+				j.workers.Store(a + 1)
+			}
+			return sub, true
+		}
+	}
+}
+
+// tryPeel decrements the participant count only if another participant
+// remains, so a job is never abandoned with unclaimed work. It reports
+// whether the caller may stop taking chunks.
+func (j *Job) tryPeel() bool {
+	for {
+		a := j.active.Load()
+		if a <= 1 {
+			return false
+		}
+		if j.active.CompareAndSwap(a, a-1) {
+			return true
+		}
+	}
+}
+
+// runElastic is one participant's share of an elastic job: claim chunks from
+// the cursor until the space is exhausted or queue pressure asks the worker
+// to peel off. The leave protocol folds the participant's partial *before*
+// the active decrement, so the completing participant observes every fold.
+func (j *Job) runElastic(sub int) {
+	s := j.s
+	reducing := j.req.RBody != nil
+	for {
+		acc := j.req.Identity
+		touched := false
+		peel := false
+		for {
+			r, ok := j.cursor.Next()
+			if !ok {
+				break
+			}
+			if reducing {
+				acc = j.req.RBody(sub, r.Begin, r.End, acc)
+			} else {
+				j.req.Body(sub, r.Begin, r.End)
+			}
+			touched = true
+			// Shrink under queue pressure: with tenants waiting for
+			// admission, stop claiming chunks and let the dispatcher re-mold
+			// this worker. The cheap load keeps the no-pressure hot path
+			// arbitration-free.
+			if s != nil && s.depth.Load() > 0 && j.active.Load() > 1 {
+				peel = true
+				break
+			}
+		}
+		if reducing && touched {
+			j.redMu.Lock()
+			j.acc = j.req.Combine(j.acc, acc)
+			j.redMu.Unlock()
+		}
+		if !peel {
+			// Exhausted the cursor: leave for good. The slot is returned
+			// first so a grower can reuse it; the grow CAS requires
+			// active >= 1, so the decrement below still safely completes the
+			// job when this participant is the last.
+			j.slots <- sub
+			if j.active.Add(-1) == 0 {
+				j.complete()
+			}
+			return
+		}
+		if j.tryPeel() {
+			j.slots <- sub
+			if s != nil {
+				s.peeled.Add(1)
+			}
+			return
+		}
+		// Lost the race to peel: every other participant left while this one
+		// was folding, so it is now the job's only worker and must keep
+		// going (with a fresh partial; arrival-order folding permits it).
+	}
+}
+
 // assignment is the work descriptor the dispatcher hands to one worker: its
-// sub-team index, the sub-team size and the sub-team's join half-barrier.
+// sub-team index and, for rigid jobs, the sub-team size and join
+// half-barrier.
 type assignment struct {
 	job *Job
 	sub int
+	// k and bar describe a rigid sub-team; bar is nil when k == 1. Elastic
+	// assignments have k == 0.
 	k   int
-	// bar is the sub-team's half-barrier; nil when k == 1.
 	bar barrier.HalfPair
+	// elastic routes the worker through chunk self-scheduling.
+	elastic bool
 }
 
 // run executes this worker's share of the job and participates in the join
@@ -178,6 +357,10 @@ type assignment struct {
 // assignment.
 func (a *assignment) run() {
 	j := a.job
+	if a.elastic {
+		j.runElastic(a.sub)
+		return
+	}
 	r := iterspace.Block(j.req.N, a.k, a.sub)
 	if j.req.RBody != nil {
 		acc := j.req.Identity
@@ -212,11 +395,16 @@ func (j *Job) combineInto() func(into, from int) {
 	}
 }
 
-// complete publishes the job's result. Called exactly once, by the sub-root
-// (or by the scheduler for degenerate jobs).
+// complete publishes the job's result. Called exactly once: by the rigid
+// sub-root, by the last elastic participant to leave, or by the scheduler
+// for degenerate jobs.
 func (j *Job) complete() {
 	if j.req.RBody != nil {
-		j.result = j.partials[0].v
+		if j.elastic {
+			j.result = j.acc
+		} else {
+			j.result = j.partials[0].v
+		}
 	}
 	j.state.Store(int32(Done))
 	if j.s != nil {

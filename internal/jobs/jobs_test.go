@@ -4,6 +4,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -233,11 +234,66 @@ func TestCancelBeforeStart(t *testing.T) {
 }
 
 func TestWorkerPartitionCorrectness(t *testing.T) {
-	// Under -race: concurrent jobs record every (sub, lo, hi) share they
-	// execute; each job's shares must tile [0, n) exactly with the static
-	// block partition for its molded team size.
+	// Under -race: concurrent elastic jobs record every (sub, lo, hi) chunk
+	// they execute; each job's chunks must tile [0, n) exactly — disjoint,
+	// complete, with dense sub-worker ids.
 	s := testScheduler(t, 4, Config{})
 	const jobs = 12
+	type share struct{ sub, lo, hi int }
+	var wg sync.WaitGroup
+	for g := 0; g < jobs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 256 + 37*g
+			var mu sync.Mutex
+			var shares []share
+			j, err := s.Submit(Request{N: n, Body: func(w, lo, hi int) {
+				mu.Lock()
+				shares = append(shares, share{w, lo, hi})
+				mu.Unlock()
+			}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := j.Wait(); err != nil {
+				t.Error(err)
+				return
+			}
+			k := j.Workers()
+			if k < 1 || k > s.P() {
+				t.Errorf("job %d: peak sub-team %d workers", g, k)
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			sort.Slice(shares, func(a, b int) bool { return shares[a].lo < shares[b].lo })
+			next := 0
+			for _, sh := range shares {
+				if sh.sub < 0 || sh.sub >= s.P() {
+					t.Errorf("job %d: sub-worker %d out of range [0,%d)", g, sh.sub, s.P())
+				}
+				if sh.lo != next || sh.hi <= sh.lo {
+					t.Errorf("job %d: chunk [%d,%d) does not continue tiling at %d", g, sh.lo, sh.hi, next)
+					return
+				}
+				next = sh.hi
+			}
+			if next != n {
+				t.Errorf("job %d: covered [0,%d) of [0,%d)", g, next, n)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestRigidPartitionMatchesStaticBlocks(t *testing.T) {
+	// With elasticity disabled the pre-elastic contract still holds: each
+	// job's shares are exactly the static block partition for its molded
+	// team size.
+	s := testScheduler(t, 4, Config{DisableElastic: true})
+	const jobs = 8
 	type share struct{ sub, lo, hi int }
 	var wg sync.WaitGroup
 	for g := 0; g < jobs; g++ {

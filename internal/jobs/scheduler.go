@@ -23,6 +23,15 @@ type Config struct {
 	// MaxWorkersPerJob caps every job's sub-team size; <= 0 means no cap
 	// (a lone job may use the whole team).
 	MaxWorkersPerJob int
+	// DefaultGrain is the self-scheduling chunk size used by elastic jobs
+	// that do not set Request.Grain; <= 0 selects a per-job heuristic
+	// (roughly 8 chunks per team member).
+	DefaultGrain int
+	// DisableElastic freezes every sub-team at admission and partitions each
+	// job statically — the paper's rigid teams. It exists for comparison
+	// (the convoy and straggler benchmarks measure elastic against it) and
+	// for callers that require the static-block body contract.
+	DisableElastic bool
 	// LatencyWindow is the number of recent completions kept for the latency
 	// percentiles in Stats; <= 0 selects 1024.
 	LatencyWindow int
@@ -59,8 +68,9 @@ type Scheduler struct {
 	// queue is the admission queue; the single dispatcher goroutine is its
 	// only consumer.
 	queue chan *Job
-	// free holds the ids of idle workers; workers return themselves after
-	// finishing a share, the dispatcher takes ids when molding a sub-team.
+	// free carries the ids of workers returning to the dispatcher after
+	// finishing an assignment; the dispatcher is its only consumer while
+	// running (Close drains it at teardown).
 	free chan int
 	// assign carries at most one in-flight assignment per worker: the
 	// dispatcher's release wave is k buffered sends and never blocks.
@@ -72,10 +82,13 @@ type Scheduler struct {
 
 	depth     atomic.Int64
 	running   atomic.Int64
+	busy      atomic.Int64
 	submitted atomic.Int64
 	completed atomic.Int64
 	canceled  atomic.Int64
 	itersDone atomic.Int64
+	grown     atomic.Int64
+	peeled    atomic.Int64
 
 	lat latRing
 }
@@ -143,26 +156,19 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 	return j, nil
 }
 
-// teamSize picks the moldable sub-team size for a job: bounded by the
+// teamSize picks the sub-team size a job is admitted on: bounded by the
 // scheduler-wide and per-job caps, by the job's size (never fewer than Grain
 // iterations per worker), and by the queue pressure — with waiting jobs
 // behind this one, each admitted job takes only its fair share of the team
-// so concurrent tenants run side by side instead of serialising.
+// so concurrent tenants run side by side instead of serialising. Elastic
+// jobs later grow past this initial size (up to their caps) when workers
+// idle, and shrink below it under queue pressure.
 func (s *Scheduler) teamSize(j *Job, waiting int) int {
-	k := s.p
-	if s.cfg.MaxWorkersPerJob > 0 && k > s.cfg.MaxWorkersPerJob {
-		k = s.cfg.MaxWorkersPerJob
-	}
-	if j.req.MaxWorkers > 0 && k > j.req.MaxWorkers {
-		k = j.req.MaxWorkers
-	}
 	grain := j.req.Grain
 	if grain <= 0 {
 		grain = 1
 	}
-	if bySize := (j.req.N + grain - 1) / grain; k > bySize {
-		k = bySize
-	}
+	k := s.capTeam(j, grain)
 	if fair := s.p / (waiting + 1); k > fair {
 		k = fair
 	}
@@ -172,65 +178,232 @@ func (s *Scheduler) teamSize(j *Job, waiting int) int {
 	return k
 }
 
-// dispatch is the admission loop: it pops jobs in submission order, molds a
-// sub-team for each and performs the fork-side release wave (one buffered
-// channel send per chosen worker; like the paper's release half-barrier, the
-// dispatcher does not wait for the sub-team, it moves straight to the next
-// job).
+// capTeam is the shared worker-cap policy: the team size clamped by the
+// scheduler-wide and per-job caps and by the number of grain-sized pieces
+// of the iteration space (a worker beyond one-per-piece could never claim
+// work), floored at 1.
+func (s *Scheduler) capTeam(j *Job, grain int) int {
+	k := s.p
+	if s.cfg.MaxWorkersPerJob > 0 && k > s.cfg.MaxWorkersPerJob {
+		k = s.cfg.MaxWorkersPerJob
+	}
+	if j.req.MaxWorkers > 0 && k > j.req.MaxWorkers {
+		k = j.req.MaxWorkers
+	}
+	if bySize := (j.req.N + grain - 1) / grain; k > bySize {
+		k = bySize
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// chunkFor picks the self-scheduling chunk size of an elastic job: the
+// request's Grain, the scheduler default, or a heuristic targeting ~8 chunks
+// per team member (enough slack for balancing and peeling without measurable
+// claim traffic).
+func (s *Scheduler) chunkFor(j *Job) int {
+	if j.req.Grain > 0 {
+		return j.req.Grain
+	}
+	if s.cfg.DefaultGrain > 0 {
+		return s.cfg.DefaultGrain
+	}
+	chunk := j.req.N / (8 * s.p)
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
+}
+
+// maxTeam is the hard participant cap of an elastic job: the shared cap
+// policy evaluated at the job's actual chunk size.
+func (s *Scheduler) maxTeam(j *Job, chunk int) int {
+	return s.capTeam(j, chunk)
+}
+
+// elasticFor reports whether a job takes the elastic path. Non-commutative
+// reductions keep the rigid path: their fold order (sub-worker order over
+// static blocks) is part of the result.
+func (s *Scheduler) elasticFor(j *Job) bool {
+	if s.cfg.DisableElastic {
+		return false
+	}
+	return j.req.RBody == nil || j.req.Commutative
+}
+
+// dispatch is the admission loop: a single event loop over two channels (the
+// admission queue and returning workers) that admits jobs in submission
+// order, performs each fork-side release wave (one buffered channel send per
+// chosen worker; like the paper's release half-barrier, the dispatcher never
+// waits for a sub-team), and — when no tenant is waiting — re-molds idle
+// workers onto running elastic jobs that still have unclaimed chunks.
 func (s *Scheduler) dispatch() {
 	defer close(s.dispatcherDone)
-	for j := range s.queue {
-		s.depth.Add(-1)
-		if !j.state.CompareAndSwap(int32(Pending), int32(Running)) {
-			continue // canceled while queued
+	var idle []int                      // workers held by the dispatcher
+	var pending []*Job                  // popped jobs waiting for their first worker
+	growable := make(map[*Job]struct{}) // running elastic jobs
+	queue := s.queue
+	for {
+		// Opportunistically collect every worker that has already returned,
+		// so admission sees the largest possible idle set. The queue is
+		// received from only while no popped job waits (qc below), keeping
+		// at most one job out of the bounded channel: QueueDepth
+		// backpressure still caps the submitted-but-unadmitted population.
+		qc := queue
+		if len(pending) > 0 {
+			qc = nil
 		}
-		want := s.teamSize(j, int(s.depth.Load()))
-		ids := s.acquire(want)
-		k := len(ids)
-		j.workers.Store(int32(k))
-		j.started = time.Now()
-		if j.req.RBody != nil {
-			j.partials = make([]paddedPartial, k)
+		for collecting := true; collecting; {
+			select {
+			case id := <-s.free:
+				idle = append(idle, id)
+			case j, ok := <-qc:
+				if !ok {
+					queue, qc = nil, nil
+					continue
+				}
+				pending = append(pending, j)
+				qc = nil
+			default:
+				collecting = false
+			}
 		}
-		var bar barrier.HalfPair
-		if k > 1 {
-			bar = barrier.NewCentralized(k)
+		for j := range growable {
+			if j.State() != Running || j.cursor.Remaining() == 0 {
+				delete(growable, j)
+			}
 		}
-		s.running.Add(1)
-		for sub, id := range ids {
-			s.assign[id] <- &assignment{job: j, sub: sub, k: k, bar: bar}
+		for len(pending) > 0 && len(idle) > 0 {
+			j := pending[0]
+			pending = pending[1:]
+			idle = s.admit(j, idle, growable)
 		}
-	}
-}
-
-// acquire takes up to want idle workers, blocking only for the first: a job
-// always makes progress with whatever fraction of the team is free, which is
-// what makes the teams moldable rather than rigid.
-func (s *Scheduler) acquire(want int) []int {
-	ids := make([]int, 1, want)
-	ids[0] = <-s.free
-	for len(ids) < want {
+		// The depth guard closes the race with a tenant that was submitted
+		// (depth is incremented before the queue send) but not yet
+		// received: a worker that just peeled for that tenant must not be
+		// grown straight back onto the job it left.
+		if len(pending) == 0 && len(idle) > 0 && s.depth.Load() == 0 {
+			idle = s.grow(idle, growable)
+		}
+		// The exit condition must be re-checked here, not only where the
+		// closure is observed: admit can empty `pending` after the queue
+		// was seen closed (a canceled job is popped without consuming a
+		// worker), and blocking below with both channels dead would hang
+		// Close.
+		if queue == nil && len(pending) == 0 {
+			break
+		}
+		qc = queue
+		if len(pending) > 0 {
+			qc = nil
+		}
 		select {
+		case j, ok := <-qc:
+			if !ok {
+				queue = nil
+				continue
+			}
+			pending = append(pending, j)
 		case id := <-s.free:
-			ids = append(ids, id)
-		default:
-			return ids
+			idle = append(idle, id)
 		}
 	}
-	return ids
-}
-
-// worker is the body of every team member: execute one assignment, return to
-// the idle pool, repeat until the scheduler closes.
-func (s *Scheduler) worker(id int) {
-	for a := range s.assign[id] {
-		a.run()
+	// Hand the held workers back so Close can collect the full team.
+	for _, id := range idle {
 		s.free <- id
 	}
 }
 
-// recordCompletion updates the aggregate statistics; called by the sub-root
-// exactly once per job.
+// admit molds a sub-team for one popped job from the dispatcher's idle
+// workers and performs the release wave. It returns the remaining idle set
+// (unchanged when the job was canceled while queued).
+func (s *Scheduler) admit(j *Job, idle []int, growable map[*Job]struct{}) []int {
+	if !j.state.CompareAndSwap(int32(Pending), int32(Running)) {
+		return idle // canceled while queued; Cancel already adjusted depth
+	}
+	s.depth.Add(-1)
+	want := s.teamSize(j, int(s.depth.Load()))
+	k := len(idle)
+	if k > want {
+		k = want
+	}
+	elastic := s.elasticFor(j)
+	var bar barrier.HalfPair
+	if elastic {
+		chunk := s.chunkFor(j)
+		maxK := s.maxTeam(j, chunk)
+		if k > maxK {
+			k = maxK
+		}
+		j.initElastic(k, chunk, maxK)
+		growable[j] = struct{}{}
+	} else {
+		j.workers.Store(int32(k))
+		if j.req.RBody != nil {
+			j.partials = make([]paddedPartial, k)
+		}
+		if k > 1 {
+			bar = barrier.NewCentralized(k)
+		}
+	}
+	j.started = time.Now()
+	s.running.Add(1)
+	for sub := 0; sub < k; sub++ {
+		id := idle[len(idle)-1]
+		idle = idle[:len(idle)-1]
+		a := &assignment{job: j, sub: sub, elastic: elastic}
+		if elastic {
+			a.sub = <-j.slots
+		} else {
+			a.k, a.bar = k, bar
+		}
+		s.assign[id] <- a
+	}
+	return idle
+}
+
+// grow distributes idle workers round-robin over the running elastic jobs
+// that can still use them. Called only when no tenant waits for admission,
+// so growth never starves a queued job.
+func (s *Scheduler) grow(idle []int, growable map[*Job]struct{}) []int {
+	for len(idle) > 0 && len(growable) > 0 {
+		progressed := false
+		for j := range growable {
+			if len(idle) == 0 {
+				break
+			}
+			sub, ok := j.tryGrow()
+			if !ok {
+				continue
+			}
+			id := idle[len(idle)-1]
+			idle = idle[:len(idle)-1]
+			s.grown.Add(1)
+			s.assign[id] <- &assignment{job: j, sub: sub, elastic: true}
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	return idle
+}
+
+// worker is the body of every team member: execute one assignment, return to
+// the dispatcher, repeat until the scheduler closes.
+func (s *Scheduler) worker(id int) {
+	for a := range s.assign[id] {
+		s.busy.Add(1)
+		a.run()
+		s.busy.Add(-1)
+		s.free <- id
+	}
+}
+
+// recordCompletion updates the aggregate statistics; called by the
+// completing worker exactly once per job.
 func (s *Scheduler) recordCompletion(j *Job) {
 	now := time.Now()
 	s.completed.Add(1)
@@ -280,6 +453,11 @@ type Stats struct {
 	Canceled    int64 `json:"canceled"`
 	// IterationsDone is the total number of loop iterations completed.
 	IterationsDone int64 `json:"iterations_done"`
+	// Grown counts workers that joined an already-running job (elastic
+	// sub-team growth); Peeled counts workers that left a running job early
+	// to serve waiting tenants (elastic shrink).
+	Grown  int64 `json:"grown_total"`
+	Peeled int64 `json:"peeled_total"`
 	// Latency quantiles (submission to completion) over the recent window.
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
 	LatencyP95 time.Duration `json:"latency_p95_ns"`
@@ -290,6 +468,11 @@ type Stats struct {
 	RunP99 time.Duration `json:"run_p99_ns"`
 	// LatencySamples is the number of completions in the window.
 	LatencySamples int `json:"latency_samples"`
+	// LatencySumSeconds and RunSumSeconds are cumulative (not windowed)
+	// totals over all completions, matching Completed as the count — the
+	// _sum/_count pair of a Prometheus summary.
+	LatencySumSeconds float64 `json:"latency_sum_seconds"`
+	RunSumSeconds     float64 `json:"run_sum_seconds"`
 }
 
 // Stats returns a snapshot of queue depth, occupancy and latency
@@ -297,16 +480,19 @@ type Stats struct {
 func (s *Scheduler) Stats() Stats {
 	st := Stats{
 		Workers:        s.p,
-		BusyWorkers:    s.p - len(s.free),
+		BusyWorkers:    int(s.busy.Load()),
 		QueueDepth:     int(s.depth.Load()),
 		Running:        int(s.running.Load()),
 		Submitted:      s.submitted.Load(),
 		Completed:      s.completed.Load(),
 		Canceled:       s.canceled.Load(),
 		IterationsDone: s.itersDone.Load(),
+		Grown:          s.grown.Load(),
+		Peeled:         s.peeled.Load(),
 	}
-	tot, run := s.lat.snapshot()
+	tot, run, totSum, runSum := s.lat.snapshot()
 	st.LatencySamples = len(tot)
+	st.LatencySumSeconds, st.RunSumSeconds = totSum, runSum
 	if len(tot) > 0 {
 		q := stats.Quantiles(tot, 0.5, 0.95, 0.99)
 		st.LatencyP50, st.LatencyP95, st.LatencyP99 = secs(q[0]), secs(q[1]), secs(q[2])
@@ -318,13 +504,16 @@ func (s *Scheduler) Stats() Stats {
 
 func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
 
-// latRing is a fixed-size window of recent job latencies.
+// latRing is a fixed-size window of recent job latencies plus cumulative
+// sums over every completion (the _sum series of a Prometheus summary).
 type latRing struct {
-	mu  sync.Mutex
-	tot []float64 // submission -> completion, seconds
-	run []float64 // admission -> completion, seconds
-	idx int
-	n   int
+	mu     sync.Mutex
+	tot    []float64 // submission -> completion, seconds
+	run    []float64 // admission -> completion, seconds
+	totSum float64
+	runSum float64
+	idx    int
+	n      int
 }
 
 func (r *latRing) init(capacity int) {
@@ -336,6 +525,8 @@ func (r *latRing) add(tot, run float64) {
 	r.mu.Lock()
 	r.tot[r.idx] = tot
 	r.run[r.idx] = run
+	r.totSum += tot
+	r.runSum += run
 	r.idx = (r.idx + 1) % len(r.tot)
 	if r.n < len(r.tot) {
 		r.n++
@@ -343,10 +534,10 @@ func (r *latRing) add(tot, run float64) {
 	r.mu.Unlock()
 }
 
-func (r *latRing) snapshot() (tot, run []float64) {
+func (r *latRing) snapshot() (tot, run []float64, totSum, runSum float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	tot = append([]float64(nil), r.tot[:r.n]...)
 	run = append([]float64(nil), r.run[:r.n]...)
-	return tot, run
+	return tot, run, r.totSum, r.runSum
 }

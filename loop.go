@@ -79,6 +79,15 @@ type Config struct {
 	// the scheduler stable worker identities; disable it when creating many
 	// short-lived pools (for example, in tests).
 	DisableThreadLock bool
+	// AsyncGrain is the default self-scheduling chunk size (in iterations)
+	// for asynchronously submitted jobs; <= 0 selects a per-job heuristic.
+	// Individual jobs override it with JobOptions.Grain.
+	AsyncGrain int
+	// AsyncRigid disables elastic sub-teams on the async runtime: every
+	// job's sub-team is frozen at admission and partitioned statically, the
+	// paper's rigid-team behaviour. It exists for comparison and for callers
+	// that require the static-block body contract.
+	AsyncRigid bool
 }
 
 // Pool is a team of persistent workers executing parallel loops. The
@@ -91,6 +100,9 @@ type Config struct {
 // use.
 type Pool struct {
 	s *core.Scheduler
+
+	asyncGrain int
+	asyncRigid bool
 
 	jobsMu     sync.Mutex
 	jobsRT     *jobs.Scheduler
@@ -116,7 +128,7 @@ func New(cfg Config) *Pool {
 		OuterFanout:  cfg.OuterFanout,
 		LockOSThread: !cfg.DisableThreadLock,
 	})
-	return &Pool{s: s}
+	return &Pool{s: s, asyncGrain: cfg.AsyncGrain, asyncRigid: cfg.AsyncRigid}
 }
 
 // NewDefault creates a pool with the default configuration.
@@ -150,8 +162,10 @@ func (p *Pool) jobs() *jobs.Scheduler {
 		// channels between jobs, and pinning a second P threads would only
 		// oversubscribe the machine.
 		p.jobsRT = jobs.New(jobs.Config{
-			Workers: p.s.P(),
-			Name:    "async-" + p.s.Name(),
+			Workers:        p.s.P(),
+			DefaultGrain:   p.asyncGrain,
+			DisableElastic: p.asyncRigid,
+			Name:           "async-" + p.s.Name(),
 		})
 	}
 	return p.jobsRT
@@ -350,30 +364,75 @@ func (p *Pool) submit(req jobs.Request) *Job {
 	return &Job{inner: j}
 }
 
+// JobOptions tunes one asynchronously submitted job. The zero value selects
+// the defaults.
+type JobOptions struct {
+	// MaxWorkers caps the job's sub-team size; <= 0 means no cap beyond the
+	// runtime's own limits.
+	MaxWorkers int
+	// Grain is the self-scheduling chunk size in iterations — the smallest
+	// unit of work worth one atomic claim, and the minimum share a
+	// sub-worker is admitted for. <= 0 selects the pool's AsyncGrain, or a
+	// heuristic.
+	Grain int
+	// Commutative declares a reducing job's combine commutative (and its
+	// identity a true identity), letting the runtime execute it elastically:
+	// sub-workers self-schedule chunks and partials are folded in arrival
+	// order. Leave it false for ordered (non-commutative) reductions, which
+	// keep the rigid static-block path and worker-order folding.
+	Commutative bool
+	// Label tags the job in the runtime's statistics.
+	Label string
+}
+
 // Submit starts body once per index in [0, n) asynchronously and returns a
 // handle. Unlike the synchronous methods, Submit is safe from any number of
 // goroutines: concurrent jobs share the pool's async team, partitioned among
 // them without full barriers.
 func (p *Pool) Submit(n int, body func(i int)) *Job {
+	return p.SubmitOpts(n, JobOptions{}, body)
+}
+
+// SubmitOpts is Submit with per-job tuning options.
+func (p *Pool) SubmitOpts(n int, o JobOptions, body func(i int)) *Job {
 	return p.submit(jobs.Request{N: n, Body: func(w, low, high int) {
 		for i := low; i < high; i++ {
 			body(i)
 		}
-	}})
+	}, MaxWorkers: o.MaxWorkers, Grain: o.Grain, Label: o.Label})
 }
 
-// SubmitFor is the asynchronous For: body receives the sub-team worker index
-// (in [0, k) for a job molded onto k workers) and its contiguous chunk
-// bounds.
+// SubmitFor is the asynchronous For: body receives a dense sub-team worker
+// index — bounded by the job's worker caps and never reaching the pool size
+// (size per-worker state by MaxWorkers if set, else by Workers()) — and
+// contiguous chunk bounds. A sub-worker may receive several disjoint chunks
+// as the elastic runtime rebalances work, and after elastic churn the ids
+// seen over the job's lifetime may exceed its peak concurrent worker count.
 func (p *Pool) SubmitFor(n int, body func(worker, low, high int)) *Job {
-	return p.submit(jobs.Request{N: n, Body: body})
+	return p.SubmitForOpts(n, JobOptions{}, body)
+}
+
+// SubmitForOpts is SubmitFor with per-job tuning options.
+func (p *Pool) SubmitForOpts(n int, o JobOptions, body func(worker, low, high int)) *Job {
+	return p.submit(jobs.Request{N: n, Body: body, MaxWorkers: o.MaxWorkers, Grain: o.Grain, Label: o.Label})
 }
 
 // SubmitReduce is the asynchronous ReduceFloat64: per-sub-worker partials
 // are folded — in iteration order, inside the job's join wave — with
 // combine. The result is available from Job.Result.
 func (p *Pool) SubmitReduce(n int, identity float64, combine func(a, b float64) float64, body func(worker, low, high int, acc float64) float64) *Job {
-	return p.submit(jobs.Request{N: n, RBody: body, Identity: identity, Combine: combine})
+	return p.SubmitReduceOpts(n, JobOptions{}, identity, combine, body)
+}
+
+// SubmitReduceOpts is SubmitReduce with per-job tuning options. Setting
+// o.Commutative allows the runtime to run the reduction elastically (chunked
+// self-scheduling, partials folded in arrival order); leave it false when
+// the combine is order-sensitive.
+func (p *Pool) SubmitReduceOpts(n int, o JobOptions, identity float64, combine func(a, b float64) float64, body func(worker, low, high int, acc float64) float64) *Job {
+	return p.submit(jobs.Request{
+		N: n, RBody: body, Identity: identity, Combine: combine,
+		Commutative: o.Commutative, MaxWorkers: o.MaxWorkers, Grain: o.Grain, Label: o.Label,
+	})
 }
 
 // Group collects asynchronously submitted jobs for fan-out/fan-in: submit

@@ -264,6 +264,69 @@ func TestSubmitReduceResult(t *testing.T) {
 	}
 }
 
+func TestSubmitOptsKnobs(t *testing.T) {
+	pool := testPool(t, Config{})
+	n := 4096
+	var touched atomic.Int64
+	j := pool.SubmitOpts(n, JobOptions{MaxWorkers: 2, Grain: 256, Label: "opts"}, func(i int) {
+		touched.Add(1)
+	})
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if touched.Load() != int64(n) {
+		t.Errorf("touched %d of %d iterations", touched.Load(), n)
+	}
+	if k := j.Workers(); k < 1 || k > 2 {
+		t.Errorf("MaxWorkers=2 job peaked at %d workers", k)
+	}
+}
+
+func TestSubmitReduceOptsCommutative(t *testing.T) {
+	// A commutative reduction runs elastically (arrival-order folding); an
+	// integer-valued sum must still be exact.
+	pool := testPool(t, Config{})
+	n := 23456
+	j := pool.SubmitReduceOpts(n, JobOptions{Commutative: true, Grain: 512}, 0,
+		func(a, b float64) float64 { return a + b },
+		func(w, lo, hi int, acc float64) float64 {
+			for i := lo; i < hi; i++ {
+				acc += float64(i)
+			}
+			return acc
+		})
+	got, err := j.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(n) * float64(n-1) / 2; got != want {
+		t.Errorf("commutative async sum = %v, want %v", got, want)
+	}
+}
+
+func TestAsyncRigidConfig(t *testing.T) {
+	// AsyncRigid restores the static-block contract: each sub-worker sees
+	// exactly one contiguous share.
+	pool := testPool(t, Config{AsyncRigid: true})
+	var mu sync.Mutex
+	calls := map[int]int{}
+	j := pool.SubmitFor(1000, func(w, lo, hi int) {
+		mu.Lock()
+		calls[w]++
+		mu.Unlock()
+	})
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for w, c := range calls {
+		if c != 1 {
+			t.Errorf("rigid sub-worker %d called %d times, want 1", w, c)
+		}
+	}
+}
+
 func TestSubmitIsSafeFromManyGoroutines(t *testing.T) {
 	pool := testPool(t, Config{})
 	var total atomic.Int64
