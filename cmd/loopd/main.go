@@ -1,16 +1,22 @@
 // Command loopd is a long-lived daemon serving parallel-loop jobs over HTTP:
-// the multi-tenant front-end of the half-barrier loop scheduler. One
-// persistent worker team is shared by every request; concurrent jobs are
-// molded onto sub-teams and complete through per-job half-barrier join waves,
-// so the daemon never pays a full barrier on the serving path.
+// the multi-tenant front-end of the half-barrier loop scheduler. The worker
+// set is partitioned into per-topology-domain shards, each with its own
+// dispatcher; requests are admitted to the least-loaded shard, idle shards
+// steal queued jobs and lend workers across shards, and every job completes
+// through a per-job half-barrier join wave — the daemon never pays a full
+// barrier, and no lock or queue is shared by all shards on the serving path.
 //
 // Endpoints:
 //
 //	POST /run?workload=spin&n=4096&jobs=8   submit and await jobs of a named
-//	                                        workload (see GET /stats for names)
+//	                                        workload (see GET /stats for names;
+//	                                        &shard=i pins to one shard)
 //	GET  /stats                             queue depth, occupancy and job
-//	                                        latency percentiles as JSON
+//	                                        latency percentiles as JSON,
+//	                                        totals plus per-shard
 //	GET  /metrics                           the same in Prometheus text format
+//	                                        (loopd_* totals, loopd_shard_*
+//	                                        shard-labelled)
 package main
 
 import (
@@ -21,9 +27,12 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "shared team size (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "total worker count across all shards (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "topology shards, each with its own dispatcher (0 = one per cache/socket group)")
+	stealEvery := flag.Duration("steal-interval", 0, "idle shards' sibling re-scan period (0 = default 200µs)")
+	noSteal := flag.Bool("no-steal", false, "disable cross-shard job stealing and worker lending")
 	maxPerJob := flag.Int("max-workers-per-job", 0, "sub-team cap per job (0 = no cap)")
-	queue := flag.Int("queue", 0, "admission queue depth (0 = default)")
+	queue := flag.Int("queue", 0, "total admission queue depth, split across shards (0 = default)")
 	grain := flag.Int("grain", 0, "default self-scheduling chunk size in iterations (0 = heuristic)")
 	elastic := flag.Bool("elastic", true, "let sub-teams grow/shrink after admission (chunked self-scheduling)")
 	lock := flag.Bool("lock-os-threads", false, "pin workers to OS threads")
@@ -31,6 +40,9 @@ func main() {
 
 	srv := newServer(serverConfig{
 		Workers:          *workers,
+		Shards:           *shards,
+		StealInterval:    *stealEvery,
+		DisableStealing:  *noSteal,
 		MaxWorkersPerJob: *maxPerJob,
 		QueueDepth:       *queue,
 		DefaultGrain:     *grain,
@@ -39,7 +51,8 @@ func main() {
 	})
 	defer srv.Close()
 
-	log.Printf("loopd: serving on %s with %d shared workers", *addr, srv.rt.P())
+	log.Printf("loopd: serving on %s with %d workers across %d shards (%s)",
+		*addr, srv.rt.P(), srv.rt.Shards(), srv.rt.Topology())
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		log.Fatal(err)
 	}

@@ -14,11 +14,23 @@ import (
 
 // serverConfig configures the daemon's shared jobs runtime.
 type serverConfig struct {
-	// Workers is the shared team size; <= 0 selects GOMAXPROCS.
+	// Workers is the total worker count across all shards; <= 0 selects
+	// GOMAXPROCS.
 	Workers int
+	// Shards partitions the workers into per-topology-domain shards, each
+	// with its own dispatcher; <= 0 derives the count from the machine
+	// topology (one shard per cache/socket group).
+	Shards int
+	// StealInterval is the idle shards' sibling re-scan period; <= 0 selects
+	// the default.
+	StealInterval time.Duration
+	// DisableStealing makes the shards fully independent pools behind the
+	// router (no cross-shard job stealing or worker lending).
+	DisableStealing bool
 	// MaxWorkersPerJob caps every job's sub-team; <= 0 means no cap.
 	MaxWorkersPerJob int
-	// QueueDepth bounds the admission queue (Submit blocks when full).
+	// QueueDepth bounds the total admission queue, split across shards
+	// (Submit blocks when the target shard's share is full).
 	QueueDepth int
 	// DefaultGrain is the self-scheduling chunk size for jobs that don't set
 	// grain; <= 0 selects the per-job heuristic.
@@ -30,26 +42,32 @@ type serverConfig struct {
 	LockOSThread bool
 }
 
-// server is the HTTP front-end over one shared multi-tenant jobs scheduler.
-// Every /run request is a tenant: its jobs are molded onto sub-teams of the
-// one persistent worker pool, so concurrent requests share the machine
-// without full-barrier synchronisation between their loops.
+// server is the HTTP front-end over one sharded multi-tenant jobs runtime.
+// Every /run request is a tenant: its jobs are admitted to the least-loaded
+// shard (or a pinned one), and idle shards steal queued jobs and lend
+// workers across shards, so concurrent requests share the machine without
+// any scheduler-wide serialization point.
 type server struct {
-	rt      *jobs.Scheduler
+	rt      *jobs.Sharded
 	started time.Time
 	mux     *http.ServeMux
 }
 
 func newServer(cfg serverConfig) *server {
 	s := &server{
-		rt: jobs.New(jobs.Config{
-			Workers:          cfg.Workers,
-			MaxWorkersPerJob: cfg.MaxWorkersPerJob,
-			QueueDepth:       cfg.QueueDepth,
-			DefaultGrain:     cfg.DefaultGrain,
-			DisableElastic:   cfg.DisableElastic,
-			LockOSThread:     cfg.LockOSThread,
-			Name:             "loopd",
+		rt: jobs.NewSharded(jobs.ShardedConfig{
+			Config: jobs.Config{
+				Workers:          cfg.Workers,
+				MaxWorkersPerJob: cfg.MaxWorkersPerJob,
+				QueueDepth:       cfg.QueueDepth,
+				DefaultGrain:     cfg.DefaultGrain,
+				DisableElastic:   cfg.DisableElastic,
+				LockOSThread:     cfg.LockOSThread,
+				Name:             "loopd",
+			},
+			Shards:          cfg.Shards,
+			StealInterval:   cfg.StealInterval,
+			DisableStealing: cfg.DisableStealing,
 		}),
 		started: time.Now(),
 		mux:     http.NewServeMux(),
@@ -63,7 +81,7 @@ func newServer(cfg serverConfig) *server {
 // ServeHTTP implements http.Handler.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close drains and releases the shared team.
+// Close drains and releases every shard.
 func (s *server) Close() { s.rt.Close() }
 
 // Limits keeping one request from monopolising the daemon.
@@ -92,7 +110,8 @@ type runResponse struct {
 // handleRun submits one or more jobs of a named workload (see
 // bench.JobWorkloads) and waits for them. Query parameters: workload, n
 // (iterations per job), jobs (concurrent jobs in this request), iterns
-// (target ns/iteration for calibrated workloads), maxworkers, grain.
+// (target ns/iteration for calibrated workloads), maxworkers, grain, shard
+// (0-based shard pin; absent or -1 routes to the least-loaded shard).
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	workload := r.FormValue("workload")
 	if workload == "" {
@@ -123,14 +142,19 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.runJobs(w, workload, n, nJobs, float64(iterNs), maxWorkers, grain)
+	shard, err := intParam(r, "shard", -1, -1, s.rt.Shards()-1)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.runJobs(w, workload, n, nJobs, float64(iterNs), maxWorkers, grain, shard)
 }
 
 // runJobs performs the fan-out/fan-in of one /run request. The workload is
 // built (and, for calibrated workloads, calibrated) exactly once and the
 // request value reused for every job: request bodies are stateless, and the
 // calibration cache in bench keeps repeat requests off the measurement path.
-func (s *server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, iterNs float64, maxWorkers, grain int) {
+func (s *server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, iterNs float64, maxWorkers, grain, shard int) {
 	params := bench.JobParams{N: n, IterNs: iterNs, MaxWorkers: maxWorkers, Grain: grain}
 	req, err := bench.NewJobRequest(workload, params)
 	if err != nil {
@@ -141,7 +165,12 @@ func (s *server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, i
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < nJobs; i++ {
-		j, err := s.rt.Submit(req)
+		var j *jobs.Job
+		if shard >= 0 {
+			j, err = s.rt.SubmitTo(shard, req)
+		} else {
+			j, err = s.rt.Submit(req)
+		}
 		if err != nil {
 			resp.Results[i].Error = err.Error()
 			continue
@@ -164,24 +193,33 @@ func (s *server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, i
 	writeJSON(w, resp)
 }
 
-// statsResponse is the JSON body of /stats.
+// statsResponse is the JSON body of /stats. Queue carries the merged totals
+// (stable field names from the pre-sharding daemon); Shards the per-shard
+// snapshots in shard order.
 type statsResponse struct {
-	UptimeSeconds float64    `json:"uptime_seconds"`
-	Workloads     []string   `json:"workloads"`
-	Queue         jobs.Stats `json:"queue"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Workloads     []string     `json:"workloads"`
+	Shards        int          `json:"shards"`
+	Queue         jobs.Stats   `json:"queue"`
+	ShardStats    []jobs.Stats `json:"shard_stats"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.rt.Stats()
 	writeJSON(w, statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Workloads:     bench.JobWorkloads(),
-		Queue:         s.rt.Stats(),
+		Shards:        s.rt.Shards(),
+		Queue:         st.Total,
+		ShardStats:    st.Shards,
 	})
 }
 
-// handleMetrics renders the scheduler's aggregate state in the Prometheus
-// text exposition format (hand-rolled: the daemon has no dependencies
-// outside the standard library).
+// handleMetrics renders the runtime's state in the Prometheus text
+// exposition format (hand-rolled: the daemon has no dependencies outside
+// the standard library). The loopd_* series are pool-wide totals with the
+// pre-sharding names; the loopd_shard_* series carry a shard label so a
+// scrape can attribute load, stealing and latency to topology domains.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.rt.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -194,33 +232,81 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// summary emits a conforming Prometheus summary: the quantile series
 	// plus the <name>_sum and <name>_count series the exposition format
 	// requires of the summary type. The quantiles are over the recent
-	// window; sum and count are cumulative.
-	summary := func(name, help string, p50, p95, p99 time.Duration, sum float64, count int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
+	// window; sum and count are cumulative. labels is either empty or a
+	// `key="value"` list to splice into every series.
+	summary := func(name, labels, help string, p50, p95, p99 time.Duration, sum float64, count int64, withHeader bool) {
+		if withHeader {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
+		}
+		sep := ""
+		if labels != "" {
+			sep = ","
+		}
 		for _, q := range []struct {
 			q string
 			v time.Duration
 		}{{"0.5", p50}, {"0.95", p95}, {"0.99", p99}} {
-			fmt.Fprintf(w, "%s{quantile=%q} %g\n", name, q.q, q.v.Seconds())
+			fmt.Fprintf(w, "%s{%s%squantile=%q} %g\n", name, labels, sep, q.q, q.v.Seconds())
 		}
-		fmt.Fprintf(w, "%s_sum %g\n", name, sum)
-		fmt.Fprintf(w, "%s_count %d\n", name, count)
+		if labels != "" {
+			labels = "{" + labels + "}"
+		}
+		fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n", name, labels, sum, name, labels, count)
 	}
-	gauge("loopd_workers", "size of the shared worker team", float64(st.Workers))
-	gauge("loopd_busy_workers", "workers currently executing a job share", float64(st.BusyWorkers))
-	gauge("loopd_queue_depth", "jobs waiting for admission", float64(st.QueueDepth))
-	gauge("loopd_jobs_running", "jobs currently admitted and running", float64(st.Running))
-	counter("loopd_jobs_submitted_total", "jobs ever submitted", float64(st.Submitted))
-	counter("loopd_jobs_completed_total", "jobs ever completed", float64(st.Completed))
-	counter("loopd_jobs_canceled_total", "jobs canceled before start", float64(st.Canceled))
-	counter("loopd_iterations_total", "loop iterations ever executed", float64(st.IterationsDone))
-	counter("loopd_workers_grown_total", "workers that joined an already-running job (elastic growth)", float64(st.Grown))
-	counter("loopd_workers_peeled_total", "workers that left a running job to serve waiting tenants (elastic shrink)", float64(st.Peeled))
+	tot := st.Total
+	gauge("loopd_shards", "number of topology shards in the pool", float64(s.rt.Shards()))
+	gauge("loopd_workers", "size of the shared worker team", float64(tot.Workers))
+	gauge("loopd_busy_workers", "workers currently executing a job share", float64(tot.BusyWorkers))
+	gauge("loopd_queue_depth", "jobs waiting for admission", float64(tot.QueueDepth))
+	gauge("loopd_jobs_running", "jobs currently admitted and running", float64(tot.Running))
+	counter("loopd_jobs_submitted_total", "jobs ever submitted", float64(tot.Submitted))
+	counter("loopd_jobs_completed_total", "jobs ever completed", float64(tot.Completed))
+	counter("loopd_jobs_canceled_total", "jobs canceled before start", float64(tot.Canceled))
+	counter("loopd_iterations_total", "loop iterations ever executed", float64(tot.IterationsDone))
+	counter("loopd_workers_grown_total", "workers that joined an already-running job (elastic growth)", float64(tot.Grown))
+	counter("loopd_workers_peeled_total", "workers that left a running job to serve waiting tenants (elastic shrink)", float64(tot.Peeled))
+	counter("loopd_jobs_stolen_total", "whole queued jobs migrated to an idle sibling shard", float64(tot.Stolen))
+	counter("loopd_workers_lent_total", "workers lent to a sibling shard's running elastic job", float64(tot.Lent))
 	gauge("loopd_uptime_seconds", "seconds since the daemon started", time.Since(s.started).Seconds())
-	summary("loopd_job_latency_seconds", "job latency from submission to completion",
-		st.LatencyP50, st.LatencyP95, st.LatencyP99, st.LatencySumSeconds, st.Completed)
-	summary("loopd_job_run_seconds", "job run time from admission to completion",
-		st.RunP50, st.RunP95, st.RunP99, st.RunSumSeconds, st.Completed)
+	summary("loopd_job_latency_seconds", "", "job latency from submission to completion",
+		tot.LatencyP50, tot.LatencyP95, tot.LatencyP99, tot.LatencySumSeconds, tot.Completed, true)
+	summary("loopd_job_run_seconds", "", "job run time from admission to completion",
+		tot.RunP50, tot.RunP95, tot.RunP99, tot.RunSumSeconds, tot.Completed, true)
+
+	// Per-shard series, labelled by shard id (= topology group index).
+	shardMetric := func(name, typ, help string, field func(jobs.Stats) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for i, sh := range st.Shards {
+			fmt.Fprintf(w, "%s{shard=\"%d\"} %g\n", name, i, field(sh))
+		}
+	}
+	shardGauge := func(name, help string, field func(jobs.Stats) float64) {
+		shardMetric(name, "gauge", help, field)
+	}
+	shardCounter := func(name, help string, field func(jobs.Stats) float64) {
+		shardMetric(name, "counter", help, field)
+	}
+	shardGauge("loopd_shard_workers", "workers owned by the shard", func(s jobs.Stats) float64 { return float64(s.Workers) })
+	shardGauge("loopd_shard_busy_workers", "shard workers currently executing a job share", func(s jobs.Stats) float64 { return float64(s.BusyWorkers) })
+	shardGauge("loopd_shard_queue_depth", "jobs waiting for admission on the shard", func(s jobs.Stats) float64 { return float64(s.QueueDepth) })
+	shardGauge("loopd_shard_jobs_running", "jobs currently running on the shard", func(s jobs.Stats) float64 { return float64(s.Running) })
+	shardCounter("loopd_shard_jobs_submitted_total", "jobs ever submitted to the shard (a stolen job completes elsewhere)", func(s jobs.Stats) float64 { return float64(s.Submitted) })
+	shardCounter("loopd_shard_jobs_completed_total", "jobs ever completed by the shard", func(s jobs.Stats) float64 { return float64(s.Completed) })
+	shardCounter("loopd_shard_iterations_total", "loop iterations executed by the shard", func(s jobs.Stats) float64 { return float64(s.IterationsDone) })
+	shardCounter("loopd_shard_jobs_stolen_total", "whole queued jobs the shard stole from siblings", func(s jobs.Stats) float64 { return float64(s.Stolen) })
+	shardCounter("loopd_shard_workers_lent_total", "workers the shard lent to siblings' jobs", func(s jobs.Stats) float64 { return float64(s.Lent) })
+	shardCounter("loopd_shard_workers_grown_total", "workers that joined running jobs on the shard", func(s jobs.Stats) float64 { return float64(s.Grown) })
+	shardCounter("loopd_shard_workers_peeled_total", "workers that peeled off running jobs on the shard", func(s jobs.Stats) float64 { return float64(s.Peeled) })
+	for i, sh := range st.Shards {
+		summary("loopd_shard_job_latency_seconds", fmt.Sprintf("shard=%q", strconv.Itoa(i)),
+			"per-shard job latency from submission to completion",
+			sh.LatencyP50, sh.LatencyP95, sh.LatencyP99, sh.LatencySumSeconds, sh.Completed, i == 0)
+	}
+	for i, sh := range st.Shards {
+		summary("loopd_shard_job_run_seconds", fmt.Sprintf("shard=%q", strconv.Itoa(i)),
+			"per-shard job run time from admission to completion",
+			sh.RunP50, sh.RunP95, sh.RunP99, sh.RunSumSeconds, sh.Completed, i == 0)
+	}
 }
 
 // intParam parses an integer query parameter with a default and inclusive

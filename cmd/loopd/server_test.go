@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -251,5 +252,164 @@ func TestRunParameterValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /run: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestShardedConcurrentRunsAndMetricsReconcile(t *testing.T) {
+	// Concurrent /run tenants against an explicitly 2-sharded pool: every
+	// reduction must be exact, the shard-labelled /metrics series must parse,
+	// and the per-shard _sum/_count totals must reconcile with /stats.
+	srv := newServer(serverConfig{Workers: 4, Shards: 2})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	const tenants = 10
+	var wg sync.WaitGroup
+	for g := 0; g < tenants; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 900 + g
+			url := fmt.Sprintf("%s/run?workload=sum&n=%d&jobs=2", ts.URL, n)
+			if g%3 == 0 {
+				url += fmt.Sprintf("&shard=%d", g%2) // a few pinned tenants
+			}
+			resp, err := http.Post(url, "", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				body, _ := io.ReadAll(resp.Body)
+				t.Errorf("tenant %d: status %d: %s", g, resp.StatusCode, body)
+				return
+			}
+			var rr runResponse
+			if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+				t.Error(err)
+				return
+			}
+			want := float64(n) * float64(n-1) / 2
+			for i, res := range rr.Results {
+				if res.Error != "" {
+					t.Errorf("tenant %d job %d: %s", g, i, res.Error)
+				}
+				if res.Result != want {
+					t.Errorf("tenant %d job %d: result %v, want %v", g, i, res.Result, want)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Fetch both views of the same runtime.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parseExposition(t, string(body))
+
+	if st.Shards != 2 || len(st.ShardStats) != 2 {
+		t.Fatalf("/stats shards = %d (%d snapshots), want 2", st.Shards, len(st.ShardStats))
+	}
+	if got := samples["loopd_shards"]; got != 2 {
+		t.Errorf("loopd_shards = %v, want 2", got)
+	}
+	if types["loopd_shard_job_latency_seconds"] != "summary" {
+		t.Errorf("loopd_shard_job_latency_seconds TYPE = %q, want summary", types["loopd_shard_job_latency_seconds"])
+	}
+	if types["loopd_shard_jobs_stolen_total"] != "counter" {
+		t.Errorf("loopd_shard_jobs_stolen_total TYPE = %q, want counter", types["loopd_shard_jobs_stolen_total"])
+	}
+
+	// Per-shard series must exist for every shard and reconcile with both
+	// the /stats snapshots and the pool-wide totals.
+	var sumCompleted, sumLatency, sumIters float64
+	for i := 0; i < st.Shards; i++ {
+		label := fmt.Sprintf("{shard=\"%d\"}", i)
+		count, ok := samples["loopd_shard_job_latency_seconds_count"+label]
+		if !ok {
+			t.Fatalf("missing loopd_shard_job_latency_seconds_count%s", label)
+		}
+		lsum, ok := samples["loopd_shard_job_latency_seconds_sum"+label]
+		if !ok {
+			t.Fatalf("missing loopd_shard_job_latency_seconds_sum%s", label)
+		}
+		for _, q := range []string{"0.5", "0.95", "0.99"} {
+			series := fmt.Sprintf("loopd_shard_job_latency_seconds{shard=%q,quantile=%q}", strconv.Itoa(i), q)
+			if _, ok := samples[series]; !ok {
+				t.Errorf("missing per-shard quantile series %s", series)
+			}
+		}
+		if want := float64(st.ShardStats[i].Completed); count != want {
+			t.Errorf("shard %d metrics count %v != /stats completed %v", i, count, want)
+		}
+		sumCompleted += count
+		sumLatency += lsum
+		sumIters += samples["loopd_shard_iterations_total"+label]
+	}
+	if total := samples["loopd_jobs_completed_total"]; sumCompleted != total {
+		t.Errorf("per-shard counts sum to %v, total series says %v", sumCompleted, total)
+	}
+	if want := float64(st.Queue.Completed); sumCompleted != want {
+		t.Errorf("per-shard counts sum to %v, /stats total says %v", sumCompleted, want)
+	}
+	if total := samples["loopd_job_latency_seconds_sum"]; math.Abs(sumLatency-total) > 1e-9*(1+total) {
+		t.Errorf("per-shard latency sums %v != total %v", sumLatency, total)
+	}
+	if total := samples["loopd_iterations_total"]; sumIters != total {
+		t.Errorf("per-shard iteration counts sum to %v, total says %v", sumIters, total)
+	}
+	// Router sanity: with 10 concurrent tenants, both shards served jobs.
+	for i := 0; i < st.Shards; i++ {
+		if st.ShardStats[i].Completed == 0 && st.ShardStats[i].Submitted == 0 {
+			t.Errorf("shard %d saw no traffic: router or stealing broken", i)
+		}
+	}
+}
+
+func TestRunShardPinParameterValidation(t *testing.T) {
+	srv := newServer(serverConfig{Workers: 2, Shards: 2})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	resp, err := http.Post(ts.URL+"/run?workload=sum&n=100&shard=7", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-range shard pin: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/run?workload=sum&n=100&shard=1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("valid shard pin: status %d, want 200", resp.StatusCode)
+	}
+	if got := srv.rt.Shard(1).Stats().Submitted; got < 1 {
+		t.Errorf("shard 1 submitted = %d, want the pinned job", got)
 	}
 }

@@ -1,0 +1,59 @@
+// Command shardburst runs the sharded-pool throughput comparison (1 shard vs
+// n shards over the same worker set, under a burst/skew tenant mix) and
+// emits both a human-readable table and the machine-readable
+// BENCH_shardburst.json artifact used to track the perf trajectory across
+// PRs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"loopsched/internal/bench"
+)
+
+func main() {
+	workers := flag.Int("workers", 0, "total worker count (0 = GOMAXPROCS capped at 16)")
+	shards := flag.Int("shards", 0, "shard count of the sharded configuration (0 = min(4, workers))")
+	tenants := flag.Int("tenants", 0, "concurrent submitters (0 = 4x workers)")
+	jobs := flag.Int("jobs", 0, "jobs per tenant (0 = 30)")
+	n := flag.Int("n", 0, "iterations per small job (0 = 256)")
+	iterNs := flag.Float64("iterns", 0, "target ns per iteration of the big skewed jobs (0 = 200)")
+	stealEvery := flag.Duration("steal-interval", 0, "idle shards' sibling re-scan period (0 = default)")
+	noSteal := flag.Bool("no-steal", false, "disable cross-shard stealing in the sharded configuration")
+	noLock := flag.Bool("no-lock", false, "do not pin workers to OS threads")
+	jsonPath := flag.String("json", "BENCH_shardburst.json", "write the machine-readable report here ('' = skip)")
+	flag.Parse()
+
+	if *noLock {
+		bench.LockThreads = false
+	}
+	opt := bench.ShardBurstOptions{
+		Workers:         *workers,
+		Shards:          *shards,
+		Tenants:         *tenants,
+		JobsPerTenant:   *jobs,
+		N:               *n,
+		IterNs:          *iterNs,
+		StealInterval:   *stealEvery,
+		DisableStealing: *noSteal,
+	}
+	start := time.Now()
+	rep, err := bench.RunShardBurstComparison(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bench.WriteShardBurst(os.Stdout, rep); err != nil {
+		log.Fatal(err)
+	}
+	if *jsonPath != "" {
+		if err := bench.WriteShardBurstJSON(*jsonPath, rep); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	fmt.Printf("total %s\n", bench.Elapsed(start))
+}

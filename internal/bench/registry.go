@@ -137,6 +137,15 @@ var scenarios = map[string]Scenario{
 		}
 		return WriteSkew(w, elastic, rigid)
 	},
+	"shardburst": func(w io.Writer) error {
+		rep, err := RunShardBurstComparison(ShardBurstOptions{
+			Workers: 4, Shards: 2, Tenants: 8, JobsPerTenant: 10, N: 256,
+		})
+		if err != nil {
+			return err
+		}
+		return WriteShardBurst(w, rep)
+	},
 }
 
 // shortThreadCounts returns {1} on a single-processor machine and {1, 2}

@@ -1,0 +1,108 @@
+package iterspace
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+// FuzzChunker proves the grain-sized self-scheduling contract the elastic
+// jobs runtime is built on: for arbitrary bounds, grain and team sizes, the
+// chunks claimed concurrently by a whole team tile [0, max(0, n)) exactly —
+// no index dropped, none executed twice — with every chunk grain-aligned and
+// at most grain long.
+func FuzzChunker(f *testing.F) {
+	f.Add(0, 1, 1)
+	f.Add(1, 1, 1)
+	f.Add(-7, 3, 2)
+	f.Add(1000, 1, 8)
+	f.Add(1000, 7, 3)
+	f.Add(4097, 64, 5)
+	f.Add(65536, 1024, 16)
+	f.Add(5, 1000, 4) // grain far larger than the space
+	f.Fuzz(func(t *testing.T, n, grain, team int) {
+		// Map arbitrary fuzz inputs onto meaningful bounds. Negative n and
+		// non-positive grain are legal inputs to the Chunker itself (empty
+		// space, grain clamped to 1), so pass them through un-normalised.
+		if n > 1<<17 {
+			n = n % (1 << 17)
+		}
+		if grain > 1<<13 {
+			grain = grain % (1 << 13)
+		}
+		team = team % 16
+		if team < 1 {
+			team = -team + 1
+		}
+
+		c := NewChunker(n, grain)
+		effGrain := grain
+		if effGrain <= 0 {
+			effGrain = 1
+		}
+
+		var mu sync.Mutex
+		var claimed []Range
+		var wg sync.WaitGroup
+		for w := 0; w < team; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var mine []Range
+				for {
+					r, ok := c.Next()
+					if !ok {
+						break
+					}
+					mine = append(mine, r)
+				}
+				mu.Lock()
+				claimed = append(claimed, mine...)
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+
+		want := n
+		if want < 0 {
+			want = 0
+		}
+		sort.Slice(claimed, func(a, b int) bool { return claimed[a].Begin < claimed[b].Begin })
+		next := 0
+		for _, r := range claimed {
+			if r.Empty() {
+				t.Fatalf("n=%d grain=%d team=%d: empty chunk %v claimed as ok", n, grain, team, r)
+			}
+			if r.Begin != next {
+				t.Fatalf("n=%d grain=%d team=%d: chunk %v does not continue tiling at %d (gap or overlap)",
+					n, grain, team, r, next)
+			}
+			if r.Begin%effGrain != 0 {
+				t.Fatalf("n=%d grain=%d team=%d: chunk %v not aligned to grain", n, grain, team, r)
+			}
+			if r.Len() > effGrain {
+				t.Fatalf("n=%d grain=%d team=%d: chunk %v longer than grain", n, grain, team, r)
+			}
+			next = r.End
+		}
+		if next != want {
+			t.Fatalf("n=%d grain=%d team=%d: tiled [0,%d) of [0,%d)", n, grain, team, next, want)
+		}
+		if rem := c.Remaining(); rem != 0 {
+			t.Fatalf("n=%d grain=%d team=%d: Remaining() = %d after exhaustion", n, grain, team, rem)
+		}
+		// Replay after Reset must tile the same space again.
+		c.Reset()
+		total := 0
+		for {
+			r, ok := c.Next()
+			if !ok {
+				break
+			}
+			total += r.Len()
+		}
+		if total != want {
+			t.Fatalf("n=%d grain=%d team=%d: replay covered %d of %d", n, grain, team, total, want)
+		}
+	})
+}

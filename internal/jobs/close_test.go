@@ -1,0 +1,115 @@
+package jobs
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCloseTwiceSequential(t *testing.T) {
+	// Regression: Close must be idempotent — the second call must neither
+	// panic (double channel close) nor hang (double worker collection).
+	s := New(Config{Workers: 2})
+	j, err := s.Submit(Request{N: 100, Body: func(w, lo, hi int) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close()
+	if _, err := j.Wait(); err != nil {
+		t.Fatalf("job submitted before Close failed: %v", err)
+	}
+	if _, err := s.Submit(Request{N: 1, Body: func(w, lo, hi int) {}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after double Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseConcurrentCallersAllWaitForTeardown(t *testing.T) {
+	// Every concurrent Close call must return only after the teardown is
+	// complete — a racing second caller must not return while workers are
+	// still draining.
+	s := New(Config{Workers: 2})
+	var done atomic.Int64
+	for i := 0; i < 20; i++ {
+		if _, err := s.Submit(Request{N: 64, Body: func(w, lo, hi int) { done.Add(1) }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const closers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < closers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Close()
+			// Post-condition visible to EVERY closer, not just the one that
+			// performed the teardown.
+			if st := s.Stats(); st.Running != 0 || st.BusyWorkers != 0 {
+				t.Errorf("Close returned with running=%d busy=%d", st.Running, st.BusyWorkers)
+			}
+		}()
+	}
+	wg.Wait()
+	if done.Load() == 0 {
+		t.Error("no job body ran before teardown")
+	}
+}
+
+func TestSubmitRacingCloseNeverPanics(t *testing.T) {
+	// Regression for the closed-channel hazard: submitters hammering a
+	// scheduler while it closes must each get either a completed job or
+	// ErrClosed — never a panic on the closed admission queue.
+	for round := 0; round < 10; round++ {
+		s := New(Config{Workers: 2})
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 50; i++ {
+					j, err := s.Submit(Request{N: 32, Body: func(w, lo, hi int) {}})
+					if err != nil {
+						if !errors.Is(err, ErrClosed) {
+							t.Errorf("Submit during Close: %v", err)
+						}
+						return
+					}
+					if _, err := j.Wait(); err != nil {
+						t.Errorf("job accepted before Close failed: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		close(start)
+		s.Close()
+		wg.Wait()
+	}
+}
+
+func TestShardedCloseIdempotentAndConcurrent(t *testing.T) {
+	p := NewSharded(ShardedConfig{Config: Config{Workers: 2}, Shards: 2})
+	j, err := p.Submit(Request{N: 100, Body: func(w, lo, hi int) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); p.Close() }()
+	}
+	wg.Wait()
+	p.Close()
+	if _, err := j.Wait(); err != nil {
+		t.Fatalf("job submitted before Close failed: %v", err)
+	}
+	if _, err := p.Submit(Request{N: 1, Body: func(w, lo, hi int) {}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if _, err := p.SubmitTo(0, Request{N: 1, Body: func(w, lo, hi int) {}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("SubmitTo after Close = %v, want ErrClosed", err)
+	}
+}

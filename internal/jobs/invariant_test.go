@@ -1,0 +1,89 @@
+package jobs_test
+
+// The deterministic invariant harness (internal/schedtest) drives every jobs
+// runtime configuration with the same seeded op stream: elastic, rigid,
+// capped, single-worker, and sharded with stealing on a hostile (tiny) steal
+// interval. Run under -race; CI's nightly race-stress job repeats these with
+// -count to shake out probabilistic interleavings.
+
+import (
+	"testing"
+	"time"
+
+	"loopsched/internal/jobs"
+	"loopsched/internal/schedtest"
+)
+
+// seed is fixed so failures reproduce; bump deliberately to explore a new
+// stream, or override per-run with -invariant.seed if it ever becomes a
+// flag. Logged by the harness on every run.
+const seed = 0x5eed
+
+func schedulerDrain(s *jobs.Scheduler) func() schedtest.DrainStats {
+	return func() schedtest.DrainStats {
+		st := s.Stats()
+		return schedtest.DrainStats{BusyWorkers: st.BusyWorkers, QueueDepth: st.QueueDepth, Running: st.Running}
+	}
+}
+
+func shardedDrain(p *jobs.Sharded) func() schedtest.DrainStats {
+	return func() schedtest.DrainStats {
+		st := p.Stats()
+		return schedtest.DrainStats{BusyWorkers: st.Total.BusyWorkers, QueueDepth: st.Total.QueueDepth, Running: st.Total.Running}
+	}
+}
+
+func TestInvariantElasticScheduler(t *testing.T) {
+	s := jobs.New(jobs.Config{Workers: 4})
+	defer s.Close()
+	schedtest.RunJobInvariants(t, s, schedtest.InvariantOptions{Seed: seed}, 4, schedulerDrain(s))
+}
+
+func TestInvariantRigidScheduler(t *testing.T) {
+	s := jobs.New(jobs.Config{Workers: 4, DisableElastic: true})
+	defer s.Close()
+	schedtest.RunJobInvariants(t, s, schedtest.InvariantOptions{Seed: seed + 1}, 4, schedulerDrain(s))
+}
+
+func TestInvariantSingleWorker(t *testing.T) {
+	s := jobs.New(jobs.Config{Workers: 1, QueueDepth: 4}) // tiny queue: backpressure in the stream
+	defer s.Close()
+	schedtest.RunJobInvariants(t, s, schedtest.InvariantOptions{Seed: seed + 2, Tenants: 4, OpsPerTenant: 25}, 1, schedulerDrain(s))
+}
+
+func TestInvariantCappedScheduler(t *testing.T) {
+	s := jobs.New(jobs.Config{Workers: 4, MaxWorkersPerJob: 2, DefaultGrain: 8})
+	defer s.Close()
+	schedtest.RunJobInvariants(t, s, schedtest.InvariantOptions{Seed: seed + 3}, 4, schedulerDrain(s))
+}
+
+func TestInvariantShardedWithStealing(t *testing.T) {
+	// The hostile configuration: 1-worker shards and a near-zero steal
+	// interval maximise migration and lending churn.
+	p := jobs.NewSharded(jobs.ShardedConfig{
+		Config:        jobs.Config{Workers: 4},
+		Shards:        4,
+		StealInterval: 20 * time.Microsecond,
+	})
+	defer p.Close()
+	schedtest.RunJobInvariants(t, p, schedtest.InvariantOptions{Seed: seed + 4, Tenants: 8}, 4, shardedDrain(p))
+}
+
+func TestInvariantShardedNoStealing(t *testing.T) {
+	p := jobs.NewSharded(jobs.ShardedConfig{
+		Config:          jobs.Config{Workers: 4},
+		Shards:          2,
+		DisableStealing: true,
+	})
+	defer p.Close()
+	schedtest.RunJobInvariants(t, p, schedtest.InvariantOptions{Seed: seed + 5}, 4, shardedDrain(p))
+}
+
+func TestInvariantShardedRigid(t *testing.T) {
+	p := jobs.NewSharded(jobs.ShardedConfig{
+		Config: jobs.Config{Workers: 4, DisableElastic: true},
+		Shards: 2,
+	})
+	defer p.Close()
+	schedtest.RunJobInvariants(t, p, schedtest.InvariantOptions{Seed: seed + 6}, 4, shardedDrain(p))
+}

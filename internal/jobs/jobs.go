@@ -75,6 +75,13 @@ const (
 	Canceled
 )
 
+// stateStealing is an internal, transient state: the job has been pulled out
+// of one shard's admission queue by a sibling shard and is mid-migration. It
+// is never observable through State (which reports it as Pending); its only
+// purpose is to exclude Cancel while the job's home scheduler is being
+// re-pointed, so depth accounting lands on exactly one shard.
+const stateStealing int32 = 4
+
 // String implements fmt.Stringer.
 func (s State) String() string {
 	switch s {
@@ -176,7 +183,13 @@ type Job struct {
 }
 
 // State returns the job's current state.
-func (j *Job) State() State { return State(j.state.Load()) }
+func (j *Job) State() State {
+	s := j.state.Load()
+	if s == stateStealing {
+		return Pending
+	}
+	return State(s)
+}
 
 // Done returns a channel closed when the job completes or is canceled.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -255,8 +268,14 @@ func (j *Job) tryGrow() (sub int, ok bool) {
 			return 0, false
 		}
 		if j.active.CompareAndSwap(a, a+1) {
-			if a+1 > j.workers.Load() {
-				j.workers.Store(a + 1)
+			// Atomic max: growers race here from the home dispatcher and
+			// from sibling shards' lendTo, so a stale check-then-store could
+			// lose the true peak.
+			for {
+				w := j.workers.Load()
+				if a+1 <= w || j.workers.CompareAndSwap(w, a+1) {
+					break
+				}
 			}
 			return sub, true
 		}
@@ -282,8 +301,12 @@ func (j *Job) tryPeel() bool {
 // the cursor until the space is exhausted or queue pressure asks the worker
 // to peel off. The leave protocol folds the participant's partial *before*
 // the active decrement, so the completing participant observes every fold.
-func (j *Job) runElastic(sub int) {
-	s := j.s
+//
+// home is the scheduler the executing worker belongs to. It equals j.s except
+// for a worker lent across shards, which peels when either side is under
+// queue pressure: the job's home shard (the usual convoy fix) or its own
+// shard (the lender wants its worker back for local tenants).
+func (j *Job) runElastic(home *Scheduler, sub int) {
 	reducing := j.req.RBody != nil
 	for {
 		acc := j.req.Identity
@@ -302,9 +325,9 @@ func (j *Job) runElastic(sub int) {
 			touched = true
 			// Shrink under queue pressure: with tenants waiting for
 			// admission, stop claiming chunks and let the dispatcher re-mold
-			// this worker. The cheap load keeps the no-pressure hot path
+			// this worker. The cheap loads keep the no-pressure hot path
 			// arbitration-free.
-			if s != nil && s.depth.Load() > 0 && j.active.Load() > 1 {
+			if j.underPressure(home) && j.active.Load() > 1 {
 				peel = true
 				break
 			}
@@ -327,8 +350,8 @@ func (j *Job) runElastic(sub int) {
 		}
 		if j.tryPeel() {
 			j.slots <- sub
-			if s != nil {
-				s.peeled.Add(1)
+			if home != nil {
+				home.peeled.Add(1)
 			}
 			return
 		}
@@ -336,6 +359,15 @@ func (j *Job) runElastic(sub int) {
 		// was folding, so it is now the job's only worker and must keep
 		// going (with a fresh partial; arrival-order folding permits it).
 	}
+}
+
+// underPressure reports whether a tenant is waiting for admission on the
+// worker's own shard or on the job's home shard.
+func (j *Job) underPressure(home *Scheduler) bool {
+	if home != nil && home.depth.Load() > 0 {
+		return true
+	}
+	return home != j.s && j.s != nil && j.s.depth.Load() > 0
 }
 
 // assignment is the work descriptor the dispatcher hands to one worker: its
@@ -353,12 +385,13 @@ type assignment struct {
 }
 
 // run executes this worker's share of the job and participates in the join
-// wave. It is called on the jobs-scheduler worker that received the
-// assignment.
-func (a *assignment) run() {
+// wave. It is called on a worker of scheduler home — normally the job's own
+// scheduler, but a shard lending workers cross-shard executes foreign elastic
+// assignments too.
+func (a *assignment) run(home *Scheduler) {
 	j := a.job
 	if a.elastic {
-		j.runElastic(a.sub)
+		j.runElastic(home, a.sub)
 		return
 	}
 	r := iterspace.Block(j.req.N, a.k, a.sub)

@@ -41,6 +41,31 @@ type Config struct {
 	LockOSThread bool
 	// Name is used in diagnostics.
 	Name string
+
+	// hooks connects this scheduler to sibling shards of a Sharded pool.
+	// With hooks set, a dispatcher that runs out of local work steals whole
+	// queued jobs from siblings and lends idle workers to their running
+	// elastic jobs. Nil for standalone schedulers.
+	hooks *stealHooks
+}
+
+// stealHooks is the cross-shard cooperation contract a Sharded pool installs
+// on each of its shards. Both callbacks run on the shard's dispatcher
+// goroutine; they must be non-blocking and may return nil.
+type stealHooks struct {
+	// totalP is the worker count of the whole sharded pool: the participant
+	// cap of an elastic job, which lent workers from sibling shards may grow
+	// past the home shard's own size.
+	totalP int
+	// interval throttles how often an idle dispatcher re-scans its siblings
+	// when it has nothing else to wake for.
+	interval time.Duration
+	// steal returns a whole queued job pulled from a sibling shard, already
+	// re-homed onto the calling scheduler, or nil.
+	steal func(thief *Scheduler) *Job
+	// lend returns a running under-provisioned elastic job on a sibling
+	// shard that can absorb the caller's idle workers, or nil.
+	lend func(thief *Scheduler) *Job
 }
 
 func (c *Config) normalize() {
@@ -79,6 +104,14 @@ type Scheduler struct {
 	submitMu       sync.RWMutex
 	closed         bool
 	dispatcherDone chan struct{}
+	closeDone      chan struct{}
+
+	// growSet is the shared registry of running elastic jobs, maintained only
+	// when steal hooks are installed: sibling shards read it to find jobs
+	// worth lending workers to. The dispatcher's private growable map serves
+	// local growth; this set serves cross-shard lending.
+	growMu  sync.Mutex
+	growSet map[*Job]struct{}
 
 	depth     atomic.Int64
 	running   atomic.Int64
@@ -89,6 +122,8 @@ type Scheduler struct {
 	itersDone atomic.Int64
 	grown     atomic.Int64
 	peeled    atomic.Int64
+	stolen    atomic.Int64
+	lent      atomic.Int64
 
 	lat latRing
 }
@@ -103,6 +138,10 @@ func New(cfg Config) *Scheduler {
 		free:           make(chan int, cfg.Workers),
 		assign:         make([]chan *assignment, cfg.Workers),
 		dispatcherDone: make(chan struct{}),
+		closeDone:      make(chan struct{}),
+	}
+	if cfg.hooks != nil {
+		s.growSet = make(map[*Job]struct{})
 	}
 	s.lat.init(cfg.LatencyWindow)
 	for w := 0; w < s.p; w++ {
@@ -178,12 +217,15 @@ func (s *Scheduler) teamSize(j *Job, waiting int) int {
 	return k
 }
 
-// capTeam is the shared worker-cap policy: the team size clamped by the
-// scheduler-wide and per-job caps and by the number of grain-sized pieces
-// of the iteration space (a worker beyond one-per-piece could never claim
-// work), floored at 1.
+// capTeam is the shared worker-cap policy: the base worker count clamped by
+// the scheduler-wide and per-job caps and by the number of grain-sized
+// pieces of the iteration space (a worker beyond one-per-piece could never
+// claim work), floored at 1.
 func (s *Scheduler) capTeam(j *Job, grain int) int {
-	k := s.p
+	return s.capTeamBase(s.p, j, grain)
+}
+
+func (s *Scheduler) capTeamBase(k int, j *Job, grain int) int {
 	if s.cfg.MaxWorkersPerJob > 0 && k > s.cfg.MaxWorkersPerJob {
 		k = s.cfg.MaxWorkersPerJob
 	}
@@ -218,9 +260,15 @@ func (s *Scheduler) chunkFor(j *Job) int {
 }
 
 // maxTeam is the hard participant cap of an elastic job: the shared cap
-// policy evaluated at the job's actual chunk size.
+// policy evaluated at the job's actual chunk size. In a sharded pool the
+// base is the whole pool's worker count, so sibling shards can lend workers
+// past the home shard's own size.
 func (s *Scheduler) maxTeam(j *Job, chunk int) int {
-	return s.capTeam(j, chunk)
+	base := s.p
+	if s.cfg.hooks != nil && s.cfg.hooks.totalP > base {
+		base = s.cfg.hooks.totalP
+	}
+	return s.capTeamBase(base, j, chunk)
 }
 
 // elasticFor reports whether a job takes the elastic path. Non-commutative
@@ -238,13 +286,31 @@ func (s *Scheduler) elasticFor(j *Job) bool {
 // order, performs each fork-side release wave (one buffered channel send per
 // chosen worker; like the paper's release half-barrier, the dispatcher never
 // waits for a sub-team), and — when no tenant is waiting — re-molds idle
-// workers onto running elastic jobs that still have unclaimed chunks.
+// workers onto running elastic jobs that still have unclaimed chunks. With
+// steal hooks installed, a dispatcher whose shard has gone fully idle pulls
+// whole queued jobs from sibling shards and lends leftover workers to their
+// running elastic jobs, waking every hooks.interval to re-scan.
 func (s *Scheduler) dispatch() {
 	defer close(s.dispatcherDone)
 	var idle []int                      // workers held by the dispatcher
 	var pending []*Job                  // popped jobs waiting for their first worker
 	growable := make(map[*Job]struct{}) // running elastic jobs
 	queue := s.queue
+	var stealTimer *time.Timer
+	var stealC <-chan time.Time
+	// emptyScans backs the re-scan period off exponentially (up to 64x the
+	// configured interval) while consecutive sibling scans find nothing, so
+	// a pool idling at rest does not busy-wake every shard 5000 times a
+	// second; any local traffic or successful steal resets it.
+	emptyScans := 0
+	if s.cfg.hooks != nil {
+		// go.mod declares go >= 1.23, so the timer channel is synchronous:
+		// Stop and Reset guarantee no stale expiry is ever received, and no
+		// drain dance is needed around either.
+		stealTimer = time.NewTimer(time.Hour)
+		stealTimer.Stop()
+		defer stealTimer.Stop()
+	}
 	for {
 		// Opportunistically collect every worker that has already returned,
 		// so admission sees the largest possible idle set. The queue is
@@ -287,6 +353,25 @@ func (s *Scheduler) dispatch() {
 		if len(pending) == 0 && len(idle) > 0 && s.depth.Load() == 0 {
 			idle = s.grow(idle, growable)
 		}
+		// Cross-shard work conservation: with local admission, growth and the
+		// queue all exhausted but workers still idle, pull work from sibling
+		// shards — first a whole queued job (admitted exactly like a local
+		// one), else lend the idle workers to a running under-provisioned
+		// elastic job over there.
+		if s.cfg.hooks != nil && queue != nil && len(pending) == 0 && len(idle) > 0 && s.depth.Load() == 0 {
+			if j := s.cfg.hooks.steal(s); j != nil {
+				s.stolen.Add(1)
+				emptyScans = 0
+				pending = append(pending, j)
+				continue // restart: collect, then admit the stolen job
+			}
+			if lj := s.cfg.hooks.lend(s); lj != nil {
+				emptyScans = 0
+				idle = s.lendTo(lj, idle)
+			} else if emptyScans < 6 {
+				emptyScans++
+			}
+		}
 		// The exit condition must be re-checked here, not only where the
 		// closure is observed: admit can empty `pending` after the queue
 		// was seen closed (a canceled job is popped without consuming a
@@ -299,15 +384,32 @@ func (s *Scheduler) dispatch() {
 		if len(pending) > 0 {
 			qc = nil
 		}
+		// With idle workers and siblings to steal from, wake periodically to
+		// re-scan instead of blocking until local traffic arrives, at the
+		// current backed-off period.
+		stealC = nil
+		if stealTimer != nil && queue != nil && len(idle) > 0 {
+			stealTimer.Reset(s.cfg.hooks.interval << emptyScans)
+			stealC = stealTimer.C
+		}
+		fired := false
 		select {
 		case j, ok := <-qc:
 			if !ok {
 				queue = nil
-				continue
+			} else {
+				pending = append(pending, j)
+				emptyScans = 0 // local traffic: scan siblings promptly again
 			}
-			pending = append(pending, j)
 		case id := <-s.free:
 			idle = append(idle, id)
+		case <-stealC:
+			fired = true
+		}
+		// Quiesce the armed timer; a stale expiry can never be received
+		// after Stop under the go1.23+ timer semantics.
+		if stealC != nil && !fired {
+			stealTimer.Stop()
 		}
 	}
 	// Hand the held workers back so Close can collect the full team.
@@ -361,6 +463,15 @@ func (s *Scheduler) admit(j *Job, idle []int, growable map[*Job]struct{}) []int 
 		}
 		s.assign[id] <- a
 	}
+	// Publish the job for cross-shard lending only after the release wave:
+	// a sibling's lendTo drains j.slots concurrently, and advertising the
+	// job earlier could starve the blocking slot receives above, stalling
+	// this dispatcher mid-admission.
+	if elastic && s.growSet != nil {
+		s.growMu.Lock()
+		s.growSet[j] = struct{}{}
+		s.growMu.Unlock()
+	}
 	return idle
 }
 
@@ -391,12 +502,66 @@ func (s *Scheduler) grow(idle []int, growable map[*Job]struct{}) []int {
 	return idle
 }
 
+// lendTo distributes idle workers onto a sibling shard's running elastic job
+// (the cross-shard analogue of grow). The workers execute foreign chunks but
+// stay owned by this scheduler: they return to its free list when they leave
+// the job, and they peel as soon as this shard has tenants of its own.
+func (s *Scheduler) lendTo(j *Job, idle []int) []int {
+	for len(idle) > 0 {
+		sub, ok := j.tryGrow()
+		if !ok {
+			break
+		}
+		id := idle[len(idle)-1]
+		idle = idle[:len(idle)-1]
+		s.lent.Add(1)
+		s.assign[id] <- &assignment{job: j, sub: sub, elastic: true}
+	}
+	return idle
+}
+
+// stealQueued removes one job from this scheduler's admission queue on behalf
+// of a sibling shard, without admitting it. It returns nil when the queue is
+// empty or closed. The caller owns the returned job and must migrate it (see
+// Sharded.stealFor); the job is still in the Pending state and still counted
+// in this scheduler's depth.
+func (s *Scheduler) stealQueued() *Job {
+	select {
+	case j, ok := <-s.queue:
+		if !ok {
+			return nil
+		}
+		return j
+	default:
+		return nil
+	}
+}
+
+// lendableJob returns a running elastic job that still has unclaimed work,
+// for a sibling shard to lend workers to, or nil. Entries that completed or
+// drained their cursor are dropped lazily.
+func (s *Scheduler) lendableJob() *Job {
+	if s.growSet == nil {
+		return nil
+	}
+	s.growMu.Lock()
+	defer s.growMu.Unlock()
+	for j := range s.growSet {
+		if j.State() != Running || j.cursor.Remaining() == 0 {
+			delete(s.growSet, j)
+			continue
+		}
+		return j
+	}
+	return nil
+}
+
 // worker is the body of every team member: execute one assignment, return to
 // the dispatcher, repeat until the scheduler closes.
 func (s *Scheduler) worker(id int) {
 	for a := range s.assign[id] {
 		s.busy.Add(1)
-		a.run()
+		a.run(s)
 		s.busy.Add(-1)
 		s.free <- id
 	}
@@ -406,6 +571,11 @@ func (s *Scheduler) worker(id int) {
 // completing worker exactly once per job.
 func (s *Scheduler) recordCompletion(j *Job) {
 	now := time.Now()
+	if s.growSet != nil && j.elastic {
+		s.growMu.Lock()
+		delete(s.growSet, j)
+		s.growMu.Unlock()
+	}
 	s.completed.Add(1)
 	if j.req.N > 0 {
 		s.itersDone.Add(int64(j.req.N))
@@ -418,11 +588,14 @@ func (s *Scheduler) recordCompletion(j *Job) {
 
 // Close drains the admission queue, waits for every in-flight job and
 // releases the workers. Jobs submitted before Close complete normally;
-// Submit fails with ErrClosed afterwards. Close is idempotent.
+// Submit fails with ErrClosed afterwards. Close is idempotent and safe to
+// call from several goroutines at once: every call returns only after the
+// teardown has fully completed, whichever call performed it.
 func (s *Scheduler) Close() {
 	s.submitMu.Lock()
 	if s.closed {
 		s.submitMu.Unlock()
+		<-s.closeDone
 		return
 	}
 	s.closed = true
@@ -438,6 +611,7 @@ func (s *Scheduler) Close() {
 		close(ch)
 	}
 	s.team.Wait()
+	close(s.closeDone)
 }
 
 // Stats is a snapshot of the scheduler's aggregate state. The JSON field
@@ -458,6 +632,11 @@ type Stats struct {
 	// to serve waiting tenants (elastic shrink).
 	Grown  int64 `json:"grown_total"`
 	Peeled int64 `json:"peeled_total"`
+	// Stolen counts whole queued jobs this scheduler pulled from sibling
+	// shards; Lent counts workers this scheduler lent to sibling shards'
+	// running elastic jobs. Both are zero outside a Sharded pool.
+	Stolen int64 `json:"stolen_total"`
+	Lent   int64 `json:"lent_total"`
 	// Latency quantiles (submission to completion) over the recent window.
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
 	LatencyP95 time.Duration `json:"latency_p95_ns"`
@@ -478,6 +657,14 @@ type Stats struct {
 // Stats returns a snapshot of queue depth, occupancy and latency
 // percentiles.
 func (s *Scheduler) Stats() Stats {
+	st, _, _ := s.statsWindows()
+	return st
+}
+
+// statsWindows builds the snapshot and also returns the latency windows it
+// was computed from, so Sharded.Stats can merge pool-wide quantiles from the
+// very same instant instead of re-snapshotting the rings.
+func (s *Scheduler) statsWindows() (Stats, []float64, []float64) {
 	st := Stats{
 		Workers:        s.p,
 		BusyWorkers:    int(s.busy.Load()),
@@ -489,6 +676,8 @@ func (s *Scheduler) Stats() Stats {
 		IterationsDone: s.itersDone.Load(),
 		Grown:          s.grown.Load(),
 		Peeled:         s.peeled.Load(),
+		Stolen:         s.stolen.Load(),
+		Lent:           s.lent.Load(),
 	}
 	tot, run, totSum, runSum := s.lat.snapshot()
 	st.LatencySamples = len(tot)
@@ -499,7 +688,7 @@ func (s *Scheduler) Stats() Stats {
 		q = stats.Quantiles(run, 0.5, 0.95, 0.99)
 		st.RunP50, st.RunP95, st.RunP99 = secs(q[0]), secs(q[1]), secs(q[2])
 	}
-	return st
+	return st, tot, run
 }
 
 func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }

@@ -1,0 +1,304 @@
+package jobs
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loopsched/internal/stats"
+	"loopsched/internal/topology"
+)
+
+// ShardedConfig configures a Sharded pool. The embedded Config applies to
+// every shard, except that Workers is the *total* worker count (partitioned
+// across shards along topology groups) and QueueDepth is the total admission
+// budget (split evenly).
+type ShardedConfig struct {
+	Config
+	// Shards is the number of per-domain shards; <= 0 derives it from the
+	// machine topology (one shard per cache/socket group, so a machine that
+	// fits one group gets exactly one shard). It is clamped to the worker
+	// count: every shard owns at least one worker.
+	Shards int
+	// StealInterval is how often a fully idle shard re-scans its siblings
+	// for queued jobs to steal or running elastic jobs to lend workers to;
+	// <= 0 selects 200µs. Larger intervals reduce idle wake-ups at the cost
+	// of slower work conservation under skew.
+	StealInterval time.Duration
+	// DisableStealing turns off cross-shard stealing and lending: shards
+	// become fully independent pools behind one router. It exists for
+	// comparison (the shardburst benchmark measures stealing against it).
+	DisableStealing bool
+}
+
+func (c *ShardedConfig) normalize() {
+	c.Config.normalize()
+	if c.Shards <= 0 {
+		c.Shards = topology.Detect(c.Workers).NumGroups
+	}
+	if c.Shards > c.Workers {
+		c.Shards = c.Workers
+	}
+	if c.StealInterval <= 0 {
+		c.StealInterval = 200 * time.Microsecond
+	}
+}
+
+// ResolveShardCount returns the shard count NewSharded builds for the given
+// total worker count and requested shard count (<= 0 selects the
+// topology-derived default): the clamp to one-worker-per-shard plus the tail
+// merge from ceil group sizing. Callers that need to predict the layout
+// without instantiating the pool (Pool.AsyncShards) share this logic so the
+// prediction cannot drift from the runtime.
+func ResolveShardCount(workers, shards int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cfg := ShardedConfig{Config: Config{Workers: workers}, Shards: shards}
+	cfg.normalize()
+	groupSize := (cfg.Workers + cfg.Shards - 1) / cfg.Shards
+	return topology.New(cfg.Workers, groupSize).NumGroups
+}
+
+// Sharded partitions one worker set into per-topology-domain shards, each a
+// full Scheduler with its own dispatcher event loop, behind a lightweight
+// router. Submitted jobs are admitted to the least-loaded shard (or pinned
+// with SubmitTo); an idle shard steals whole queued jobs from loaded siblings
+// and lends workers to their running under-provisioned elastic jobs, so
+// utilization stays high under skewed tenant mixes without any scheduler-wide
+// serialization point: the shards share no lock, no queue and no barrier —
+// only per-job atomics during migration.
+type Sharded struct {
+	cfg    ShardedConfig
+	topo   topology.Topology
+	shards []*Scheduler
+
+	// ready gates the steal hooks until every shard exists: shard 0's
+	// dispatcher starts before shard 1 is constructed.
+	ready atomic.Bool
+	// stealOff disables cross-shard traffic during teardown, so a stolen job
+	// can never land on a shard that is already closing.
+	stealOff atomic.Bool
+	rr       atomic.Uint64
+
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// NewSharded creates and starts a sharded pool.
+func NewSharded(cfg ShardedConfig) *Sharded {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	cfg.normalize()
+	groupSize := (cfg.Workers + cfg.Shards - 1) / cfg.Shards
+	p := &Sharded{
+		cfg:    cfg,
+		topo:   topology.New(cfg.Workers, groupSize),
+		shards: make([]*Scheduler, 0, cfg.Shards),
+	}
+	perQueue := (cfg.QueueDepth + cfg.Shards - 1) / cfg.Shards
+	if perQueue < 1 {
+		perQueue = 1
+	}
+	for g := 0; g < p.topo.NumGroups; g++ {
+		sc := cfg.Config
+		sc.Workers = len(p.topo.GroupMembers(g))
+		sc.QueueDepth = perQueue
+		sc.Name = fmt.Sprintf("%s-shard%d", cfg.Name, g)
+		if !cfg.DisableStealing && cfg.Shards > 1 {
+			sc.hooks = &stealHooks{
+				totalP:   cfg.Workers,
+				interval: cfg.StealInterval,
+				steal:    p.stealFor,
+				lend:     p.lendFor,
+			}
+		}
+		p.shards = append(p.shards, New(sc))
+	}
+	// Rounding the group size up can merge the tail: the actual shard count
+	// is the topology's group count.
+	p.cfg.Shards = len(p.shards)
+	p.ready.Store(true)
+	return p
+}
+
+// Shards returns the number of shards.
+func (p *Sharded) Shards() int { return len(p.shards) }
+
+// P returns the total worker count across all shards.
+func (p *Sharded) P() int { return p.cfg.Workers }
+
+// Name returns the pool's diagnostic name.
+func (p *Sharded) Name() string { return p.cfg.Name }
+
+// Shard returns the i'th shard scheduler (for stats and tests).
+func (p *Sharded) Shard(i int) *Scheduler { return p.shards[i] }
+
+// Topology returns the topology the shards were placed on.
+func (p *Sharded) Topology() topology.Topology { return p.topo }
+
+// route picks the least-loaded shard: the one with the fewest jobs waiting
+// or running per worker, ties broken round-robin so a burst that arrives on
+// an idle pool spreads instead of piling onto shard 0.
+func (p *Sharded) route() *Scheduler {
+	n := len(p.shards)
+	if n == 1 {
+		return p.shards[0]
+	}
+	start := int(p.rr.Add(1) % uint64(n))
+	best := p.shards[start]
+	bestLoad := shardLoad(best)
+	for k := 1; k < n; k++ {
+		s := p.shards[(start+k)%n]
+		if l := shardLoad(s); l < bestLoad {
+			best, bestLoad = s, l
+		}
+	}
+	return best
+}
+
+// shardLoad scores a shard for admission routing: queued tenants dominate
+// (a job behind a queue waits a full job, not a chunk), then occupancy, both
+// normalized by the shard's team size.
+func shardLoad(s *Scheduler) float64 {
+	return (float64(s.depth.Load())*4 + float64(s.running.Load()) + float64(s.busy.Load())) / float64(s.p)
+}
+
+// Submit enqueues a job on the least-loaded shard and returns immediately.
+// It blocks only when that shard's admission queue is full. Safe from any
+// number of goroutines.
+func (p *Sharded) Submit(req Request) (*Job, error) {
+	return p.route().Submit(req)
+}
+
+// SubmitTo pins a job to the given shard (for tenants with domain-local
+// state). The job can still be stolen by an idle sibling unless stealing is
+// disabled; pinning controls admission, not execution exclusivity.
+func (p *Sharded) SubmitTo(shard int, req Request) (*Job, error) {
+	if shard < 0 || shard >= len(p.shards) {
+		return nil, fmt.Errorf("jobs: shard %d out of range [0,%d)", shard, len(p.shards))
+	}
+	return p.shards[shard].Submit(req)
+}
+
+// stealFor pulls one whole queued job from the most convenient loaded
+// sibling and migrates it onto thief. Runs on thief's dispatcher goroutine.
+// Migration protocol: the Pending→stealing CAS excludes Cancel while the
+// job's home pointer and the two shards' depth counters move; Cancel during
+// the window fails (the job will run), and afterwards it lands on the thief.
+func (p *Sharded) stealFor(thief *Scheduler) *Job {
+	if !p.ready.Load() || p.stealOff.Load() {
+		return nil
+	}
+	n := len(p.shards)
+	start := int(p.rr.Add(1) % uint64(n))
+	for k := 0; k < n; k++ {
+		victim := p.shards[(start+k)%n]
+		if victim == thief || victim.depth.Load() == 0 {
+			continue
+		}
+		j := victim.stealQueued()
+		if j == nil {
+			continue
+		}
+		if !j.state.CompareAndSwap(int32(Pending), stateStealing) {
+			// Canceled while queued: Cancel already took it out of the
+			// depth; dropping it here is exactly what the victim's
+			// dispatcher would have done on pop.
+			continue
+		}
+		victim.depth.Add(-1)
+		j.s = thief
+		thief.depth.Add(1)
+		j.state.Store(int32(Pending))
+		return j
+	}
+	return nil
+}
+
+// lendFor finds a running under-provisioned elastic job on a sibling shard
+// for thief to lend idle workers to. Runs on thief's dispatcher goroutine.
+func (p *Sharded) lendFor(thief *Scheduler) *Job {
+	if !p.ready.Load() || p.stealOff.Load() {
+		return nil
+	}
+	n := len(p.shards)
+	start := int(p.rr.Add(1) % uint64(n))
+	for k := 0; k < n; k++ {
+		victim := p.shards[(start+k)%n]
+		if victim == thief {
+			continue
+		}
+		if j := victim.lendableJob(); j != nil {
+			return j
+		}
+	}
+	return nil
+}
+
+// Close drains every shard and releases all workers. Jobs submitted before
+// Close complete normally (including jobs mid-steal and foreign jobs still
+// running on lent workers); Submit fails with ErrClosed afterwards. Close is
+// idempotent and safe to call concurrently: every call returns only after
+// the teardown has completed.
+func (p *Sharded) Close() {
+	p.closeMu.Lock()
+	defer p.closeMu.Unlock()
+	if p.closed {
+		return
+	}
+	// Stop cross-shard traffic first: once a shard is closed its sibling
+	// must not re-home jobs onto it.
+	p.stealOff.Store(true)
+	for _, s := range p.shards {
+		s.Close()
+	}
+	p.closed = true
+}
+
+// ShardedStats is a snapshot of the whole sharded pool: the merged totals
+// plus each shard's own snapshot, in shard order.
+type ShardedStats struct {
+	// Total aggregates all shards: counters are summed; latency quantiles
+	// are computed over the union of the shards' recent windows.
+	Total Stats `json:"total"`
+	// Shards holds each shard's snapshot (index = shard id = topology group).
+	Shards []Stats `json:"shards"`
+}
+
+// Stats returns a snapshot of all shards and the merged totals.
+func (p *Sharded) Stats() ShardedStats {
+	out := ShardedStats{Shards: make([]Stats, len(p.shards))}
+	var tot, run []float64
+	for i, s := range p.shards {
+		st, wt, wr := s.statsWindows()
+		out.Shards[i] = st
+		out.Total.Workers += st.Workers
+		out.Total.BusyWorkers += st.BusyWorkers
+		out.Total.QueueDepth += st.QueueDepth
+		out.Total.Running += st.Running
+		out.Total.Submitted += st.Submitted
+		out.Total.Completed += st.Completed
+		out.Total.Canceled += st.Canceled
+		out.Total.IterationsDone += st.IterationsDone
+		out.Total.Grown += st.Grown
+		out.Total.Peeled += st.Peeled
+		out.Total.Stolen += st.Stolen
+		out.Total.Lent += st.Lent
+		out.Total.LatencySamples += st.LatencySamples
+		out.Total.LatencySumSeconds += st.LatencySumSeconds
+		out.Total.RunSumSeconds += st.RunSumSeconds
+		tot = append(tot, wt...)
+		run = append(run, wr...)
+	}
+	if len(tot) > 0 {
+		q := stats.Quantiles(tot, 0.5, 0.95, 0.99)
+		out.Total.LatencyP50, out.Total.LatencyP95, out.Total.LatencyP99 = secs(q[0]), secs(q[1]), secs(q[2])
+		q = stats.Quantiles(run, 0.5, 0.95, 0.99)
+		out.Total.RunP50, out.Total.RunP95, out.Total.RunP99 = secs(q[0]), secs(q[1]), secs(q[2])
+	}
+	return out
+}

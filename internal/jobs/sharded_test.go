@@ -1,0 +1,263 @@
+package jobs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testSharded builds a sharded pool bounded for the machine and closes it at
+// cleanup.
+func testSharded(t *testing.T, cfg ShardedConfig) *Sharded {
+	t.Helper()
+	p := NewSharded(cfg)
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestShardedPartitionsWorkersAcrossShards(t *testing.T) {
+	p := testSharded(t, ShardedConfig{Config: Config{Workers: 5}, Shards: 2})
+	if p.Shards() != 2 {
+		t.Fatalf("shards = %d, want 2", p.Shards())
+	}
+	if p.P() != 5 {
+		t.Errorf("total workers = %d, want 5", p.P())
+	}
+	if got := p.Shard(0).P() + p.Shard(1).P(); got != 5 {
+		t.Errorf("shard workers sum to %d, want 5", got)
+	}
+	for i := 0; i < p.Shards(); i++ {
+		if p.Shard(i).P() < 1 {
+			t.Errorf("shard %d has %d workers", i, p.Shard(i).P())
+		}
+	}
+	// Shard count never exceeds the worker count.
+	small := testSharded(t, ShardedConfig{Config: Config{Workers: 2}, Shards: 8})
+	if small.Shards() != 2 {
+		t.Errorf("2-worker pool built %d shards, want 2", small.Shards())
+	}
+}
+
+func TestShardedConcurrentTenantsExactResults(t *testing.T) {
+	// The acceptance shape across shards: many tenants, every reduction
+	// verified, totals reconciling across per-shard stats.
+	p := testSharded(t, ShardedConfig{Config: Config{Workers: 4}, Shards: 2})
+	const tenants, jobsEach = 8, 15
+	var wg sync.WaitGroup
+	for tnt := 0; tnt < tenants; tnt++ {
+		wg.Add(1)
+		go func(tnt int) {
+			defer wg.Done()
+			for i := 0; i < jobsEach; i++ {
+				n := 400 + 7*tnt + i
+				j, err := p.Submit(Request{
+					N:           n,
+					Commutative: true,
+					Combine:     func(a, b float64) float64 { return a + b },
+					RBody: func(w, lo, hi int, acc float64) float64 {
+						for k := lo; k < hi; k++ {
+							acc += float64(k)
+						}
+						return acc
+					},
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				v, err := j.Wait()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if want := float64(n) * float64(n-1) / 2; v != want {
+					t.Errorf("tenant %d job %d: sum = %v, want %v", tnt, i, v, want)
+				}
+			}
+		}(tnt)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Total.Completed != tenants*jobsEach {
+		t.Errorf("total completed = %d, want %d", st.Total.Completed, tenants*jobsEach)
+	}
+	var sum int64
+	for _, sh := range st.Shards {
+		sum += sh.Completed
+	}
+	if sum != st.Total.Completed {
+		t.Errorf("per-shard completed sum %d != total %d", sum, st.Total.Completed)
+	}
+	// The router must spread admissions: with 8 concurrent tenants and
+	// round-robin tie-breaking, no shard stays empty.
+	for i, sh := range st.Shards {
+		if sh.Submitted == 0 {
+			t.Errorf("shard %d admitted no jobs: router not spreading", i)
+		}
+	}
+}
+
+func TestShardedStealMovesQueuedJobs(t *testing.T) {
+	// One shard's lone worker is blocked with jobs queued behind it; the idle
+	// sibling must steal those whole jobs and run them long before the
+	// blocker finishes.
+	p := testSharded(t, ShardedConfig{Config: Config{Workers: 2}, Shards: 2})
+	release := make(chan struct{})
+	blocker, err := p.SubmitTo(0, Request{N: 1, Body: func(w, lo, hi int) { <-release }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, blocker, Running)
+	const queued = 4
+	var completed atomic.Int64
+	jobs := make([]*Job, queued)
+	for i := range jobs {
+		if jobs[i], err = p.SubmitTo(0, Request{N: 64, Body: func(w, lo, hi int) {}}); err != nil {
+			t.Fatal(err)
+		}
+		go func(j *Job) {
+			if _, err := j.Wait(); err == nil {
+				completed.Add(1)
+			}
+		}(jobs[i])
+	}
+	// Shard 0's dispatcher may park one popped job waiting for its blocked
+	// worker; every job still in the queue is stealable.
+	waitFor(t, "stolen jobs to complete", func() bool { return completed.Load() >= queued-1 })
+	if st := blocker.State(); st != Running {
+		t.Errorf("blocker already %v: queued jobs were not stolen, they convoyed", st)
+	}
+	if got := p.Shard(1).Stats().Stolen; got < 1 {
+		t.Errorf("shard 1 stolen = %d, want >= 1", got)
+	}
+	close(release)
+	if _, err := blocker.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if _, err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestShardedLendsWorkersToForeignElasticJob(t *testing.T) {
+	// A big elastic job on one shard must attract the idle sibling's workers.
+	// Whichever shard ends up hosting the job (the sibling may steal it from
+	// the queue before the pinned shard admits it), the *other* shard has
+	// nothing to run and must lend its worker: pool-wide, a lone job on a
+	// 2-shard pool always ends up with both workers.
+	p := testSharded(t, ShardedConfig{Config: Config{Workers: 2}, Shards: 2})
+	var marks [256]atomic.Int32
+	j, err := p.SubmitTo(0, Request{N: len(marks), Grain: 1, Body: func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			marks[i].Add(1)
+			time.Sleep(time.Millisecond)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "a lent worker", func() bool { return p.Stats().Total.Lent >= 1 })
+	if _, err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range marks {
+		if got := marks[i].Load(); got != 1 {
+			t.Fatalf("iteration %d executed %d times, want 1", i, got)
+		}
+	}
+	if k := j.Workers(); k < 2 {
+		t.Errorf("job peaked at %d workers, want >= 2 after cross-shard lending", k)
+	}
+}
+
+func TestShardedStealingDisabled(t *testing.T) {
+	// With stealing off the shards are independent: queued jobs stay behind
+	// their shard's blocker.
+	p := testSharded(t, ShardedConfig{Config: Config{Workers: 2}, Shards: 2, DisableStealing: true})
+	release := make(chan struct{})
+	blocker, err := p.SubmitTo(0, Request{N: 1, Body: func(w, lo, hi int) { <-release }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, blocker, Running)
+	victim, err := p.SubmitTo(0, Request{N: 8, Body: func(w, lo, hi int) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if victim.State() != Pending {
+		t.Errorf("pinned job %v with stealing disabled, want pending behind the blocker", victim.State())
+	}
+	close(release)
+	if _, err := blocker.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := victim.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Total.Stolen != 0 || st.Total.Lent != 0 {
+		t.Errorf("stolen/lent = %d/%d with stealing disabled", st.Total.Stolen, st.Total.Lent)
+	}
+}
+
+func TestShardedPinningValidation(t *testing.T) {
+	p := testSharded(t, ShardedConfig{Config: Config{Workers: 2}, Shards: 2, DisableStealing: true})
+	if _, err := p.SubmitTo(-1, Request{N: 1, Body: func(w, lo, hi int) {}}); err == nil {
+		t.Error("negative shard accepted")
+	}
+	if _, err := p.SubmitTo(2, Request{N: 1, Body: func(w, lo, hi int) {}}); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	j, err := p.SubmitTo(1, Request{N: 32, Body: func(w, lo, hi int) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Shard(1).Stats().Submitted; got != 1 {
+		t.Errorf("shard 1 submitted = %d, want the pinned job", got)
+	}
+	if got := p.Shard(0).Stats().Submitted; got != 0 {
+		t.Errorf("shard 0 submitted = %d, want 0", got)
+	}
+}
+
+func TestShardedCancelDuringStealChurn(t *testing.T) {
+	// Run under -race: cancels racing the steal migration must end each job
+	// in exactly one of {completed once, canceled} — never both, never lost.
+	p := testSharded(t, ShardedConfig{Config: Config{Workers: 2}, Shards: 2, StealInterval: 50 * time.Microsecond})
+	const rounds = 200
+	var ran, canceled atomic.Int64
+	for i := 0; i < rounds; i++ {
+		j, err := p.SubmitTo(i%2, Request{N: 16, Body: func(w, lo, hi int) {}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			j.Cancel() // races admission and migration on purpose
+		}
+		if _, err := j.Wait(); err != nil {
+			canceled.Add(1)
+		} else {
+			ran.Add(1)
+		}
+	}
+	if got := ran.Load() + canceled.Load(); got != rounds {
+		t.Fatalf("accounted %d jobs, want %d", got, rounds)
+	}
+	st := p.Stats()
+	if st.Total.Completed != ran.Load() {
+		t.Errorf("stats completed = %d, observed %d", st.Total.Completed, ran.Load())
+	}
+	if st.Total.Canceled != canceled.Load() {
+		t.Errorf("stats canceled = %d, observed %d", st.Total.Canceled, canceled.Load())
+	}
+	waitFor(t, "queues drained", func() bool {
+		st := p.Stats()
+		return st.Total.QueueDepth == 0 && st.Total.Running == 0
+	})
+}

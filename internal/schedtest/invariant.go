@@ -1,0 +1,249 @@
+// invariant.go is the deterministic invariant harness for the multi-tenant
+// jobs runtimes: it drives a jobs scheduler (single or sharded) with a
+// seeded pseudo-random operation stream — submissions of plain, commutative-
+// reducing and ordered-reducing loops of random sizes, grains and worker
+// caps, interleaved with cancels — and asserts the runtime's structural
+// invariants after every run:
+//
+//   - every loop index of every completed job executed exactly once
+//     (elastic growth, peeling, cross-shard stealing and lending must never
+//     duplicate or drop a chunk);
+//   - every join wave completes: Wait returns for every submitted job
+//     within a deadline, with either a verified result or ErrCanceled;
+//   - canceled jobs never ran any iteration;
+//   - no worker is lost: after the stream drains, the pool reports zero
+//     busy workers, zero queue depth and zero running jobs, and still
+//     completes a fresh full-width job.
+//
+// The op stream is a pure function of InvariantOptions.Seed, so a failure
+// reproduces by re-running with the logged seed. Run it under -race: the
+// marks arrays double as data-race probes for overlapping chunk execution.
+package schedtest
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"loopsched/internal/jobs"
+)
+
+// JobRunner is the surface the invariant harness drives: jobs.Scheduler and
+// jobs.Sharded both implement it.
+type JobRunner interface {
+	Submit(jobs.Request) (*jobs.Job, error)
+}
+
+// InvariantOptions parameterizes the op stream.
+type InvariantOptions struct {
+	// Seed seeds the op stream; the same seed replays the same stream
+	// (subject to runtime scheduling, which the invariants are robust to).
+	Seed int64
+	// Tenants is the number of concurrent submitter goroutines; <= 0
+	// selects 6.
+	Tenants int
+	// OpsPerTenant is the number of jobs each tenant submits; <= 0 selects
+	// 40.
+	OpsPerTenant int
+	// MaxN bounds the per-job iteration count; <= 0 selects 2048.
+	MaxN int
+	// CancelPercent is the percentage of jobs each tenant cancels right
+	// after submission (racing admission on purpose); < 0 selects 0,
+	// default 20.
+	CancelPercent int
+	// Deadline bounds every Wait and the final drain; <= 0 selects 30s.
+	Deadline time.Duration
+}
+
+func (o *InvariantOptions) normalize() {
+	if o.Tenants <= 0 {
+		o.Tenants = 6
+	}
+	if o.OpsPerTenant <= 0 {
+		o.OpsPerTenant = 40
+	}
+	if o.MaxN <= 0 {
+		o.MaxN = 2048
+	}
+	if o.CancelPercent == 0 {
+		o.CancelPercent = 20
+	}
+	if o.CancelPercent < 0 {
+		o.CancelPercent = 0
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = 30 * time.Second
+	}
+}
+
+// DrainStats is the post-run occupancy snapshot the harness polls for the
+// no-lost-worker invariant.
+type DrainStats struct {
+	BusyWorkers int
+	QueueDepth  int
+	Running     int
+}
+
+// RunJobInvariants drives the runner with the seeded op stream and asserts
+// the invariants. drained must return the runner's current occupancy (for a
+// sharded pool, the merged totals); totalWorkers is the full worker count a
+// final post-drain job must be able to use.
+func RunJobInvariants(t *testing.T, runner JobRunner, opt InvariantOptions, totalWorkers int, drained func() DrainStats) {
+	t.Helper()
+	opt.normalize()
+	t.Logf("invariant stream: seed=%d tenants=%d ops=%d", opt.Seed, opt.Tenants, opt.OpsPerTenant)
+
+	var wg sync.WaitGroup
+	for tnt := 0; tnt < opt.Tenants; tnt++ {
+		wg.Add(1)
+		go func(tnt int) {
+			defer wg.Done()
+			// Each tenant derives its own deterministic stream from the seed.
+			rng := rand.New(rand.NewSource(opt.Seed + int64(tnt)*1_000_003))
+			for op := 0; op < opt.OpsPerTenant; op++ {
+				runOneOp(t, runner, rng, opt, tnt, op)
+			}
+		}(tnt)
+	}
+	wg.Wait()
+
+	// No worker lost, part 1: the pool must drain to zero occupancy. The
+	// counters are decremented just after job completion is published, so
+	// poll briefly instead of asserting instantly.
+	deadline := time.Now().Add(opt.Deadline)
+	for {
+		d := drained()
+		if d.BusyWorkers == 0 && d.QueueDepth == 0 && d.Running == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool did not drain: %+v (workers lost or job stuck)", d)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	// No worker lost, part 2: a fresh job spanning the whole pool still
+	// completes — every worker is reachable after the churn.
+	n := totalWorkers * 64
+	var covered atomic.Int64
+	j, err := runner.Submit(jobs.Request{N: n, Grain: 1, Body: func(w, lo, hi int) {
+		covered.Add(int64(hi - lo))
+	}})
+	if err != nil {
+		t.Fatalf("post-drain submit: %v", err)
+	}
+	if _, err := waitDeadline(j, opt.Deadline); err != nil {
+		t.Fatalf("post-drain job: %v", err)
+	}
+	if covered.Load() != int64(n) {
+		t.Fatalf("post-drain job covered %d of %d iterations", covered.Load(), n)
+	}
+}
+
+// runOneOp submits (and possibly cancels) one pseudo-random job and checks
+// its outcome.
+func runOneOp(t *testing.T, runner JobRunner, rng *rand.Rand, opt InvariantOptions, tnt, op int) {
+	t.Helper()
+	n := rng.Intn(opt.MaxN + 1) // 0 is a legal degenerate loop
+	kind := rng.Intn(3)
+	grain := 0
+	if rng.Intn(2) == 0 {
+		grain = 1 + rng.Intn(64)
+	}
+	maxWorkers := 0
+	if rng.Intn(3) == 0 {
+		maxWorkers = 1 + rng.Intn(4)
+	}
+	cancel := rng.Intn(100) < opt.CancelPercent
+
+	var marks []int32 // exactly-once probe for plain jobs
+	var req jobs.Request
+	switch kind {
+	case 0: // plain loop: every index marked exactly once
+		marks = make([]int32, n)
+		req = jobs.Request{N: n, Grain: grain, MaxWorkers: maxWorkers, Body: func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&marks[i], 1)
+			}
+		}}
+	case 1: // commutative reduction: closed-form sum, exact in float64
+		req = jobs.Request{
+			N: n, Grain: grain, MaxWorkers: maxWorkers, Commutative: true,
+			Combine: func(a, b float64) float64 { return a + b },
+			RBody: func(w, lo, hi int, acc float64) float64 {
+				for i := lo; i < hi; i++ {
+					acc += float64(i)
+				}
+				return acc
+			},
+		}
+	default: // ordered reduction: the "last" fold must see the final block
+		req = jobs.Request{
+			N: n, Grain: grain, MaxWorkers: maxWorkers, Identity: -1,
+			Combine: func(a, b float64) float64 { return b },
+			RBody:   func(w, lo, hi int, acc float64) float64 { return float64(hi) },
+		}
+	}
+
+	j, err := runner.Submit(req)
+	if err != nil {
+		t.Errorf("tenant %d op %d (seed %d): submit: %v", tnt, op, opt.Seed, err)
+		return
+	}
+	if cancel {
+		j.Cancel() // races admission and stealing on purpose; may fail
+	}
+	v, err := waitDeadline(j, opt.Deadline)
+	if errors.Is(err, jobs.ErrCanceled) {
+		if kind == 0 {
+			for i, m := range marks {
+				if m != 0 {
+					t.Errorf("tenant %d op %d (seed %d): canceled job ran iteration %d", tnt, op, opt.Seed, i)
+					return
+				}
+			}
+		}
+		return
+	}
+	if err != nil {
+		t.Errorf("tenant %d op %d (seed %d): wait: %v", tnt, op, opt.Seed, err)
+		return
+	}
+	switch kind {
+	case 0:
+		for i, m := range marks {
+			if m != 1 {
+				t.Errorf("tenant %d op %d (seed %d): iteration %d of %d executed %d times, want 1",
+					tnt, op, opt.Seed, i, n, m)
+				return
+			}
+		}
+	case 1:
+		if want := float64(n) * float64(n-1) / 2; v != want {
+			t.Errorf("tenant %d op %d (seed %d): sum over %d = %v, want %v", tnt, op, opt.Seed, n, v, want)
+		}
+	default:
+		want := float64(n)
+		if n == 0 {
+			want = -1 // identity: the loop never ran
+		}
+		if v != want {
+			t.Errorf("tenant %d op %d (seed %d): ordered 'last' fold over %d = %v, want %v (join-wave order violated)",
+				tnt, op, opt.Seed, n, v, want)
+		}
+	}
+}
+
+// waitDeadline is Job.Wait with a timeout, so a lost join wave fails the
+// test instead of hanging it.
+func waitDeadline(j *jobs.Job, d time.Duration) (float64, error) {
+	select {
+	case <-j.Done():
+		return j.Wait()
+	case <-time.After(d):
+		return 0, errors.New("schedtest: job did not complete within the deadline (join wave lost?)")
+	}
+}

@@ -35,6 +35,7 @@ package loopsched
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"loopsched/internal/core"
 	"loopsched/internal/jobs"
@@ -88,6 +89,17 @@ type Config struct {
 	// paper's rigid-team behaviour. It exists for comparison and for callers
 	// that require the static-block body contract.
 	AsyncRigid bool
+	// AsyncShards partitions the async runtime's workers into per-topology-
+	// domain shards, each with its own dispatcher, router-admitted to the
+	// least-loaded shard with cross-shard work stealing between them.
+	// 0 selects a single shard (one dispatcher, the pre-sharding behaviour);
+	// < 0 derives the shard count from the machine topology (one shard per
+	// cache/socket group); >= 2 selects that many shards.
+	AsyncShards int
+	// AsyncStealInterval is how often a fully idle shard re-scans its
+	// siblings for queued jobs to steal or elastic jobs to lend workers to;
+	// <= 0 selects the default (200µs). Ignored with fewer than two shards.
+	AsyncStealInterval time.Duration
 }
 
 // Pool is a team of persistent workers executing parallel loops. The
@@ -101,11 +113,13 @@ type Config struct {
 type Pool struct {
 	s *core.Scheduler
 
-	asyncGrain int
-	asyncRigid bool
+	asyncGrain         int
+	asyncRigid         bool
+	asyncShards        int
+	asyncStealInterval time.Duration
 
 	jobsMu     sync.Mutex
-	jobsRT     *jobs.Scheduler
+	jobsRT     *jobs.Sharded
 	jobsClosed bool
 }
 
@@ -128,7 +142,13 @@ func New(cfg Config) *Pool {
 		OuterFanout:  cfg.OuterFanout,
 		LockOSThread: !cfg.DisableThreadLock,
 	})
-	return &Pool{s: s, asyncGrain: cfg.AsyncGrain, asyncRigid: cfg.AsyncRigid}
+	return &Pool{
+		s:                  s,
+		asyncGrain:         cfg.AsyncGrain,
+		asyncRigid:         cfg.AsyncRigid,
+		asyncShards:        cfg.AsyncShards,
+		asyncStealInterval: cfg.AsyncStealInterval,
+	}
 }
 
 // NewDefault creates a pool with the default configuration.
@@ -153,22 +173,69 @@ func (p *Pool) Close() {
 }
 
 // jobs returns the lazily created async runtime, or nil after Close.
-func (p *Pool) jobs() *jobs.Scheduler {
+func (p *Pool) jobs() *jobs.Sharded {
 	p.jobsMu.Lock()
 	defer p.jobsMu.Unlock()
 	if p.jobsRT == nil && !p.jobsClosed {
+		shards := resolveShardRequest(p.asyncShards)
 		// The async team is never locked to OS threads: unlike the
 		// synchronous team's spin-waiting workers, jobs workers park on
 		// channels between jobs, and pinning a second P threads would only
 		// oversubscribe the machine.
-		p.jobsRT = jobs.New(jobs.Config{
-			Workers:        p.s.P(),
-			DefaultGrain:   p.asyncGrain,
-			DisableElastic: p.asyncRigid,
-			Name:           "async-" + p.s.Name(),
+		p.jobsRT = jobs.NewSharded(jobs.ShardedConfig{
+			Config: jobs.Config{
+				Workers:        p.s.P(),
+				DefaultGrain:   p.asyncGrain,
+				DisableElastic: p.asyncRigid,
+				Name:           "async-" + p.s.Name(),
+			},
+			Shards:        shards,
+			StealInterval: p.asyncStealInterval,
 		})
 	}
 	return p.jobsRT
+}
+
+// AsyncShards returns the shard count the async runtime has (or will have
+// on first use: observing a pool must not instantiate its worker teams), or
+// 0 after Close.
+func (p *Pool) AsyncShards() int {
+	p.jobsMu.Lock()
+	rt, closed := p.jobsRT, p.jobsClosed
+	p.jobsMu.Unlock()
+	if rt != nil {
+		return rt.Shards()
+	}
+	if closed {
+		return 0
+	}
+	return jobs.ResolveShardCount(p.s.P(), resolveShardRequest(p.asyncShards))
+}
+
+// resolveShardRequest maps Config.AsyncShards (0 = one shard, < 0 =
+// topology-derived) onto the jobs runtime's convention (<= 0 =
+// topology-derived).
+func resolveShardRequest(asyncShards int) int {
+	switch {
+	case asyncShards == 0:
+		return 1
+	case asyncShards < 0:
+		return 0
+	}
+	return asyncShards
+}
+
+// AsyncStats returns a snapshot of the async runtime's shards and merged
+// totals. The zero value is returned before the first async submission and
+// after Close: a read-only observer never instantiates the runtime.
+func (p *Pool) AsyncStats() jobs.ShardedStats {
+	p.jobsMu.Lock()
+	rt := p.jobsRT
+	p.jobsMu.Unlock()
+	if rt == nil {
+		return jobs.ShardedStats{}
+	}
+	return rt.Stats()
 }
 
 // Scheduler exposes the underlying runtime through the internal scheduler
@@ -351,13 +418,26 @@ func (j *Job) Workers() int {
 // sites can chain Submit(...).Wait() without a separate error path.
 func failedJob(err error) *Job { return &Job{err: err} }
 
-// submit routes a request to the async runtime.
-func (p *Pool) submit(req jobs.Request) *Job {
+// submit routes a request to the async runtime: to the least-loaded shard,
+// or to the pinned shard when the options name one (1-based; 0 routes).
+func (p *Pool) submit(shard int, req jobs.Request) *Job {
 	rt := p.jobs()
 	if rt == nil {
 		return failedJob(jobs.ErrClosed)
 	}
-	j, err := rt.Submit(req)
+	var j *jobs.Job
+	var err error
+	if shard != 0 {
+		// Validate against the public 1-based contract before translating,
+		// so the error names the caller's shard number, not the internal
+		// 0-based index.
+		if shard < 1 || shard > rt.Shards() {
+			return failedJob(fmt.Errorf("loopsched: shard %d out of range [1,%d]", shard, rt.Shards()))
+		}
+		j, err = rt.SubmitTo(shard-1, req)
+	} else {
+		j, err = rt.Submit(req)
+	}
 	if err != nil {
 		return failedJob(err)
 	}
@@ -381,6 +461,12 @@ type JobOptions struct {
 	// order. Leave it false for ordered (non-commutative) reductions, which
 	// keep the rigid static-block path and worker-order folding.
 	Commutative bool
+	// Shard pins the job to one shard of a sharded async runtime, 1-based
+	// (shard n of AsyncShards); 0 routes to the least-loaded shard. Pinning
+	// controls admission locality: unless stealing is disabled, an idle
+	// sibling shard may still steal the job or lend workers to it. Out of
+	// range values fail the job with an error from Wait.
+	Shard int
 	// Label tags the job in the runtime's statistics.
 	Label string
 }
@@ -395,7 +481,7 @@ func (p *Pool) Submit(n int, body func(i int)) *Job {
 
 // SubmitOpts is Submit with per-job tuning options.
 func (p *Pool) SubmitOpts(n int, o JobOptions, body func(i int)) *Job {
-	return p.submit(jobs.Request{N: n, Body: func(w, low, high int) {
+	return p.submit(o.Shard, jobs.Request{N: n, Body: func(w, low, high int) {
 		for i := low; i < high; i++ {
 			body(i)
 		}
@@ -414,7 +500,7 @@ func (p *Pool) SubmitFor(n int, body func(worker, low, high int)) *Job {
 
 // SubmitForOpts is SubmitFor with per-job tuning options.
 func (p *Pool) SubmitForOpts(n int, o JobOptions, body func(worker, low, high int)) *Job {
-	return p.submit(jobs.Request{N: n, Body: body, MaxWorkers: o.MaxWorkers, Grain: o.Grain, Label: o.Label})
+	return p.submit(o.Shard, jobs.Request{N: n, Body: body, MaxWorkers: o.MaxWorkers, Grain: o.Grain, Label: o.Label})
 }
 
 // SubmitReduce is the asynchronous ReduceFloat64: per-sub-worker partials
@@ -429,7 +515,7 @@ func (p *Pool) SubmitReduce(n int, identity float64, combine func(a, b float64) 
 // self-scheduling, partials folded in arrival order); leave it false when
 // the combine is order-sensitive.
 func (p *Pool) SubmitReduceOpts(n int, o JobOptions, identity float64, combine func(a, b float64) float64, body func(worker, low, high int, acc float64) float64) *Job {
-	return p.submit(jobs.Request{
+	return p.submit(o.Shard, jobs.Request{
 		N: n, RBody: body, Identity: identity, Combine: combine,
 		Commutative: o.Commutative, MaxWorkers: o.MaxWorkers, Grain: o.Grain, Label: o.Label,
 	})

@@ -413,3 +413,91 @@ func TestPropertyGenericReduceMatchesSerial(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAsyncShardedPool(t *testing.T) {
+	// A sharded async runtime behind the public API: jobs route across
+	// shards, pinned jobs land where asked, results stay exact, and the
+	// merged stats reconcile with the per-shard ones.
+	pool := testPool(t, Config{Workers: 4, AsyncShards: 2})
+	if got := pool.AsyncShards(); got != 2 {
+		t.Fatalf("AsyncShards = %d, want 2", got)
+	}
+	const jobs = 24
+	var wg sync.WaitGroup
+	for g := 0; g < jobs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 600 + g
+			j := pool.SubmitReduceOpts(n, JobOptions{Commutative: true}, 0,
+				func(a, b float64) float64 { return a + b },
+				func(w, lo, hi int, acc float64) float64 {
+					for i := lo; i < hi; i++ {
+						acc += float64(i)
+					}
+					return acc
+				})
+			v, err := j.Result()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if want := float64(n) * float64(n-1) / 2; v != want {
+				t.Errorf("job %d: sum = %v, want %v", g, v, want)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := pool.AsyncStats()
+	if len(st.Shards) != 2 {
+		t.Fatalf("stats cover %d shards, want 2", len(st.Shards))
+	}
+	if st.Total.Completed != jobs {
+		t.Errorf("total completed = %d, want %d", st.Total.Completed, jobs)
+	}
+	var sum int64
+	for _, sh := range st.Shards {
+		sum += sh.Completed
+	}
+	if sum != st.Total.Completed {
+		t.Errorf("per-shard completed sum %d != total %d", sum, st.Total.Completed)
+	}
+}
+
+func TestAsyncShardPinning(t *testing.T) {
+	pool := testPool(t, Config{Workers: 4, AsyncShards: 2})
+	// Pin to shard 2 (1-based): the job must be admitted there.
+	j := pool.SubmitOpts(100, JobOptions{Shard: 2}, func(i int) {})
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.AsyncStats().Shards[1].Submitted; got != 1 {
+		t.Errorf("shard 2 submitted = %d, want the pinned job", got)
+	}
+	// An out-of-range pin fails the job without running the body — negative
+	// values included (they must not silently fall back to routing).
+	for _, shard := range []int{99, -1} {
+		bad := pool.SubmitOpts(10, JobOptions{Shard: shard}, func(i int) { t.Error("body ran") })
+		if err := bad.Wait(); err == nil {
+			t.Errorf("shard pin %d accepted", shard)
+		}
+	}
+}
+
+func TestAsyncObserversDoNotCreateRuntime(t *testing.T) {
+	// Stats readers (metrics scrapers) must not instantiate worker teams as
+	// a side effect of observing an idle pool.
+	pool := testPool(t, Config{Workers: 2, AsyncShards: 2})
+	if got := pool.AsyncShards(); got != 2 {
+		t.Errorf("AsyncShards = %d, want 2 (resolved without creating the runtime)", got)
+	}
+	if st := pool.AsyncStats(); st.Total.Workers != 0 || st.Shards != nil {
+		t.Errorf("AsyncStats on an unused pool = %+v, want the zero value", st)
+	}
+	pool.jobsMu.Lock()
+	created := pool.jobsRT != nil
+	pool.jobsMu.Unlock()
+	if created {
+		t.Error("observer calls instantiated the async runtime")
+	}
+}
