@@ -1,0 +1,95 @@
+// Command benchcmp compares two BENCH_*.json reports (base vs head of a PR)
+// metric by metric against a regression threshold and renders the result as
+// a markdown table, the shape GitHub renders when the output is appended to
+// $GITHUB_STEP_SUMMARY.
+//
+//	benchcmp -base BENCH_shardburst.base.json -head BENCH_shardburst.json \
+//	    -metric sharded.jobs_per_second:higher \
+//	    -metric sharded.latency_p95_seconds:lower \
+//	    -threshold 0.25 -fail
+//
+// Each -metric is a dotted JSON path plus a direction (higher or lower is
+// better). With -fail, the exit status is 1 when any metric degraded beyond
+// the threshold — the mode the comparison logic is verified in (a synthetic
+// 2x slowdown must fail; see internal/bench/compare_test.go). Without
+// -fail, regressions are reported but the exit status stays 0: the
+// report-only mode used on shared CI runners, whose timing noise would make
+// a hard gate flaky. A metric missing on either side (e.g. a base commit
+// that predates the benchmark) is reported and never counted as a
+// regression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"loopsched/internal/bench"
+)
+
+// metricFlags collects repeated -metric flags.
+type metricFlags []bench.MetricSpec
+
+func (m *metricFlags) String() string { return fmt.Sprint(*m) }
+
+func (m *metricFlags) Set(s string) error {
+	spec, err := bench.ParseMetricSpec(s)
+	if err != nil {
+		return err
+	}
+	*m = append(*m, spec)
+	return nil
+}
+
+func main() {
+	basePath := flag.String("base", "", "base report JSON (required)")
+	headPath := flag.String("head", "", "head report JSON (required)")
+	title := flag.String("title", "", "table title (default: the head file name)")
+	threshold := flag.Float64("threshold", 0.25, "allowed fractional degradation per metric (0.25 = 25%)")
+	failOnRegression := flag.Bool("fail", false, "exit 1 when any metric degrades beyond the threshold")
+	list := flag.Bool("list", false, "list the head report's metric paths and exit")
+	var metrics metricFlags
+	flag.Var(&metrics, "metric", "metric to compare, as path:higher or path:lower (repeatable)")
+	flag.Parse()
+
+	if *headPath == "" || (!*list && *basePath == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *list {
+		data, err := os.ReadFile(*headPath)
+		if err != nil {
+			fatal(err)
+		}
+		flat, err := bench.FlattenJSON(data)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range bench.SortedPaths(flat) {
+			fmt.Printf("%s = %g\n", p, flat[p])
+		}
+		return
+	}
+	if len(metrics) == 0 {
+		fatal(fmt.Errorf("benchcmp: at least one -metric is required"))
+	}
+	cs, regressed, err := bench.CompareBenchFiles(*basePath, *headPath, metrics, *threshold)
+	if err != nil {
+		fatal(err)
+	}
+	if *title == "" {
+		*title = *headPath
+	}
+	if err := bench.WriteComparison(os.Stdout, *title, cs, *threshold); err != nil {
+		fatal(err)
+	}
+	if regressed && *failOnRegression {
+		fmt.Fprintln(os.Stderr, "benchcmp: regression beyond threshold")
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -11,12 +11,24 @@
 //	POST /run?workload=spin&n=4096&jobs=8   submit and await jobs of a named
 //	                                        workload (see GET /stats for names;
 //	                                        &shard=i pins to one shard)
-//	GET  /stats                             queue depth, occupancy and job
-//	                                        latency percentiles as JSON,
-//	                                        totals plus per-shard
+//	POST /run?pipeline=spin:4096,sum:1024:4,sum:512
+//	                                        submit a pipeline of named
+//	                                        workload stages (workload[:n[:width]]
+//	                                        each): the whole stage graph is
+//	                                        submitted up front and every job of
+//	                                        a stage starts only after every job
+//	                                        of the previous stage completes
+//	                                        (fan-out/fan-in dependencies inside
+//	                                        the runtime, no client-side waits)
+//	GET  /stats                             queue depth, blocked depth,
+//	                                        occupancy and job latency
+//	                                        percentiles as JSON, totals plus
+//	                                        per-shard
 //	GET  /metrics                           the same in Prometheus text format
 //	                                        (loopd_* totals, loopd_shard_*
-//	                                        shard-labelled)
+//	                                        shard-labelled; pipelines add
+//	                                        loopd_blocked_depth and the
+//	                                        released/depcanceled counters)
 package main
 
 import (

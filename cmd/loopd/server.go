@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -88,6 +89,7 @@ func (s *server) Close() { s.rt.Close() }
 const (
 	maxJobsPerRequest   = 1024
 	maxIterationsPerJob = 1 << 28
+	maxPipelineStages   = 64
 )
 
 // runJobResult is the outcome of one job of a /run request.
@@ -98,13 +100,25 @@ type runJobResult struct {
 	Error   string  `json:"error,omitempty"`
 }
 
-// runResponse is the JSON body of a /run response.
+// runResponse is the JSON body of a /run response. For pipeline requests,
+// Pipeline carries the per-stage outcomes and Results is empty.
 type runResponse struct {
-	Workload    string         `json:"workload"`
-	Jobs        int            `json:"jobs"`
-	Iterations  int            `json:"iterations_per_job"`
-	WallSeconds float64        `json:"wall_seconds"`
-	Results     []runJobResult `json:"results"`
+	Workload    string          `json:"workload,omitempty"`
+	Jobs        int             `json:"jobs"`
+	Iterations  int             `json:"iterations_per_job,omitempty"`
+	WallSeconds float64         `json:"wall_seconds"`
+	Results     []runJobResult  `json:"results,omitempty"`
+	Pipeline    []pipelineStage `json:"pipeline,omitempty"`
+}
+
+// pipelineStage is one stage of a pipeline /run response: a named workload
+// fanned out over Width dependent jobs, each waiting for every job of the
+// previous stage (fan-out/fan-in edges).
+type pipelineStage struct {
+	Workload string         `json:"workload"`
+	N        int            `json:"n"`
+	Width    int            `json:"width"`
+	Results  []runJobResult `json:"results"`
 }
 
 // handleRun submits one or more jobs of a named workload (see
@@ -147,7 +161,134 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if spec := r.FormValue("pipeline"); spec != "" {
+		// The pipeline spec subsumes workload and jobs; reject the
+		// combination instead of silently ignoring parameters.
+		if r.FormValue("workload") != "" || r.FormValue("jobs") != "" {
+			http.Error(w, "pipeline conflicts with workload/jobs: name workloads and widths in the pipeline stages", http.StatusBadRequest)
+			return
+		}
+		stages, err := parsePipeline(spec, n)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.runPipeline(w, stages, float64(iterNs), maxWorkers, grain, shard)
+		return
+	}
 	s.runJobs(w, workload, n, nJobs, float64(iterNs), maxWorkers, grain, shard)
+}
+
+// parsePipeline parses the pipeline query parameter: comma-separated stages
+// of the form workload[:n[:width]], executed as a dependency graph — every
+// job of stage i starts only after every job of stage i-1 completed. n
+// defaults to the request's n parameter, width to 1.
+func parsePipeline(spec string, defaultN int) ([]pipelineStage, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) > maxPipelineStages {
+		return nil, fmt.Errorf("pipeline has %d stages, limit %d", len(parts), maxPipelineStages)
+	}
+	stages := make([]pipelineStage, 0, len(parts))
+	for i, part := range parts {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) > 3 || fields[0] == "" {
+			return nil, fmt.Errorf("pipeline stage %d %q: want workload[:n[:width]]", i, part)
+		}
+		st := pipelineStage{Workload: fields[0], N: defaultN, Width: 1}
+		if len(fields) >= 2 {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 || n > maxIterationsPerJob {
+				return nil, fmt.Errorf("pipeline stage %d %q: bad n", i, part)
+			}
+			st.N = n
+		}
+		if len(fields) == 3 {
+			width, err := strconv.Atoi(fields[2])
+			if err != nil || width < 1 || width > maxJobsPerRequest {
+				return nil, fmt.Errorf("pipeline stage %d %q: bad width", i, part)
+			}
+			st.Width = width
+		}
+		stages = append(stages, st)
+	}
+	total := 0
+	for _, st := range stages {
+		total += st.Width
+	}
+	if total > maxJobsPerRequest {
+		return nil, fmt.Errorf("pipeline submits %d jobs, limit %d", total, maxJobsPerRequest)
+	}
+	return stages, nil
+}
+
+// runPipeline submits the whole stage graph up front — fan-out/fan-in edges
+// expressed through the runtime's job dependencies, no client-side waiting
+// between stages — then waits for every job and reports per-stage results.
+func (s *server) runPipeline(w http.ResponseWriter, stages []pipelineStage, iterNs float64, maxWorkers, grain, shard int) {
+	type submitted struct {
+		stage, idx int
+		job        *jobs.Job
+	}
+	// Resolve every stage's workload before submitting anything: a bad
+	// stage must 400 without having already launched (and then abandoned,
+	// unawaited) the earlier stages' jobs.
+	reqs := make([]jobs.Request, len(stages))
+	for si, st := range stages {
+		params := bench.JobParams{N: st.N, IterNs: iterNs, MaxWorkers: maxWorkers, Grain: grain}
+		req, err := bench.NewJobRequest(st.Workload, params)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		reqs[si] = req
+	}
+	var all []submitted
+	var prev []*jobs.Job
+	start := time.Now()
+	for si := range stages {
+		st := &stages[si]
+		req := reqs[si]
+		req.After = prev
+		st.Results = make([]runJobResult, st.Width)
+		var cur []*jobs.Job
+		for i := 0; i < st.Width; i++ {
+			var j *jobs.Job
+			var err error
+			if shard >= 0 {
+				j, err = s.rt.SubmitTo(shard, req)
+			} else {
+				j, err = s.rt.Submit(req)
+			}
+			if err != nil {
+				st.Results[i].Error = err.Error()
+				continue
+			}
+			cur = append(cur, j)
+			all = append(all, submitted{si, i, j})
+		}
+		prev = cur
+	}
+	var wg sync.WaitGroup
+	for _, sub := range all {
+		wg.Add(1)
+		go func(sub submitted) {
+			defer wg.Done()
+			v, err := sub.job.Wait()
+			res := &stages[sub.stage].Results[sub.idx]
+			// Like the plain /run path: seconds from request start to this
+			// job's completion — for a dependent job that includes the time
+			// spent blocked behind its upstreams.
+			res.Seconds = time.Since(start).Seconds()
+			res.Workers = sub.job.Workers()
+			res.Result = v
+			if err != nil {
+				res.Error = err.Error()
+			}
+		}(sub)
+	}
+	wg.Wait()
+	resp := runResponse{Pipeline: stages, Jobs: len(all), WallSeconds: time.Since(start).Seconds()}
+	writeJSON(w, resp)
 }
 
 // runJobs performs the fan-out/fan-in of one /run request. The workload is
@@ -258,10 +399,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("loopd_workers", "size of the shared worker team", float64(tot.Workers))
 	gauge("loopd_busy_workers", "workers currently executing a job share", float64(tot.BusyWorkers))
 	gauge("loopd_queue_depth", "jobs waiting for admission", float64(tot.QueueDepth))
+	gauge("loopd_blocked_depth", "jobs parked waiting for pipeline dependencies (not in any admission queue)", float64(tot.BlockedDepth))
 	gauge("loopd_jobs_running", "jobs currently admitted and running", float64(tot.Running))
 	counter("loopd_jobs_submitted_total", "jobs ever submitted", float64(tot.Submitted))
 	counter("loopd_jobs_completed_total", "jobs ever completed", float64(tot.Completed))
 	counter("loopd_jobs_canceled_total", "jobs canceled before start", float64(tot.Canceled))
+	counter("loopd_jobs_released_total", "blocked jobs released into an admission queue by their last upstream's join wave", float64(tot.Released))
+	counter("loopd_jobs_depcanceled_total", "blocked jobs canceled by upstream cancellation propagating down the dependency graph", float64(tot.DepCanceled))
 	counter("loopd_iterations_total", "loop iterations ever executed", float64(tot.IterationsDone))
 	counter("loopd_workers_grown_total", "workers that joined an already-running job (elastic growth)", float64(tot.Grown))
 	counter("loopd_workers_peeled_total", "workers that left a running job to serve waiting tenants (elastic shrink)", float64(tot.Peeled))
@@ -289,12 +433,15 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	shardGauge("loopd_shard_workers", "workers owned by the shard", func(s jobs.Stats) float64 { return float64(s.Workers) })
 	shardGauge("loopd_shard_busy_workers", "shard workers currently executing a job share", func(s jobs.Stats) float64 { return float64(s.BusyWorkers) })
 	shardGauge("loopd_shard_queue_depth", "jobs waiting for admission on the shard", func(s jobs.Stats) float64 { return float64(s.QueueDepth) })
+	shardGauge("loopd_shard_blocked_depth", "jobs submitted to the shard parked waiting for dependencies", func(s jobs.Stats) float64 { return float64(s.BlockedDepth) })
 	shardGauge("loopd_shard_jobs_running", "jobs currently running on the shard", func(s jobs.Stats) float64 { return float64(s.Running) })
 	shardCounter("loopd_shard_jobs_submitted_total", "jobs ever submitted to the shard (a stolen job completes elsewhere)", func(s jobs.Stats) float64 { return float64(s.Submitted) })
 	shardCounter("loopd_shard_jobs_completed_total", "jobs ever completed by the shard", func(s jobs.Stats) float64 { return float64(s.Completed) })
 	shardCounter("loopd_shard_iterations_total", "loop iterations executed by the shard", func(s jobs.Stats) float64 { return float64(s.IterationsDone) })
 	shardCounter("loopd_shard_jobs_stolen_total", "whole queued jobs the shard stole from siblings", func(s jobs.Stats) float64 { return float64(s.Stolen) })
 	shardCounter("loopd_shard_workers_lent_total", "workers the shard lent to siblings' jobs", func(s jobs.Stats) float64 { return float64(s.Lent) })
+	shardCounter("loopd_shard_jobs_released_total", "blocked jobs of the shard released by their upstreams", func(s jobs.Stats) float64 { return float64(s.Released) })
+	shardCounter("loopd_shard_jobs_depcanceled_total", "blocked jobs of the shard canceled by upstream propagation", func(s jobs.Stats) float64 { return float64(s.DepCanceled) })
 	shardCounter("loopd_shard_workers_grown_total", "workers that joined running jobs on the shard", func(s jobs.Stats) float64 { return float64(s.Grown) })
 	shardCounter("loopd_shard_workers_peeled_total", "workers that peeled off running jobs on the shard", func(s jobs.Stats) float64 { return float64(s.Peeled) })
 	for i, sh := range st.Shards {

@@ -413,3 +413,142 @@ func TestRunShardPinParameterValidation(t *testing.T) {
 		t.Errorf("shard 1 submitted = %d, want the pinned job", got)
 	}
 }
+
+func TestPipelineRun(t *testing.T) {
+	// A 3-stage pipeline with a fanned-out middle stage: every sum result
+	// must be exact, and the runtime must report the dependent stages as
+	// blocked-then-released rather than queued.
+	srv, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/run?pipeline=sum:1000,sum:2000:3,sum:500", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr runResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Pipeline) != 3 || rr.Jobs != 5 {
+		t.Fatalf("pipeline = %d stages, %d jobs; want 3 stages, 5 jobs", len(rr.Pipeline), rr.Jobs)
+	}
+	wantN := []int{1000, 2000, 500}
+	wantWidth := []int{1, 3, 1}
+	for i, st := range rr.Pipeline {
+		if st.N != wantN[i] || st.Width != wantWidth[i] || len(st.Results) != wantWidth[i] {
+			t.Errorf("stage %d = %+v, want n=%d width=%d", i, st, wantN[i], wantWidth[i])
+		}
+		want := float64(st.N) * float64(st.N-1) / 2
+		for j, res := range st.Results {
+			if res.Error != "" {
+				t.Errorf("stage %d job %d: %s", i, j, res.Error)
+			}
+			if res.Result != want {
+				t.Errorf("stage %d job %d: result %v, want %v", i, j, res.Result, want)
+			}
+		}
+	}
+	// Stages 2 and 3 contributed 4 dependent jobs, all released by joins.
+	st := srv.rt.Stats()
+	if st.Total.Released != 4 {
+		t.Errorf("released = %d, want 4", st.Total.Released)
+	}
+	if st.Total.BlockedDepth != 0 {
+		t.Errorf("blocked depth = %d after completion, want 0", st.Total.BlockedDepth)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, url := range []string{
+		"/run?pipeline=sum:abc",
+		"/run?pipeline=sum:100:9999999",
+		"/run?pipeline=no-such-workload:100",
+		"/run?pipeline=sum:100:1:1",
+		"/run?pipeline=,",
+	} {
+		resp, err := http.Post(ts.URL+url, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, resp.StatusCode)
+		}
+	}
+}
+
+func TestPipelineMetricsExposed(t *testing.T) {
+	_, ts := newTestServer(t)
+	if _, err := http.Post(ts.URL+"/run?pipeline=sum:500,sum:500", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parseExposition(t, string(body))
+	if types["loopd_blocked_depth"] != "gauge" {
+		t.Errorf("loopd_blocked_depth TYPE = %q, want gauge", types["loopd_blocked_depth"])
+	}
+	for _, name := range []string{"loopd_jobs_released_total", "loopd_jobs_depcanceled_total"} {
+		if types[name] != "counter" {
+			t.Errorf("%s TYPE = %q, want counter", name, types[name])
+		}
+	}
+	if v := samples["loopd_jobs_released_total"]; v != 1 {
+		t.Errorf("loopd_jobs_released_total = %v, want 1", v)
+	}
+	// The shard-labelled released counters must reconcile with the total.
+	var shardSum float64
+	for name, v := range samples {
+		if strings.HasPrefix(name, "loopd_shard_jobs_released_total{") {
+			shardSum += v
+		}
+	}
+	if shardSum != samples["loopd_jobs_released_total"] {
+		t.Errorf("per-shard released sum %v != total %v", shardSum, samples["loopd_jobs_released_total"])
+	}
+}
+
+func TestPipelineBadLaterStageSubmitsNothing(t *testing.T) {
+	// A request whose later stage names an unknown workload must 400
+	// without having already launched (and abandoned) the earlier stages.
+	srv, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/run?pipeline=sum:100000,no-such-workload:100", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if st := srv.rt.Stats(); st.Total.Submitted != 0 {
+		t.Errorf("submitted = %d, want 0 (orphaned stage jobs launched before validation)", st.Total.Submitted)
+	}
+}
+
+func TestPipelineRejectsConflictingParams(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, url := range []string{
+		"/run?pipeline=sum:100&workload=spin",
+		"/run?pipeline=sum:100&jobs=4",
+	} {
+		resp, err := http.Post(ts.URL+url, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Command pipebench runs the pipeline scenario (concurrent fan-out/fan-in
+// stage graphs submitted as one dependency DAG versus the client awaiting
+// each stage) and emits both a human-readable table and the machine-readable
+// BENCH_pipeline.json artifact used to track the perf trajectory across PRs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"loopsched/internal/bench"
+)
+
+func main() {
+	workers := flag.Int("workers", 0, "total worker count (0 = GOMAXPROCS capped at 16)")
+	shards := flag.Int("shards", 0, "shard count (0 = topology-derived)")
+	chains := flag.Int("chains", 0, "concurrent pipelines (0 = 2x workers)")
+	stages := flag.Int("stages", 0, "fan-out stages per pipeline (0 = 3)")
+	fanOut := flag.Int("fanout", 0, "parallel jobs per fan-out stage (0 = 3)")
+	n := flag.Int("n", 0, "iterations per stage job (0 = 2048)")
+	iterNs := flag.Float64("iterns", 0, "target ns per iteration of the spin stages (0 = 150)")
+	rounds := flag.Int("rounds", 0, "pipeline repetitions per chain (0 = 4)")
+	noLock := flag.Bool("no-lock", false, "do not pin workers to OS threads")
+	jsonPath := flag.String("json", "BENCH_pipeline.json", "write the machine-readable report here ('' = skip)")
+	flag.Parse()
+
+	if *noLock {
+		bench.LockThreads = false
+	}
+	opt := bench.PipelineOptions{
+		Workers: *workers,
+		Shards:  *shards,
+		Chains:  *chains,
+		Stages:  *stages,
+		FanOut:  *fanOut,
+		N:       *n,
+		IterNs:  *iterNs,
+		Rounds:  *rounds,
+	}
+	start := time.Now()
+	rep, err := bench.RunPipelineComparison(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bench.WritePipeline(os.Stdout, rep); err != nil {
+		log.Fatal(err)
+	}
+	if *jsonPath != "" {
+		if err := bench.WritePipelineJSON(*jsonPath, rep); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	fmt.Printf("total %s\n", bench.Elapsed(start))
+}

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// compare.go is the benchstat-style comparison layer behind cmd/benchcmp:
+// it flattens two BENCH_*.json reports into dotted numeric paths, compares
+// the metrics a spec selects, and classifies each delta against a
+// regression threshold. CI runs it on the base and head artifacts of a PR
+// and posts the table as a step summary.
+
+// MetricSpec selects one metric of a flattened report for comparison.
+type MetricSpec struct {
+	// Path is the dotted JSON path, e.g. "sharded.jobs_per_second".
+	Path string
+	// HigherIsBetter orients the regression test: throughput metrics set
+	// it, latency/overhead metrics leave it false.
+	HigherIsBetter bool
+}
+
+// ParseMetricSpec parses the cmd/benchcmp flag form "path:higher" or
+// "path:lower".
+func ParseMetricSpec(s string) (MetricSpec, error) {
+	path, dir, ok := strings.Cut(s, ":")
+	if !ok || path == "" {
+		return MetricSpec{}, fmt.Errorf("bench: metric spec %q: want path:higher or path:lower", s)
+	}
+	switch dir {
+	case "higher":
+		return MetricSpec{Path: path, HigherIsBetter: true}, nil
+	case "lower":
+		return MetricSpec{Path: path, HigherIsBetter: false}, nil
+	}
+	return MetricSpec{}, fmt.Errorf("bench: metric spec %q: direction %q is not higher or lower", s, dir)
+}
+
+// Comparison is the outcome for one metric.
+type Comparison struct {
+	Metric string
+	// Base and Head are the two values; Missing is set when either report
+	// lacks the path (a renamed metric or an older base), which is reported
+	// but never counted as a regression.
+	Base, Head float64
+	Missing    bool
+	// Delta is the relative change head vs base, as a fraction of base
+	// (0.10 = +10%). Oriented so that positive is always an improvement and
+	// negative a degradation, whatever the metric's direction.
+	Delta float64
+	// Regression is set when the degradation exceeds the threshold.
+	Regression bool
+}
+
+// FlattenJSON decodes a JSON document and flattens every numeric leaf into
+// a dotted-path map; array elements use the index as the path segment.
+func FlattenJSON(data []byte) (map[string]float64, error) {
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	var walk func(prefix string, v any)
+	walk = func(prefix string, v any) {
+		switch x := v.(type) {
+		case map[string]any:
+			for k, vv := range x {
+				p := k
+				if prefix != "" {
+					p = prefix + "." + k
+				}
+				walk(p, vv)
+			}
+		case []any:
+			for i, vv := range x {
+				walk(prefix+"."+strconv.Itoa(i), vv)
+			}
+		case float64:
+			out[prefix] = x
+		}
+	}
+	walk("", doc)
+	return out, nil
+}
+
+// CompareReports compares the selected metrics of two flattened reports
+// against a fractional regression threshold (0.10 = 10% degradation
+// allowed). It returns one Comparison per spec, in spec order, and whether
+// any metric regressed beyond the threshold.
+func CompareReports(base, head map[string]float64, specs []MetricSpec, threshold float64) ([]Comparison, bool) {
+	out := make([]Comparison, 0, len(specs))
+	anyRegression := false
+	for _, spec := range specs {
+		c := Comparison{Metric: spec.Path}
+		b, okB := base[spec.Path]
+		h, okH := head[spec.Path]
+		c.Base, c.Head = b, h
+		if !okB || !okH {
+			c.Missing = true
+			out = append(out, c)
+			continue
+		}
+		switch {
+		case b != 0:
+			c.Delta = (h - b) / b
+			if !spec.HigherIsBetter {
+				c.Delta = -c.Delta
+			}
+		case h != 0:
+			// Zero baseline: the relative delta is undefined, but the
+			// direction is not — a value appearing where lower is better is
+			// a degradation that must not slip through as "+0.0% ok".
+			c.Delta = math.Inf(1)
+			if !spec.HigherIsBetter {
+				c.Delta = math.Inf(-1)
+			}
+		}
+		if c.Delta < -threshold {
+			c.Regression = true
+			anyRegression = true
+		}
+		out = append(out, c)
+	}
+	return out, anyRegression
+}
+
+// CompareBenchFiles loads two BENCH_*.json files and compares them; see
+// CompareReports.
+func CompareBenchFiles(basePath, headPath string, specs []MetricSpec, threshold float64) ([]Comparison, bool, error) {
+	baseData, err := os.ReadFile(basePath)
+	if err != nil {
+		return nil, false, err
+	}
+	headData, err := os.ReadFile(headPath)
+	if err != nil {
+		return nil, false, err
+	}
+	base, err := FlattenJSON(baseData)
+	if err != nil {
+		return nil, false, fmt.Errorf("bench: %s: %w", basePath, err)
+	}
+	head, err := FlattenJSON(headData)
+	if err != nil {
+		return nil, false, fmt.Errorf("bench: %s: %w", headPath, err)
+	}
+	cs, reg := CompareReports(base, head, specs, threshold)
+	return cs, reg, nil
+}
+
+// WriteComparison renders the comparisons as a GitHub-flavoured markdown
+// table (the shape $GITHUB_STEP_SUMMARY renders), titled with the report
+// name.
+func WriteComparison(w io.Writer, title string, cs []Comparison, threshold float64) error {
+	fmt.Fprintf(w, "### %s\n\n", title)
+	fmt.Fprintf(w, "| metric | base | head | delta | verdict |\n|---|---:|---:|---:|---|\n")
+	for _, c := range cs {
+		if c.Missing {
+			fmt.Fprintf(w, "| `%s` | — | — | — | metric missing in base or head |\n", c.Metric)
+			continue
+		}
+		verdict := "ok"
+		switch {
+		case c.Regression:
+			verdict = fmt.Sprintf("**regression** (> %.0f%% worse)", threshold*100)
+		case c.Delta > threshold:
+			verdict = "improvement"
+		}
+		fmt.Fprintf(w, "| `%s` | %.4g | %.4g | %+.1f%% | %s |\n", c.Metric, c.Base, c.Head, c.Delta*100, verdict)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// SortedPaths returns the flattened paths in sorted order (for -list).
+func SortedPaths(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

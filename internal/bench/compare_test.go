@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompareFailsOnSyntheticTwoTimesSlowdown(t *testing.T) {
+	// The CI criterion: a synthetic 2x throughput slowdown between base and
+	// head must be flagged as a regression at any sane threshold.
+	base, err := FlattenJSON([]byte(`{"sharded": {"jobs_per_second": 1000}, "p95": 0.010}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := FlattenJSON([]byte(`{"sharded": {"jobs_per_second": 500}, "p95": 0.020}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []MetricSpec{
+		{Path: "sharded.jobs_per_second", HigherIsBetter: true},
+		{Path: "p95", HigherIsBetter: false},
+	}
+	cs, regressed := CompareReports(base, head, specs, 0.20)
+	if !regressed {
+		t.Fatal("2x slowdown not flagged as a regression at a 20% threshold")
+	}
+	for _, c := range cs {
+		if !c.Regression {
+			t.Errorf("%s: delta %+.0f%% not marked as regression", c.Metric, c.Delta*100)
+		}
+	}
+
+	// The inverse direction is an improvement, not a regression.
+	if _, regressed := CompareReports(head, base, specs, 0.20); regressed {
+		t.Error("2x speedup flagged as a regression")
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := map[string]float64{"jobs_per_second": 1000}
+	head := map[string]float64{"jobs_per_second": 950} // 5% down, 10% allowed
+	cs, regressed := CompareReports(base, head, []MetricSpec{{Path: "jobs_per_second", HigherIsBetter: true}}, 0.10)
+	if regressed || cs[0].Regression {
+		t.Errorf("5%% degradation flagged at a 10%% threshold: %+v", cs[0])
+	}
+}
+
+func TestCompareMissingMetricIsReportedNotFailed(t *testing.T) {
+	base := map[string]float64{}
+	head := map[string]float64{"new_metric": 1}
+	cs, regressed := CompareReports(base, head, []MetricSpec{{Path: "new_metric", HigherIsBetter: true}}, 0.10)
+	if regressed {
+		t.Error("missing base metric counted as a regression")
+	}
+	if !cs[0].Missing {
+		t.Error("missing base metric not marked Missing")
+	}
+}
+
+func TestCompareBenchFilesEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	headPath := filepath.Join(dir, "head.json")
+	if err := os.WriteFile(basePath, []byte(`{"throughput_speedup": 2.0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(headPath, []byte(`{"throughput_speedup": 0.9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specs := []MetricSpec{{Path: "throughput_speedup", HigherIsBetter: true}}
+	cs, regressed, err := CompareBenchFiles(basePath, headPath, specs, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Error("55% speedup loss not flagged at a 25% threshold")
+	}
+	var sb strings.Builder
+	if err := WriteComparison(&sb, "test", cs, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "regression") || !strings.Contains(sb.String(), "| metric |") {
+		t.Errorf("markdown table missing expected content:\n%s", sb.String())
+	}
+}
+
+func TestParseMetricSpec(t *testing.T) {
+	if s, err := ParseMetricSpec("a.b:higher"); err != nil || !s.HigherIsBetter || s.Path != "a.b" {
+		t.Errorf("a.b:higher -> %+v, %v", s, err)
+	}
+	if s, err := ParseMetricSpec("p95:lower"); err != nil || s.HigherIsBetter {
+		t.Errorf("p95:lower -> %+v, %v", s, err)
+	}
+	for _, bad := range []string{"", "a.b", "a.b:sideways", ":higher"} {
+		if _, err := ParseMetricSpec(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestCompareZeroBaselineDegradationIsFlagged(t *testing.T) {
+	// A metric appearing where the base had 0 must not slip through as
+	// "no change": with a :lower spec it is a regression.
+	base := map[string]float64{"p99": 0}
+	head := map[string]float64{"p99": 0.5}
+	specs := []MetricSpec{{Path: "p99", HigherIsBetter: false}}
+	cs, regressed := CompareReports(base, head, specs, 0.25)
+	if !regressed || !cs[0].Regression {
+		t.Errorf("0 -> 0.5 on a lower-is-better metric not flagged: %+v", cs[0])
+	}
+	// The same jump on a higher-is-better metric is an improvement.
+	if _, regressed := CompareReports(base, head, []MetricSpec{{Path: "p99", HigherIsBetter: true}}, 0.25); regressed {
+		t.Error("0 -> 0.5 on a higher-is-better metric flagged as regression")
+	}
+	// Zero to zero is no change either way.
+	if cs, regressed := CompareReports(base, map[string]float64{"p99": 0}, specs, 0.25); regressed || cs[0].Delta != 0 {
+		t.Errorf("0 -> 0 flagged: %+v", cs[0])
+	}
+}

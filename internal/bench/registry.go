@@ -146,6 +146,15 @@ var scenarios = map[string]Scenario{
 		}
 		return WriteShardBurst(w, rep)
 	},
+	"pipeline": func(w io.Writer) error {
+		rep, err := RunPipelineComparison(PipelineOptions{
+			Workers: 4, Shards: 2, Chains: 4, Stages: 2, FanOut: 2, N: 1024, Rounds: 2,
+		})
+		if err != nil {
+			return err
+		}
+		return WritePipeline(w, rep)
+	},
 }
 
 // shortThreadCounts returns {1} on a single-processor machine and {1, 2}

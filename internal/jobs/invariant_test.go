@@ -22,14 +22,20 @@ const seed = 0x5eed
 func schedulerDrain(s *jobs.Scheduler) func() schedtest.DrainStats {
 	return func() schedtest.DrainStats {
 		st := s.Stats()
-		return schedtest.DrainStats{BusyWorkers: st.BusyWorkers, QueueDepth: st.QueueDepth, Running: st.Running}
+		return schedtest.DrainStats{
+			BusyWorkers: st.BusyWorkers, QueueDepth: st.QueueDepth,
+			Running: st.Running, Blocked: int(st.BlockedDepth),
+		}
 	}
 }
 
 func shardedDrain(p *jobs.Sharded) func() schedtest.DrainStats {
 	return func() schedtest.DrainStats {
 		st := p.Stats()
-		return schedtest.DrainStats{BusyWorkers: st.Total.BusyWorkers, QueueDepth: st.Total.QueueDepth, Running: st.Total.Running}
+		return schedtest.DrainStats{
+			BusyWorkers: st.Total.BusyWorkers, QueueDepth: st.Total.QueueDepth,
+			Running: st.Total.Running, Blocked: int(st.Total.BlockedDepth),
+		}
 	}
 }
 

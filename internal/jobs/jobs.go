@@ -42,6 +42,7 @@ package jobs
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,13 +52,21 @@ import (
 	"loopsched/internal/sched"
 )
 
-// Errors returned by Job.Wait.
+// Errors returned by Job.Wait and Submit.
 var (
-	// ErrCanceled reports that the job was canceled before it started.
+	// ErrCanceled reports that the job was canceled before it started —
+	// explicitly through Cancel, or by propagation from a canceled upstream
+	// dependency (errors.Is matches either way; a propagated cancellation
+	// also wraps the upstream's error).
 	ErrCanceled = errors.New("jobs: job canceled")
 	// ErrClosed reports that the scheduler was closed before the job could be
 	// submitted.
 	ErrClosed = errors.New("jobs: scheduler closed")
+	// ErrCycle reports that Request.After closes a dependency cycle. Cycles
+	// cannot be built through well-typed use (After only accepts handles of
+	// already-submitted jobs, so every edge points backwards in submission
+	// time), but Submit verifies the upstream graph anyway.
+	ErrCycle = errors.New("jobs: dependency cycle")
 )
 
 // State is the lifecycle state of a Job.
@@ -73,6 +82,11 @@ const (
 	Done
 	// Canceled: canceled before admission; the loop never ran.
 	Canceled
+	// Blocked: submitted with unfinished dependencies (Request.After); the
+	// job sits outside every admission queue — it does not count toward the
+	// queue depth fair shares are computed from, and it can never be stolen —
+	// until its last upstream's join wave releases it into Pending.
+	Blocked
 )
 
 // stateStealing is an internal, transient state: the job has been pulled out
@@ -80,7 +94,7 @@ const (
 // is never observable through State (which reports it as Pending); its only
 // purpose is to exclude Cancel while the job's home scheduler is being
 // re-pointed, so depth accounting lands on exactly one shard.
-const stateStealing int32 = 4
+const stateStealing int32 = 100
 
 // String implements fmt.Stringer.
 func (s State) String() string {
@@ -93,6 +107,8 @@ func (s State) String() string {
 		return "done"
 	case Canceled:
 		return "canceled"
+	case Blocked:
+		return "blocked"
 	default:
 		return "unknown"
 	}
@@ -129,6 +145,17 @@ type Request struct {
 	// iterations per worker: the sub-team never exceeds ceil(N/Grain)
 	// workers. <= 0 selects the scheduler's default heuristic.
 	Grain int
+	// After lists jobs that must complete before this one may start. The job
+	// is held in the Blocked state — outside every admission queue, invisible
+	// to fair-share sizing and to cross-shard stealing — and the last
+	// upstream's join wave releases it into Pending. In a Sharded pool the
+	// released job is admitted to the least-loaded shard at release time. A
+	// canceled upstream cancels the job too: its Wait returns an error
+	// matching ErrCanceled that wraps the upstream's error. Upstreams may
+	// belong to any scheduler (completion is all that is observed), entries
+	// must be non-nil, and the edges must stay acyclic (Submit returns
+	// ErrCycle otherwise).
+	After []*Job
 	// Label tags the job in statistics (for example the workload name).
 	Label string
 }
@@ -179,7 +206,28 @@ type Job struct {
 	submitted time.Time
 	started   time.Time
 
+	// s is the scheduler currently responsible for the job: the admitting
+	// shard's. It is re-pointed when a queued job is stolen and when a
+	// blocked job is released onto another shard, always before the job
+	// becomes observable in the new state.
 	s *Scheduler
+
+	// Dependency (DAG) state. after and acyclic are set at submit and
+	// immutable afterwards; home is the submitting scheduler (the blocked
+	// accounting never moves, unlike s); pool routes the release in a
+	// sharded runtime (nil for standalone schedulers and pinned jobs).
+	after   []*Job
+	acyclic bool
+	home    *Scheduler
+	pool    *Sharded
+	// waits counts upstreams not yet terminal, plus one registration
+	// sentinel so a fast upstream cannot release the job mid-registration.
+	waits atomic.Int32
+	// depMu guards dependents (blocked jobs waiting on this one, drained at
+	// completion or cancellation) and depErr (the first failed upstream).
+	depMu      sync.Mutex
+	dependents []*Job
+	depErr     error
 }
 
 // State returns the job's current state.
@@ -205,13 +253,35 @@ func (j *Job) Wait() (float64, error) {
 // Cancel cancels the job if it has not been admitted yet and reports whether
 // it did. A running or completed job is not interrupted: cancellation is an
 // admission-queue operation, the execution hot path is never arbitrated.
+// Canceling a job also cancels its not-yet-started dependents: their Wait
+// errors match ErrCanceled and wrap this job's error.
 func (j *Job) Cancel() bool {
-	if !j.state.CompareAndSwap(int32(Pending), int32(Canceled)) {
+	// The whole terminal transition — state flip, error publication and the
+	// dependent drain — happens under depMu, so a concurrent addDependent
+	// either registers before the drain (and is notified by it) or observes
+	// the Canceled state with the error already written; it can never see
+	// Canceled with a nil error and release its dependent as if the upstream
+	// had succeeded.
+	j.depMu.Lock()
+	blocked := j.state.CompareAndSwap(int32(Blocked), int32(Canceled))
+	if !blocked && !j.state.CompareAndSwap(int32(Pending), int32(Canceled)) {
+		j.depMu.Unlock()
 		return false
 	}
 	j.err = ErrCanceled
+	deps := j.dependents
+	j.dependents = nil
+	j.depMu.Unlock()
 	close(j.done)
-	if j.s != nil {
+	if blocked {
+		// Blocked jobs sit outside every queue: only the home scheduler's
+		// blocked gauge — never the queue depth — needs adjusting.
+		if j.home != nil {
+			j.home.canceled.Add(1)
+			j.home.blocked.Add(-1)
+			j.home.signalBlockedFreed()
+		}
+	} else if j.s != nil {
 		j.s.canceled.Add(1)
 		// The job still sits in the admission queue, but it no longer waits
 		// for workers: take it out of the depth other tenants' fair share is
@@ -219,6 +289,9 @@ func (j *Job) Cancel() bool {
 		// whose Pending->Running CAS fails, so exactly one side accounts for
 		// each job.
 		j.s.depth.Add(-1)
+	}
+	for _, d := range deps {
+		d.depDone(ErrCanceled)
 	}
 	return true
 }
@@ -444,4 +517,200 @@ func (j *Job) complete() {
 		j.s.recordCompletion(j)
 	}
 	close(j.done)
+	// The join wave is complete and the result published: release the
+	// dependents. A dependent can therefore never start before every
+	// iteration of this job has executed and folded.
+	j.finishDependents(nil)
+}
+
+// addDependent registers d as a dependent of j, or reports that j is already
+// terminal (returning its error: nil for a successful completion). The
+// terminal handoff is arbitrated by depMu: complete and Cancel store the
+// terminal state before draining dependents under depMu, so a registration
+// is either observed by the drain or sees the terminal state here.
+func (j *Job) addDependent(d *Job) (registered bool, terminalErr error) {
+	j.depMu.Lock()
+	defer j.depMu.Unlock()
+	switch State(j.state.Load()) {
+	case Done, Canceled:
+		return false, j.err
+	}
+	j.dependents = append(j.dependents, d)
+	return true, nil
+}
+
+// finishDependents drains the dependent list exactly once per terminal
+// transition and notifies each dependent. upErr is nil for a successful
+// completion and the (ErrCanceled-matching) cause otherwise.
+func (j *Job) finishDependents(upErr error) {
+	j.depMu.Lock()
+	deps := j.dependents
+	j.dependents = nil
+	j.depMu.Unlock()
+	for _, d := range deps {
+		d.depDone(upErr)
+	}
+}
+
+// registerDeps wires a freshly submitted Blocked job to its upstreams. The
+// registration sentinel in waits keeps a racing upstream completion from
+// releasing the job before every edge is registered.
+func (j *Job) registerDeps() {
+	j.waits.Store(int32(len(j.after)) + 1)
+	for _, u := range j.after {
+		if registered, upErr := u.addDependent(j); !registered {
+			j.depDone(upErr)
+		}
+	}
+	j.depDone(nil) // drop the sentinel
+}
+
+// depDone records one upstream turning terminal. The last call — holding the
+// only remaining wait — either releases the job into an admission queue or,
+// if any upstream failed, cancels it with the upstream's error wrapped.
+func (j *Job) depDone(upErr error) {
+	if upErr != nil {
+		j.depMu.Lock()
+		if j.depErr == nil {
+			j.depErr = upErr
+		}
+		j.depMu.Unlock()
+	}
+	if j.waits.Add(-1) != 0 {
+		return
+	}
+	j.depMu.Lock()
+	upErr = j.depErr
+	j.depMu.Unlock()
+	// The edges served their purpose: drop them so a held tail handle does
+	// not pin the whole ancestry (bodies, partials) in memory. Safe: the
+	// zero-waits branch runs exactly once, registration is over, and
+	// checkCycle short-circuits on the acyclic mark before ever reading a
+	// submitted job's edge list.
+	j.after = nil
+	if upErr != nil {
+		j.cancelBlocked(upErr)
+		return
+	}
+	j.release()
+}
+
+// cancelBlocked is the propagation path: a dependency was canceled, so this
+// job transitions Blocked -> Canceled (unless already canceled explicitly)
+// and the cancellation cascades to its own dependents. Like Cancel, the
+// terminal transition and the dependent drain share one depMu critical
+// section (see there).
+func (j *Job) cancelBlocked(upErr error) {
+	j.depMu.Lock()
+	if !j.state.CompareAndSwap(int32(Blocked), int32(Canceled)) {
+		j.depMu.Unlock()
+		return // explicitly canceled first; Cancel did the accounting
+	}
+	j.err = fmt.Errorf("jobs: upstream canceled: %w", upErr)
+	deps := j.dependents
+	j.dependents = nil
+	j.depMu.Unlock()
+	close(j.done)
+	if j.home != nil {
+		j.home.canceled.Add(1)
+		j.home.depCanceled.Add(1)
+		j.home.blocked.Add(-1)
+		j.home.signalBlockedFreed()
+	}
+	for _, d := range deps {
+		d.depDone(j.err)
+	}
+}
+
+// release moves a Blocked job whose upstreams all completed into an
+// admission queue: the least-loaded shard of a sharded pool, or the home
+// scheduler. The home scheduler's queue is guaranteed open while the job is
+// blocked (its Close waits for the blocked gauge to drain), so the fallback
+// can never fail.
+func (j *Job) release() {
+	if j.req.N <= 0 {
+		// Degenerate loop: complete inline at release, exactly like the
+		// no-dependency Submit path. A reducing job still yields its
+		// identity.
+		if !j.state.CompareAndSwap(int32(Blocked), int32(Running)) {
+			return // canceled while blocked
+		}
+		if j.home != nil {
+			j.home.blocked.Add(-1)
+			j.home.released.Add(1)
+			j.home.signalBlockedFreed()
+		}
+		j.started = time.Now()
+		if j.req.RBody != nil {
+			j.partials = make([]paddedPartial, 1)
+			j.partials[0].v = j.req.Identity
+		}
+		j.complete()
+		return
+	}
+	if j.pool != nil {
+		if target := j.pool.route(); target != j.home && target.acceptReleased(j) {
+			return
+		}
+	}
+	j.home.acceptReleased(j)
+}
+
+// checkCycle verifies that the upstream graph reachable from after is
+// acyclic. The amortization is deliberate: every job Submit returns is
+// marked acyclic — its own ancestry was verified when it was submitted, and
+// its edge list is immutable afterwards — so the DFS treats such nodes as
+// proven and a long chain costs O(len(After)) per submission instead of
+// re-walking its whole ancestry. Through the public API the walk therefore
+// terminates at the first hop and ErrCycle is unreachable (as documented on
+// ErrCycle, handles of already-submitted jobs cannot form a cycle); the DFS
+// only does real work — and is only refutable — for Job values that did not
+// come out of Submit, which is exactly the defensive surface it exists for.
+func checkCycle(after []*Job) error {
+	verified := true
+	for _, u := range after {
+		if u != nil && !u.acyclic {
+			verified = false
+			break
+		}
+	}
+	if verified {
+		// The public-API fast path: every upstream came out of Submit, so
+		// the walk would terminate at the first hop anyway — skip the map
+		// allocation entirely.
+		return nil
+	}
+	const (
+		grey, black = 1, 2
+	)
+	color := make(map[*Job]int8, len(after))
+	var visit func(*Job) error
+	visit = func(u *Job) error {
+		if u.acyclic {
+			return nil
+		}
+		switch color[u] {
+		case grey:
+			return ErrCycle
+		case black:
+			return nil
+		}
+		color[u] = grey
+		for _, v := range u.after {
+			if v == nil {
+				continue // rejected separately at submit validation
+			}
+			if err := visit(v); err != nil {
+				return err
+			}
+		}
+		color[u] = black
+		return nil
+	}
+	for _, u := range after {
+		if err := visit(u); err != nil {
+			return err
+		}
+	}
+	return nil
 }

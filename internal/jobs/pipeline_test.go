@@ -1,0 +1,389 @@
+package jobs
+
+// DAG dependency tests: Blocked-state accounting, release ordering across
+// join waves, cancellation propagation, cycle rejection, and cross-shard
+// release. White-box (package jobs) so the cycle test can craft a graph the
+// public API cannot produce.
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// gate returns a request whose body parks on ch until it is closed, plus the
+// channel. It occupies exactly one worker.
+func gate() (Request, chan struct{}) {
+	ch := make(chan struct{})
+	return Request{N: 1, Body: func(w, lo, hi int) { <-ch }, Label: "gate"}, ch
+}
+
+func mustSubmit(t *testing.T, r JobRunner, req Request) *Job {
+	t.Helper()
+	j, err := r.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// JobRunner mirrors schedtest.JobRunner without the import cycle.
+type JobRunner interface {
+	Submit(Request) (*Job, error)
+}
+
+func TestDependentStartsAfterUpstreamJoin(t *testing.T) {
+	s := testScheduler(t, 4, Config{})
+	const n = 50000
+	var upCovered atomic.Int64
+	up := mustSubmit(t, s, Request{N: n, Grain: 64, Body: func(w, lo, hi int) {
+		upCovered.Add(int64(hi - lo))
+	}})
+	var sawPartialUpstream atomic.Bool
+	var depRan atomic.Int64
+	dep, err := s.Submit(Request{N: 128, After: []*Job{up}, Body: func(w, lo, hi int) {
+		if upCovered.Load() != n {
+			sawPartialUpstream.Store(true)
+		}
+		depRan.Add(int64(hi - lo))
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if sawPartialUpstream.Load() {
+		t.Error("dependent observed a partially executed upstream: released before the join wave completed")
+	}
+	if depRan.Load() != 128 {
+		t.Errorf("dependent covered %d of 128 iterations", depRan.Load())
+	}
+	if up.State() != Done {
+		t.Errorf("upstream state = %v after dependent completed, want done", up.State())
+	}
+}
+
+func TestBlockedJobsAreOutsideQueueDepth(t *testing.T) {
+	s := testScheduler(t, 2, Config{})
+	upReq, release := gate()
+	ups := []*Job{mustSubmit(t, s, upReq), mustSubmit(t, s, upReq)}
+	dep := mustSubmit(t, s, Request{N: 64, After: ups, Body: func(w, lo, hi int) {}})
+
+	// Both workers are parked in the gates, so the dependent must be
+	// Blocked and must not appear in the admission queue depth. Wait for the
+	// gates to be admitted first: until then they legitimately count.
+	waitFor(t, "gates to be admitted", func() bool {
+		return ups[0].State() == Running && ups[1].State() == Running
+	})
+	waitFor(t, "dependent to park in Blocked", func() bool { return dep.State() == Blocked })
+	st := s.Stats()
+	if st.BlockedDepth != 1 {
+		t.Errorf("BlockedDepth = %d, want 1", st.BlockedDepth)
+	}
+	if st.QueueDepth != 0 {
+		t.Errorf("QueueDepth = %d, want 0 (blocked jobs must not count)", st.QueueDepth)
+	}
+
+	close(release)
+	if _, err := dep.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.BlockedDepth != 0 {
+		t.Errorf("BlockedDepth = %d after completion, want 0", st.BlockedDepth)
+	}
+	if st.Released != 1 {
+		t.Errorf("Released = %d, want 1", st.Released)
+	}
+}
+
+func TestFanOutFanIn(t *testing.T) {
+	s := testScheduler(t, 4, Config{})
+	const width, n = 5, 4096
+	var produced atomic.Int64
+	var fanOut []*Job
+	src := mustSubmit(t, s, Request{N: n, Body: func(w, lo, hi int) {
+		produced.Add(int64(hi - lo))
+	}})
+	var transformed atomic.Int64
+	for i := 0; i < width; i++ {
+		fanOut = append(fanOut, mustSubmit(t, s, Request{N: n, After: []*Job{src}, Body: func(w, lo, hi int) {
+			transformed.Add(int64(hi - lo))
+		}}))
+	}
+	sink, err := s.Submit(Request{
+		N: n, After: fanOut, Commutative: true,
+		Combine: func(a, b float64) float64 { return a + b },
+		RBody: func(w, lo, hi int, acc float64) float64 {
+			if transformed.Load() != width*n {
+				t.Error("sink started before the whole fan-out stage completed")
+			}
+			for i := lo; i < hi; i++ {
+				acc += float64(i)
+			}
+			return acc
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := sink.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(n) * float64(n-1) / 2; v != want {
+		t.Errorf("sink reduction = %v, want %v", v, want)
+	}
+	if produced.Load() != n {
+		t.Errorf("source covered %d of %d iterations", produced.Load(), n)
+	}
+}
+
+func TestUpstreamCancelPropagates(t *testing.T) {
+	s := testScheduler(t, 1, Config{})
+	occupyReq, release := gate()
+	occupy := mustSubmit(t, s, occupyReq)
+	defer func() {
+		close(release)
+		occupy.Wait()
+	}()
+
+	// The only worker is parked, so the upstream stays Pending in the queue
+	// and Cancel deterministically wins admission.
+	up := mustSubmit(t, s, Request{N: 64, Body: func(w, lo, hi int) {}})
+	var ran atomic.Bool
+	mid := mustSubmit(t, s, Request{N: 64, After: []*Job{up}, Body: func(w, lo, hi int) { ran.Store(true) }})
+	tail := mustSubmit(t, s, Request{N: 64, After: []*Job{mid}, Body: func(w, lo, hi int) { ran.Store(true) }})
+
+	if !up.Cancel() {
+		t.Fatal("Cancel on a queued upstream returned false")
+	}
+	for i, j := range []*Job{mid, tail} {
+		_, err := j.Wait()
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("stage %d: err = %v, want ErrCanceled", i+1, err)
+		}
+	}
+	// The tail's error wraps the chain: both the sentinel and the upstream's
+	// own error are reachable.
+	_, tailErr := tail.Wait()
+	_, midErr := mid.Wait()
+	if !errors.Is(tailErr, ErrCanceled) || midErr == tailErr {
+		t.Errorf("tail err %q should wrap the mid stage's cancellation %q", tailErr, midErr)
+	}
+	if ran.Load() {
+		t.Error("a canceled dependent ran its body")
+	}
+	st := s.Stats()
+	if st.DepCanceled != 2 {
+		t.Errorf("DepCanceled = %d, want 2 (mid and tail)", st.DepCanceled)
+	}
+	if st.BlockedDepth != 0 {
+		t.Errorf("BlockedDepth = %d after propagation, want 0 (leaked blocked dependents)", st.BlockedDepth)
+	}
+	if st.Canceled != 3 {
+		t.Errorf("Canceled = %d, want 3 (explicit + two propagated)", st.Canceled)
+	}
+}
+
+func TestCancelBlockedJobDirectly(t *testing.T) {
+	s := testScheduler(t, 2, Config{})
+	upReq, release := gate()
+	up := mustSubmit(t, s, upReq)
+	dep := mustSubmit(t, s, Request{N: 64, After: []*Job{up}, Body: func(w, lo, hi int) {}})
+	waitFor(t, "dependent to park in Blocked", func() bool { return dep.State() == Blocked })
+	if !dep.Cancel() {
+		t.Fatal("Cancel on a blocked job returned false")
+	}
+	if _, err := dep.Wait(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	close(release)
+	if _, err := up.Wait(); err != nil {
+		t.Fatalf("upstream must complete normally, got %v", err)
+	}
+	st := s.Stats()
+	if st.BlockedDepth != 0 || st.Released != 0 {
+		t.Errorf("BlockedDepth = %d, Released = %d; want 0, 0", st.BlockedDepth, st.Released)
+	}
+}
+
+func TestDependentOnTerminalUpstreams(t *testing.T) {
+	s := testScheduler(t, 2, Config{})
+	done := mustSubmit(t, s, Request{N: 16, Body: func(w, lo, hi int) {}})
+	if _, err := done.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// All upstreams already Done at submit: the job releases immediately.
+	dep := mustSubmit(t, s, Request{N: 16, After: []*Job{done}, Body: func(w, lo, hi int) {}})
+	if _, err := dep.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An already-canceled upstream cancels the dependent at submit.
+	gateReq, release := gate()
+	g1, g2 := mustSubmit(t, s, gateReq), mustSubmit(t, s, gateReq)
+	queued := mustSubmit(t, s, Request{N: 16, Body: func(w, lo, hi int) {}})
+	if !queued.Cancel() {
+		t.Fatal("cancel of queued upstream failed")
+	}
+	late, err := s.Submit(Request{N: 16, After: []*Job{queued}, Body: func(w, lo, hi int) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := late.Wait(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("dependent of a terminal canceled upstream: err = %v, want ErrCanceled", err)
+	}
+	close(release)
+	g1.Wait()
+	g2.Wait()
+}
+
+func TestDegenerateDependentCompletesAtRelease(t *testing.T) {
+	s := testScheduler(t, 2, Config{})
+	upReq, release := gate()
+	up := mustSubmit(t, s, upReq)
+	// N == 0 with dependencies: still waits for the upstream, then completes
+	// inline with its identity.
+	dep := mustSubmit(t, s, Request{
+		N: 0, After: []*Job{up}, Identity: 42,
+		Combine: func(a, b float64) float64 { return a + b },
+		RBody:   func(w, lo, hi int, acc float64) float64 { return acc },
+	})
+	waitFor(t, "dependent to park in Blocked", func() bool { return dep.State() == Blocked })
+	close(release)
+	v, err := dep.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Errorf("degenerate reducing dependent = %v, want identity 42", v)
+	}
+}
+
+func TestSubmitRejectsBadAfter(t *testing.T) {
+	s := testScheduler(t, 2, Config{})
+	if _, err := s.Submit(Request{N: 8, Body: func(w, lo, hi int) {}, After: []*Job{nil}}); err == nil {
+		t.Error("nil upstream accepted")
+	}
+
+	// A cycle cannot be built through the public API (After only accepts
+	// already-submitted jobs), so craft one directly and verify Submit's
+	// defensive DFS rejects any request whose upstream graph contains it.
+	a := &Job{done: make(chan struct{})}
+	b := &Job{done: make(chan struct{})}
+	a.after = []*Job{b}
+	b.after = []*Job{a}
+	a.state.Store(int32(Blocked))
+	b.state.Store(int32(Blocked))
+	if _, err := s.Submit(Request{N: 8, Body: func(w, lo, hi int) {}, After: []*Job{a}}); !errors.Is(err, ErrCycle) {
+		t.Errorf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestShardedReleaseRoutesAcrossShards(t *testing.T) {
+	p := NewSharded(ShardedConfig{
+		Config:        Config{Workers: 4},
+		Shards:        2,
+		StealInterval: 50 * time.Microsecond,
+	})
+	defer p.Close()
+
+	// A diamond per round, submitted from one goroutine: source on a pinned
+	// shard, fan-out released wherever the router likes, verified sink.
+	const rounds = 20
+	for r := 0; r < rounds; r++ {
+		src := mustSubmit(t, p, Request{N: 512, Body: func(w, lo, hi int) {}})
+		var mids []*Job
+		for i := 0; i < 3; i++ {
+			mids = append(mids, mustSubmit(t, p, Request{N: 512, After: []*Job{src}, Body: func(w, lo, hi int) {}}))
+		}
+		sink := mustSubmit(t, p, Request{
+			N: 1024, After: mids, Commutative: true,
+			Combine: func(a, b float64) float64 { return a + b },
+			RBody: func(w, lo, hi int, acc float64) float64 {
+				for i := lo; i < hi; i++ {
+					acc += float64(i)
+				}
+				return acc
+			},
+		})
+		v, err := sink.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := float64(1024) * 1023 / 2; v != want {
+			t.Fatalf("round %d: sink = %v, want %v", r, v, want)
+		}
+	}
+	st := p.Stats()
+	if st.Total.Released != 4*rounds {
+		t.Errorf("Released = %d, want %d", st.Total.Released, 4*rounds)
+	}
+	if st.Total.BlockedDepth != 0 {
+		t.Errorf("BlockedDepth = %d at quiescence, want 0", st.Total.BlockedDepth)
+	}
+}
+
+func TestCloseDrainsBlockedDependents(t *testing.T) {
+	s := New(Config{Workers: 2})
+	upReq, release := gate()
+	up := mustSubmit(t, s, upReq)
+	var ran atomic.Int64
+	dep := mustSubmit(t, s, Request{N: 256, After: []*Job{up}, Body: func(w, lo, hi int) {
+		ran.Add(int64(hi - lo))
+	}})
+
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	// Close must wait for the blocked dependent, not tear down under it.
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a blocked dependent was still waiting")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	<-closed
+	if _, err := dep.Wait(); err != nil {
+		t.Fatalf("dependent across Close: %v", err)
+	}
+	if ran.Load() != 256 {
+		t.Errorf("dependent covered %d of 256 iterations", ran.Load())
+	}
+}
+
+func TestBlockedSubmissionsGetQueueDepthBackpressure(t *testing.T) {
+	// A pipeline fan-out cannot park unbounded memory behind one upstream:
+	// the blocked population is capped by QueueDepth, and a submitter over
+	// the cap sleeps until a slot frees.
+	s := testScheduler(t, 2, Config{QueueDepth: 4})
+	upReq, release := gate()
+	up := mustSubmit(t, s, upReq)
+	for i := 0; i < 4; i++ {
+		mustSubmit(t, s, Request{N: 16, After: []*Job{up}, Body: func(w, lo, hi int) {}})
+	}
+	extraDone := make(chan *Job)
+	go func() {
+		extraDone <- mustSubmit(t, s, Request{N: 16, After: []*Job{up}, Body: func(w, lo, hi int) {}})
+	}()
+	select {
+	case <-extraDone:
+		t.Fatal("5th blocked submission returned with the blocked population at the QueueDepth cap")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release) // upstream completes, dependents release, the gate opens
+	var extra *Job
+	select {
+	case extra = <-extraDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("gated submission never unblocked after the upstream completed")
+	}
+	if _, err := extra.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -47,6 +47,12 @@ type Config struct {
 	// queued jobs from siblings and lends idle workers to their running
 	// elastic jobs. Nil for standalone schedulers.
 	hooks *stealHooks
+
+	// pool points back to the owning Sharded pool, so blocked jobs released
+	// by an upstream's join wave can be admitted to the least-loaded shard
+	// at release time instead of the shard that happened to take the
+	// submission. Nil for standalone schedulers.
+	pool *Sharded
 }
 
 // stealHooks is the cross-shard cooperation contract a Sharded pool installs
@@ -101,10 +107,35 @@ type Scheduler struct {
 	// dispatcher's release wave is k buffered sends and never blocks.
 	assign []chan *assignment
 
-	submitMu       sync.RWMutex
-	closed         bool
+	submitMu sync.RWMutex
+	closed   bool
+	// releaseClosed closes the release window: set (under submitMu) only
+	// after the blocked gauge drained to zero during Close, strictly before
+	// the queue channel is closed. acceptReleased completes its enqueue
+	// under the read lock, so no release can ever race the channel close.
+	releaseClosed  bool
 	dispatcherDone chan struct{}
 	closeDone      chan struct{}
+
+	// overflow absorbs released dependents when the admission queue channel
+	// is momentarily full: the release path runs on completing workers and
+	// must never block on the queue (all P workers blocked on a full queue
+	// while the dispatcher waits for a free worker would deadlock). The
+	// list is bounded even so, because the blocked population feeding it is
+	// capped by QueueDepth at submission (the gate below). overflowC wakes
+	// the dispatcher with the usual buffered-signal pattern.
+	overflowMu sync.Mutex
+	overflow   []*Job
+	overflowC  chan struct{}
+
+	// gateMu/gateCond/blockedHeld apply QueueDepth backpressure to
+	// dependent submissions: a blocked job never enters the queue channel,
+	// so without this gate a pipeline fan-out could park unbounded memory
+	// behind one upstream. blockedHeld mirrors the blocked gauge under a
+	// mutex so waiters can sleep on the condition.
+	gateMu      sync.Mutex
+	gateCond    *sync.Cond
+	blockedHeld int
 
 	// growSet is the shared registry of running elastic jobs, maintained only
 	// when steal hooks are installed: sibling shards read it to find jobs
@@ -113,17 +144,20 @@ type Scheduler struct {
 	growMu  sync.Mutex
 	growSet map[*Job]struct{}
 
-	depth     atomic.Int64
-	running   atomic.Int64
-	busy      atomic.Int64
-	submitted atomic.Int64
-	completed atomic.Int64
-	canceled  atomic.Int64
-	itersDone atomic.Int64
-	grown     atomic.Int64
-	peeled    atomic.Int64
-	stolen    atomic.Int64
-	lent      atomic.Int64
+	depth       atomic.Int64
+	running     atomic.Int64
+	busy        atomic.Int64
+	submitted   atomic.Int64
+	completed   atomic.Int64
+	canceled    atomic.Int64
+	itersDone   atomic.Int64
+	grown       atomic.Int64
+	peeled      atomic.Int64
+	stolen      atomic.Int64
+	lent        atomic.Int64
+	blocked     atomic.Int64
+	released    atomic.Int64
+	depCanceled atomic.Int64
 
 	lat latRing
 }
@@ -139,10 +173,12 @@ func New(cfg Config) *Scheduler {
 		assign:         make([]chan *assignment, cfg.Workers),
 		dispatcherDone: make(chan struct{}),
 		closeDone:      make(chan struct{}),
+		overflowC:      make(chan struct{}, 1),
 	}
 	if cfg.hooks != nil {
 		s.growSet = make(map[*Job]struct{})
 	}
+	s.gateCond = sync.NewCond(&s.gateMu)
 	s.lat.init(cfg.LatencyWindow)
 	for w := 0; w < s.p; w++ {
 		s.assign[w] = make(chan *assignment, 1)
@@ -162,7 +198,20 @@ func (s *Scheduler) Name() string { return s.cfg.Name }
 
 // Submit enqueues a job and returns immediately. It blocks only when the
 // admission queue is full. Submit is safe from any number of goroutines.
+// A request with dependencies (Request.After) is parked in the Blocked state
+// and enters the admission queue only when its last upstream completes.
 func (s *Scheduler) Submit(req Request) (*Job, error) {
+	return s.submit(req, s.cfg.pool)
+}
+
+// submitPinned is Submit for shard-pinned jobs: a blocked job released by
+// its upstreams re-enters this scheduler's own queue instead of routing to
+// the least-loaded shard, preserving the pin.
+func (s *Scheduler) submitPinned(req Request) (*Job, error) {
+	return s.submit(req, nil)
+}
+
+func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 	switch {
 	case req.Body == nil && req.RBody == nil:
 		return nil, errors.New("jobs: request needs a Body or an RBody")
@@ -171,7 +220,46 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 	case req.RBody != nil && req.Combine == nil:
 		return nil, errors.New("jobs: reducing request needs a Combine")
 	}
-	j := &Job{req: req, done: make(chan struct{}), s: s, submitted: time.Now()}
+	for _, u := range req.After {
+		if u == nil {
+			return nil, errors.New("jobs: nil upstream in After")
+		}
+	}
+	if len(req.After) > 0 {
+		if err := checkCycle(req.After); err != nil {
+			return nil, err
+		}
+	}
+	j := &Job{req: req, done: make(chan struct{}), s: s, home: s, submitted: time.Now(), acyclic: true}
+	if len(req.After) > 0 {
+		// Copy the edge list so later caller mutations of the request slice
+		// cannot corrupt the verified graph, and drop the request's own
+		// reference so depDone's ancestry-unpinning actually frees the
+		// chain (nothing reads req.After after this point).
+		j.after = append([]*Job(nil), req.After...)
+		j.req.After = nil
+		j.pool = pool
+		// The same QueueDepth backpressure Submit applies through the queue
+		// channel, applied to the blocked population: sleeps until a slot
+		// frees (an earlier dependent released or canceled). Held locks
+		// would block Close, so the wait happens before the read lock.
+		s.reserveBlockedSlot()
+		s.submitMu.RLock()
+		if s.closed {
+			s.submitMu.RUnlock()
+			s.signalBlockedFreed()
+			return nil, ErrClosed
+		}
+		s.submitted.Add(1)
+		// The blocked gauge is raised under the read lock: Close's
+		// write-lock barrier guarantees its blocked drain starts only after
+		// observing this job.
+		s.blocked.Add(1)
+		s.submitMu.RUnlock()
+		j.state.Store(int32(Blocked))
+		j.registerDeps() // may release (or cancel) the job immediately
+		return j, nil
+	}
 	s.submitMu.RLock()
 	defer s.submitMu.RUnlock()
 	if s.closed {
@@ -193,6 +281,91 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 	s.depth.Add(1)
 	s.queue <- j
 	return j, nil
+}
+
+// acceptReleased admits a blocked job whose dependencies all completed into
+// this scheduler's admission queue. It reports false only when the release
+// window has closed (teardown finished draining this scheduler's blocked
+// jobs); the caller then falls back to the job's home scheduler, whose
+// window is provably still open. Runs on the completing upstream's worker,
+// so it must never block on the queue channel.
+func (s *Scheduler) acceptReleased(j *Job) bool {
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
+	if s.releaseClosed {
+		return false
+	}
+	home := j.home
+	// The release is a migration for snapshot purposes: between raising
+	// this scheduler's depth and dropping the home's blocked gauge, a
+	// pool-wide Stats walk would count the job both queued and blocked, so
+	// the window is bracketed by the same seqlock that guards steals.
+	if p := s.cfg.pool; p != nil {
+		p.migrateBegin.Add(1)
+		defer p.migrateEnd.Add(1)
+	}
+	// Raise the depth before the state flip so a Cancel racing the fresh
+	// Pending state can never drive this scheduler's depth negative, and
+	// re-point the job before the flip so that Cancel reads the right
+	// scheduler (the CAS publishes both stores).
+	s.depth.Add(1)
+	j.s = s
+	if !j.state.CompareAndSwap(int32(Blocked), int32(Pending)) {
+		// Canceled while blocked; Cancel already settled the accounting
+		// against the home scheduler's blocked gauge.
+		s.depth.Add(-1)
+		return true
+	}
+	select {
+	case s.queue <- j:
+	default:
+		// Queue channel full: park the job on the overflow list the
+		// dispatcher drains alongside the queue (bounded by the blocked
+		// gate at submission).
+		s.overflowMu.Lock()
+		s.overflow = append(s.overflow, j)
+		s.overflowMu.Unlock()
+		select {
+		case s.overflowC <- struct{}{}:
+		default:
+		}
+	}
+	home.blocked.Add(-1)
+	home.released.Add(1)
+	home.signalBlockedFreed()
+	return true
+}
+
+// reserveBlockedSlot blocks until the blocked population is below
+// QueueDepth and reserves one slot. Slots drain as upstreams complete (or
+// cancel), which never depends on the caller, so the wait always ends.
+func (s *Scheduler) reserveBlockedSlot() {
+	s.gateMu.Lock()
+	for s.blockedHeld >= s.cfg.QueueDepth {
+		s.gateCond.Wait()
+	}
+	s.blockedHeld++
+	s.gateMu.Unlock()
+}
+
+// signalBlockedFreed returns a blocked slot (the job released, canceled, or
+// failed submission) and wakes the gate waiters: submitters parked at the
+// cap and a Close draining the blocked population. Broadcast, not Signal —
+// a lone wakeup could land on a submitter and starve the closer.
+func (s *Scheduler) signalBlockedFreed() {
+	s.gateMu.Lock()
+	s.blockedHeld--
+	s.gateCond.Broadcast()
+	s.gateMu.Unlock()
+}
+
+// takeOverflow drains the released-job overflow list.
+func (s *Scheduler) takeOverflow() []*Job {
+	s.overflowMu.Lock()
+	jobs := s.overflow
+	s.overflow = nil
+	s.overflowMu.Unlock()
+	return jobs
 }
 
 // teamSize picks the sub-team size a job is admitted on: bounded by the
@@ -332,6 +505,8 @@ func (s *Scheduler) dispatch() {
 				}
 				pending = append(pending, j)
 				qc = nil
+			case <-s.overflowC:
+				pending = append(pending, s.takeOverflow()...)
 			default:
 				collecting = false
 			}
@@ -376,9 +551,14 @@ func (s *Scheduler) dispatch() {
 		// closure is observed: admit can empty `pending` after the queue
 		// was seen closed (a canceled job is popped without consuming a
 		// worker), and blocking below with both channels dead would hang
-		// Close.
+		// Close. Released dependents parked on the overflow list count as
+		// pending work; no new ones can appear once the queue has closed
+		// (the release window shuts strictly first).
 		if queue == nil && len(pending) == 0 {
-			break
+			if pending = append(pending, s.takeOverflow()...); len(pending) == 0 {
+				break
+			}
+			continue
 		}
 		qc = queue
 		if len(pending) > 0 {
@@ -403,6 +583,9 @@ func (s *Scheduler) dispatch() {
 			}
 		case id := <-s.free:
 			idle = append(idle, id)
+		case <-s.overflowC:
+			pending = append(pending, s.takeOverflow()...)
+			emptyScans = 0 // released dependents are local traffic too
 		case <-stealC:
 			fired = true
 		}
@@ -587,7 +770,9 @@ func (s *Scheduler) recordCompletion(j *Job) {
 }
 
 // Close drains the admission queue, waits for every in-flight job and
-// releases the workers. Jobs submitted before Close complete normally;
+// releases the workers. Jobs submitted before Close complete normally —
+// including blocked dependents, which are drained before the queue closes
+// (provided their upstreams belong to this pool or complete independently);
 // Submit fails with ErrClosed afterwards. Close is idempotent and safe to
 // call from several goroutines at once: every call returns only after the
 // teardown has fully completed, whichever call performed it.
@@ -599,6 +784,23 @@ func (s *Scheduler) Close() {
 		return
 	}
 	s.closed = true
+	s.submitMu.Unlock()
+	// Blocked jobs drain first: their upstreams are already queued or
+	// running (here or on a sibling shard), so every one of them releases
+	// or cancels in bounded time; every retirement broadcasts the gate
+	// condition, so the wait is event-driven. blockedHeld reaching zero
+	// implies the blocked gauge is zero too (slots retire strictly after
+	// the gauge decrement). Only then may the release window and the queue
+	// channel close — acceptReleased finishes its enqueue under the read
+	// lock, so after the write-lock barrier below no release can race the
+	// channel close.
+	s.gateMu.Lock()
+	for s.blockedHeld > 0 {
+		s.gateCond.Wait()
+	}
+	s.gateMu.Unlock()
+	s.submitMu.Lock()
+	s.releaseClosed = true
 	s.submitMu.Unlock()
 	close(s.queue)
 	<-s.dispatcherDone
@@ -637,6 +839,16 @@ type Stats struct {
 	// running elastic jobs. Both are zero outside a Sharded pool.
 	Stolen int64 `json:"stolen_total"`
 	Lent   int64 `json:"lent_total"`
+	// BlockedDepth is the number of jobs currently parked in the Blocked
+	// state waiting for dependencies — deliberately not part of QueueDepth,
+	// which only counts jobs eligible for admission. Released counts blocked
+	// jobs whose last upstream's join wave moved them into an admission
+	// queue; DepCanceled counts blocked jobs canceled by upstream
+	// cancellation propagating down the dependency graph (these also count
+	// in Canceled).
+	BlockedDepth int64 `json:"blocked_depth"`
+	Released     int64 `json:"released_total"`
+	DepCanceled  int64 `json:"dep_canceled_total"`
 	// Latency quantiles (submission to completion) over the recent window.
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
 	LatencyP95 time.Duration `json:"latency_p95_ns"`
@@ -678,6 +890,9 @@ func (s *Scheduler) statsWindows() (Stats, []float64, []float64) {
 		Peeled:         s.peeled.Load(),
 		Stolen:         s.stolen.Load(),
 		Lent:           s.lent.Load(),
+		BlockedDepth:   s.blocked.Load(),
+		Released:       s.released.Load(),
+		DepCanceled:    s.depCanceled.Load(),
 	}
 	tot, run, totSum, runSum := s.lat.snapshot()
 	st.LatencySamples = len(tot)

@@ -83,6 +83,15 @@ type Sharded struct {
 	stealOff atomic.Bool
 	rr       atomic.Uint64
 
+	// migrateBegin/migrateEnd bracket every cross-shard counter migration:
+	// a steal (a queued job's depth moves between shards) and a dependency
+	// release (a job leaves one shard's blocked gauge for another shard's
+	// queue depth). Stats uses them as a seqlock: a snapshot taken while
+	// begin != end, or during which begin advanced, may be torn — counting
+	// a migrating job on two shards or on neither — and is retried.
+	migrateBegin atomic.Uint64
+	migrateEnd   atomic.Uint64
+
 	closeMu sync.Mutex
 	closed  bool
 }
@@ -108,6 +117,7 @@ func NewSharded(cfg ShardedConfig) *Sharded {
 		sc.Workers = len(p.topo.GroupMembers(g))
 		sc.QueueDepth = perQueue
 		sc.Name = fmt.Sprintf("%s-shard%d", cfg.Name, g)
+		sc.pool = p
 		if !cfg.DisableStealing && cfg.Shards > 1 {
 			sc.hooks = &stealHooks{
 				totalP:   cfg.Workers,
@@ -176,12 +186,14 @@ func (p *Sharded) Submit(req Request) (*Job, error) {
 
 // SubmitTo pins a job to the given shard (for tenants with domain-local
 // state). The job can still be stolen by an idle sibling unless stealing is
-// disabled; pinning controls admission, not execution exclusivity.
+// disabled; pinning controls admission, not execution exclusivity. A pinned
+// job with dependencies re-enters the pinned shard's own queue when its
+// upstreams release it, instead of routing to the least-loaded shard.
 func (p *Sharded) SubmitTo(shard int, req Request) (*Job, error) {
 	if shard < 0 || shard >= len(p.shards) {
 		return nil, fmt.Errorf("jobs: shard %d out of range [0,%d)", shard, len(p.shards))
 	}
-	return p.shards[shard].Submit(req)
+	return p.shards[shard].submitPinned(req)
 }
 
 // stealFor pulls one whole queued job from the most convenient loaded
@@ -210,9 +222,11 @@ func (p *Sharded) stealFor(thief *Scheduler) *Job {
 			// dispatcher would have done on pop.
 			continue
 		}
+		p.migrateBegin.Add(1)
 		victim.depth.Add(-1)
 		j.s = thief
 		thief.depth.Add(1)
+		p.migrateEnd.Add(1)
 		j.state.Store(int32(Pending))
 		return j
 	}
@@ -269,8 +283,34 @@ type ShardedStats struct {
 	Shards []Stats `json:"shards"`
 }
 
-// Stats returns a snapshot of all shards and the merged totals.
+// Stats returns a snapshot of all shards and the merged totals. The
+// snapshot is consistent with respect to cross-shard steals and dependency
+// releases: a job mid-migration would otherwise be counted on both shards
+// or on neither (whichever side the walk visits first), so the walk is
+// bracketed by the migration seqlock and retried on a torn read.
 func (p *Sharded) Stats() ShardedStats {
+	for attempt := 0; ; attempt++ {
+		// Read end before begin: an in-flight migration then shows up as
+		// begin > end no matter how the loads interleave with it.
+		e := p.migrateEnd.Load()
+		b := p.migrateBegin.Load()
+		out := p.statsSnapshot()
+		if b == e && p.migrateBegin.Load() == b {
+			return out
+		}
+		if attempt >= 64 {
+			// Continuous migration traffic: a torn depth (off by one job)
+			// beats never returning.
+			return out
+		}
+		runtime.Gosched()
+	}
+}
+
+// statsSnapshot walks the shards and merges totals without any exclusion;
+// consistency against in-flight migrations is the caller's (Stats's)
+// responsibility via the seqlock.
+func (p *Sharded) statsSnapshot() ShardedStats {
 	out := ShardedStats{Shards: make([]Stats, len(p.shards))}
 	var tot, run []float64
 	for i, s := range p.shards {
@@ -288,6 +328,9 @@ func (p *Sharded) Stats() ShardedStats {
 		out.Total.Peeled += st.Peeled
 		out.Total.Stolen += st.Stolen
 		out.Total.Lent += st.Lent
+		out.Total.BlockedDepth += st.BlockedDepth
+		out.Total.Released += st.Released
+		out.Total.DepCanceled += st.DepCanceled
 		out.Total.LatencySamples += st.LatencySamples
 		out.Total.LatencySumSeconds += st.LatencySumSeconds
 		out.Total.RunSumSeconds += st.RunSumSeconds

@@ -1,0 +1,76 @@
+package jobs
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStatsConsistentUnderStealing is the regression test for torn Stats
+// snapshots: a cross-shard steal moves a queued job's depth from the victim
+// to the thief in two separate atomic updates, and a snapshot walking the
+// shards in between either dropped the job or — when the walk visits the
+// thief after the victim — counted it twice, breaking QueueDepth <=
+// Submitted - Completed - Canceled. The migration seqlock makes the walk
+// retry instead. Run under -race: the monitor also doubles as a data-race
+// probe against the migration path.
+func TestStatsConsistentUnderStealing(t *testing.T) {
+	p := testSharded(t, ShardedConfig{
+		Config:        Config{Workers: 2},
+		Shards:        2,
+		StealInterval: 20 * time.Microsecond, // maximise migration traffic
+	})
+	if p.Shards() != 2 {
+		t.Skipf("got %d shards, need 2", p.Shards())
+	}
+
+	stop := make(chan struct{})
+	var torn atomic.Int64
+	monitorDone := make(chan struct{})
+	go func() {
+		defer close(monitorDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := p.Stats()
+			outstanding := st.Total.Submitted - st.Total.Completed - st.Total.Canceled
+			if int64(st.Total.QueueDepth) > outstanding {
+				torn.Add(1)
+				t.Errorf("torn snapshot: queue depth %d exceeds outstanding jobs %d (a migrating job was counted on both shards)",
+					st.Total.QueueDepth, outstanding)
+			}
+			if st.Total.QueueDepth < 0 {
+				t.Errorf("torn snapshot: negative queue depth %d", st.Total.QueueDepth)
+			}
+		}
+	}()
+
+	// Pin every submission to shard 0 and keep it saturated, so idle shard 1
+	// continuously steals queued jobs; no job is ever canceled, so the
+	// monitored inequality is exact up to the steal window under test.
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		var batch []*Job
+		for i := 0; i < 16; i++ {
+			j, err := p.SubmitTo(0, Request{N: 64, Body: func(w, lo, hi int) {}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch = append(batch, j)
+		}
+		for _, j := range batch {
+			if _, err := j.Wait(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	<-monitorDone
+
+	if st := p.Stats(); st.Total.Stolen == 0 {
+		t.Log("warning: no steals occurred; the migration window was not exercised on this machine")
+	}
+}

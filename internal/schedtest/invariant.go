@@ -11,9 +11,12 @@
 //   - every join wave completes: Wait returns for every submitted job
 //     within a deadline, with either a verified result or ErrCanceled;
 //   - canceled jobs never ran any iteration;
+//   - a dependent job (submitted with Request.After) never starts before
+//     its upstream's join wave completes, and a canceled upstream cancels
+//     its dependents (which never run) without leaking blocked jobs;
 //   - no worker is lost: after the stream drains, the pool reports zero
-//     busy workers, zero queue depth and zero running jobs, and still
-//     completes a fresh full-width job.
+//     busy workers, zero queue depth, zero blocked jobs and zero running
+//     jobs, and still completes a fresh full-width job.
 //
 // The op stream is a pure function of InvariantOptions.Seed, so a failure
 // reproduces by re-running with the logged seed. Run it under -race: the
@@ -80,11 +83,13 @@ func (o *InvariantOptions) normalize() {
 }
 
 // DrainStats is the post-run occupancy snapshot the harness polls for the
-// no-lost-worker invariant.
+// no-lost-worker invariant. Blocked is the runtime's blocked-depth gauge: a
+// canceled upstream must never leave a dependent parked forever.
 type DrainStats struct {
 	BusyWorkers int
 	QueueDepth  int
 	Running     int
+	Blocked     int
 }
 
 // RunJobInvariants drives the runner with the seeded op stream and asserts
@@ -110,17 +115,19 @@ func RunJobInvariants(t *testing.T, runner JobRunner, opt InvariantOptions, tota
 	}
 	wg.Wait()
 
-	// No worker lost, part 1: the pool must drain to zero occupancy. The
-	// counters are decremented just after job completion is published, so
-	// poll briefly instead of asserting instantly.
+	// No worker lost, part 1: the pool must drain to zero occupancy — the
+	// blocked gauge included: every dependent was either released by its
+	// upstream's join wave or canceled by propagation, never parked forever.
+	// The counters are decremented just after job completion is published,
+	// so poll briefly instead of asserting instantly.
 	deadline := time.Now().Add(opt.Deadline)
 	for {
 		d := drained()
-		if d.BusyWorkers == 0 && d.QueueDepth == 0 && d.Running == 0 {
+		if d.BusyWorkers == 0 && d.QueueDepth == 0 && d.Running == 0 && d.Blocked == 0 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("pool did not drain: %+v (workers lost or job stuck)", d)
+			t.Fatalf("pool did not drain: %+v (workers lost, job stuck, or blocked dependent leaked)", d)
 		}
 		time.Sleep(200 * time.Microsecond)
 	}
@@ -148,6 +155,10 @@ func RunJobInvariants(t *testing.T, runner JobRunner, opt InvariantOptions, tota
 func runOneOp(t *testing.T, runner JobRunner, rng *rand.Rand, opt InvariantOptions, tnt, op int) {
 	t.Helper()
 	n := rng.Intn(opt.MaxN + 1) // 0 is a legal degenerate loop
+	if rng.Intn(4) == 0 {
+		runDepOp(t, runner, rng, opt, tnt, op, n)
+		return
+	}
 	kind := rng.Intn(3)
 	grain := 0
 	if rng.Intn(2) == 0 {
@@ -233,6 +244,92 @@ func runOneOp(t *testing.T, runner JobRunner, rng *rand.Rand, opt InvariantOptio
 		if v != want {
 			t.Errorf("tenant %d op %d (seed %d): ordered 'last' fold over %d = %v, want %v (join-wave order violated)",
 				tnt, op, opt.Seed, n, v, want)
+		}
+	}
+}
+
+// runDepOp submits a small dependency graph — one or two upstream loops and
+// a dependent that fans them in — and checks the DAG invariants: the
+// dependent observes every upstream iteration complete before its own body
+// starts (release strictly follows the upstream join wave), and a canceled
+// upstream cancels the dependent, which then never runs an iteration.
+func runDepOp(t *testing.T, runner JobRunner, rng *rand.Rand, opt InvariantOptions, tnt, op, n int) {
+	t.Helper()
+	if n == 0 {
+		n = 1
+	}
+	upN := 1 + rng.Intn(opt.MaxN/4+1)
+	fanIn := 1 + rng.Intn(2)
+	cancelUp := rng.Intn(100) < opt.CancelPercent
+	grain := 0
+	if rng.Intn(2) == 0 {
+		grain = 1 + rng.Intn(64)
+	}
+
+	covered := make([]*atomic.Int64, fanIn)
+	ups := make([]*jobs.Job, fanIn)
+	for i := range ups {
+		covered[i] = new(atomic.Int64)
+		c := covered[i]
+		u, err := runner.Submit(jobs.Request{N: upN, Grain: grain, Body: func(w, lo, hi int) {
+			c.Add(int64(hi - lo))
+		}})
+		if err != nil {
+			t.Errorf("tenant %d op %d (seed %d): upstream submit: %v", tnt, op, opt.Seed, err)
+			return
+		}
+		ups[i] = u
+	}
+
+	var earlyStart atomic.Bool // dependent ran before an upstream join completed
+	var depRan atomic.Int64
+	dep, err := runner.Submit(jobs.Request{N: n, Grain: grain, After: ups, Body: func(w, lo, hi int) {
+		for _, c := range covered {
+			if c.Load() != int64(upN) {
+				earlyStart.Store(true)
+			}
+		}
+		depRan.Add(int64(hi - lo))
+	}})
+	if err != nil {
+		t.Errorf("tenant %d op %d (seed %d): dependent submit: %v", tnt, op, opt.Seed, err)
+		return
+	}
+	upCanceled := false
+	if cancelUp {
+		// Races admission on purpose; propagation is only required when the
+		// cancel actually won.
+		upCanceled = ups[rng.Intn(fanIn)].Cancel()
+	}
+
+	_, depErr := waitDeadline(dep, opt.Deadline)
+	switch {
+	case upCanceled:
+		if !errors.Is(depErr, jobs.ErrCanceled) {
+			t.Errorf("tenant %d op %d (seed %d): dependent of canceled upstream: err = %v, want ErrCanceled",
+				tnt, op, opt.Seed, depErr)
+		}
+		if depRan.Load() != 0 {
+			t.Errorf("tenant %d op %d (seed %d): dependent of canceled upstream ran %d iterations",
+				tnt, op, opt.Seed, depRan.Load())
+		}
+	case depErr != nil:
+		t.Errorf("tenant %d op %d (seed %d): dependent wait: %v", tnt, op, opt.Seed, depErr)
+	default:
+		if earlyStart.Load() {
+			t.Errorf("tenant %d op %d (seed %d): dependent started before its upstream's join completed",
+				tnt, op, opt.Seed)
+		}
+		if depRan.Load() != int64(n) {
+			t.Errorf("tenant %d op %d (seed %d): dependent covered %d of %d iterations",
+				tnt, op, opt.Seed, depRan.Load(), n)
+		}
+	}
+	// Upstreams always terminate either way; a lost release would show up
+	// in the drain check too, but failing here names the op.
+	for i, u := range ups {
+		if _, err := waitDeadline(u, opt.Deadline); err != nil && !errors.Is(err, jobs.ErrCanceled) {
+			t.Errorf("tenant %d op %d (seed %d): upstream %d: %v", tnt, op, opt.Seed, i, err)
 		}
 	}
 }

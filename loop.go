@@ -364,10 +364,17 @@ func (r *Reducer[T]) Value() T {
 
 // Async error sentinels, for errors.Is against Job.Wait results.
 var (
-	// ErrCanceled is returned by Wait on a job canceled before it started.
+	// ErrCanceled is returned by Wait on a job canceled before it started —
+	// explicitly with Cancel, or because an upstream dependency was canceled
+	// (the dependent's error then also wraps the upstream's).
 	ErrCanceled = jobs.ErrCanceled
 	// ErrClosed is returned by Wait on a job submitted after Close.
 	ErrClosed = jobs.ErrClosed
+	// ErrCycle is returned at submission when JobOptions.After closes a
+	// dependency cycle. Well-typed use cannot build one (After only accepts
+	// handles of already-submitted jobs), but submission verifies the graph
+	// anyway.
+	ErrCycle = jobs.ErrCycle
 )
 
 // Job is a handle to an asynchronously submitted parallel loop. Many jobs
@@ -377,6 +384,7 @@ var (
 // synchronise with each other. Job methods are safe for concurrent use.
 type Job struct {
 	inner *jobs.Job
+	pool  *Pool
 	err   error // submission error; the job never ran
 }
 
@@ -416,14 +424,30 @@ func (j *Job) Workers() int {
 
 // failedJob wraps a submission error as an already-completed Job so call
 // sites can chain Submit(...).Wait() without a separate error path.
-func failedJob(err error) *Job { return &Job{err: err} }
+func (p *Pool) failedJob(err error) *Job { return &Job{pool: p, err: err} }
 
 // submit routes a request to the async runtime: to the least-loaded shard,
 // or to the pinned shard when the options name one (1-based; 0 routes).
-func (p *Pool) submit(shard int, req jobs.Request) *Job {
+// after carries the public dependency handles; a dependent of a job that
+// never made it past submission fails immediately with the upstream's error
+// wrapped under ErrCanceled, mirroring runtime cancel propagation.
+func (p *Pool) submit(shard int, after []*Job, req jobs.Request) *Job {
+	for _, u := range after {
+		if u == nil {
+			return p.failedJob(fmt.Errorf("loopsched: nil upstream job in After"))
+		}
+		if u.inner == nil {
+			err := u.err
+			if err == nil {
+				err = fmt.Errorf("invalid zero Job")
+			}
+			return p.failedJob(fmt.Errorf("%w: upstream failed at submission: %w", ErrCanceled, err))
+		}
+		req.After = append(req.After, u.inner)
+	}
 	rt := p.jobs()
 	if rt == nil {
-		return failedJob(jobs.ErrClosed)
+		return p.failedJob(jobs.ErrClosed)
 	}
 	var j *jobs.Job
 	var err error
@@ -432,16 +456,16 @@ func (p *Pool) submit(shard int, req jobs.Request) *Job {
 		// so the error names the caller's shard number, not the internal
 		// 0-based index.
 		if shard < 1 || shard > rt.Shards() {
-			return failedJob(fmt.Errorf("loopsched: shard %d out of range [1,%d]", shard, rt.Shards()))
+			return p.failedJob(fmt.Errorf("loopsched: shard %d out of range [1,%d]", shard, rt.Shards()))
 		}
 		j, err = rt.SubmitTo(shard-1, req)
 	} else {
 		j, err = rt.Submit(req)
 	}
 	if err != nil {
-		return failedJob(err)
+		return p.failedJob(err)
 	}
-	return &Job{inner: j}
+	return &Job{inner: j, pool: p}
 }
 
 // JobOptions tunes one asynchronously submitted job. The zero value selects
@@ -465,8 +489,18 @@ type JobOptions struct {
 	// (shard n of AsyncShards); 0 routes to the least-loaded shard. Pinning
 	// controls admission locality: unless stealing is disabled, an idle
 	// sibling shard may still steal the job or lend workers to it. Out of
-	// range values fail the job with an error from Wait.
+	// range values fail the job with an error from Wait. A pinned job with
+	// dependencies is released back onto its pinned shard.
 	Shard int
+	// After lists jobs that must complete before this one starts. The job is
+	// held in a blocked state — outside the admission queue, invisible to
+	// fair-share sizing and to cross-shard stealing — until the last
+	// upstream's join wave releases it; on a sharded runtime the released
+	// job is admitted to the least-loaded shard at release time. Canceling
+	// an upstream cancels this job too: Wait returns an error matching
+	// ErrCanceled that wraps the upstream's. See also Job.Then,
+	// Job.ThenReduce and Pool.SubmitPipeline.
+	After []*Job
 	// Label tags the job in the runtime's statistics.
 	Label string
 }
@@ -481,7 +515,7 @@ func (p *Pool) Submit(n int, body func(i int)) *Job {
 
 // SubmitOpts is Submit with per-job tuning options.
 func (p *Pool) SubmitOpts(n int, o JobOptions, body func(i int)) *Job {
-	return p.submit(o.Shard, jobs.Request{N: n, Body: func(w, low, high int) {
+	return p.submit(o.Shard, o.After, jobs.Request{N: n, Body: func(w, low, high int) {
 		for i := low; i < high; i++ {
 			body(i)
 		}
@@ -500,7 +534,7 @@ func (p *Pool) SubmitFor(n int, body func(worker, low, high int)) *Job {
 
 // SubmitForOpts is SubmitFor with per-job tuning options.
 func (p *Pool) SubmitForOpts(n int, o JobOptions, body func(worker, low, high int)) *Job {
-	return p.submit(o.Shard, jobs.Request{N: n, Body: body, MaxWorkers: o.MaxWorkers, Grain: o.Grain, Label: o.Label})
+	return p.submit(o.Shard, o.After, jobs.Request{N: n, Body: body, MaxWorkers: o.MaxWorkers, Grain: o.Grain, Label: o.Label})
 }
 
 // SubmitReduce is the asynchronous ReduceFloat64: per-sub-worker partials
@@ -515,10 +549,116 @@ func (p *Pool) SubmitReduce(n int, identity float64, combine func(a, b float64) 
 // self-scheduling, partials folded in arrival order); leave it false when
 // the combine is order-sensitive.
 func (p *Pool) SubmitReduceOpts(n int, o JobOptions, identity float64, combine func(a, b float64) float64, body func(worker, low, high int, acc float64) float64) *Job {
-	return p.submit(o.Shard, jobs.Request{
+	return p.submit(o.Shard, o.After, jobs.Request{
 		N: n, RBody: body, Identity: identity, Combine: combine,
 		Commutative: o.Commutative, MaxWorkers: o.MaxWorkers, Grain: o.Grain, Label: o.Label,
 	})
+}
+
+// Then submits a dependent job: body runs over [0, n) only after j's join
+// wave completes, and is canceled (with an error matching ErrCanceled) if j
+// is canceled. It returns the dependent's handle, so linear pipelines chain:
+//
+//	last := pool.Submit(n, produce).Then(n, transform).Then(n, consume)
+//	err := last.Wait()
+func (j *Job) Then(n int, body func(i int)) *Job {
+	return j.ThenOpts(n, JobOptions{}, body)
+}
+
+// ThenOpts is Then with per-job tuning options; j is prepended to o.After.
+func (j *Job) ThenOpts(n int, o JobOptions, body func(i int)) *Job {
+	if j.pool == nil {
+		return &Job{err: fmt.Errorf("loopsched: Then on a zero Job")}
+	}
+	o.After = append([]*Job{j}, o.After...)
+	return j.pool.SubmitOpts(n, o, body)
+}
+
+// ThenReduce submits a dependent reducing job (see SubmitReduce) that starts
+// only after j completes and returns its handle; read the reduction from
+// Result.
+func (j *Job) ThenReduce(n int, identity float64, combine func(a, b float64) float64, body func(worker, low, high int, acc float64) float64) *Job {
+	return j.ThenReduceOpts(n, JobOptions{}, identity, combine, body)
+}
+
+// ThenReduceOpts is ThenReduce with per-job tuning options; j is prepended
+// to o.After.
+func (j *Job) ThenReduceOpts(n int, o JobOptions, identity float64, combine func(a, b float64) float64, body func(worker, low, high int, acc float64) float64) *Job {
+	if j.pool == nil {
+		return &Job{err: fmt.Errorf("loopsched: ThenReduce on a zero Job")}
+	}
+	o.After = append([]*Job{j}, o.After...)
+	return j.pool.SubmitReduceOpts(n, o, identity, combine, body)
+}
+
+// Stage describes one stage of a pipeline submitted with SubmitPipeline.
+// Exactly one of Body, For and Reduce must be set.
+type Stage struct {
+	// N is the stage's iteration count.
+	N int
+	// Opts tunes the stage's job. Opts.After adds upstreams beyond the
+	// previous stage (for joining side inputs into a pipeline).
+	Opts JobOptions
+	// Body is an element-wise loop body (the Submit shape).
+	Body func(i int)
+	// For is a chunked loop body (the SubmitFor shape).
+	For func(worker, low, high int)
+	// Reduce describes a reducing stage (the SubmitReduce shape).
+	Reduce *ReduceStage
+}
+
+// ReduceStage is the reduction spec of a pipeline Stage.
+type ReduceStage struct {
+	Identity float64
+	Combine  func(a, b float64) float64
+	// Commutative declares Combine commutative, enabling elastic execution
+	// (see JobOptions.Commutative).
+	Commutative bool
+	Body        func(worker, low, high int, acc float64) float64
+}
+
+// SubmitPipeline submits a linear chain of dependent stages in one call:
+// stage i+1 starts only when stage i's join wave completes, without any
+// client-side waiting in between — the completing worker releases the next
+// stage inside the runtime. It returns one handle per stage, in order;
+// waiting on the last handle waits for the whole pipeline, and canceling an
+// early stage cancels everything after it. An invalid stage yields a failed
+// handle whose error propagates down the remaining stages.
+func (p *Pool) SubmitPipeline(stages ...Stage) []*Job {
+	out := make([]*Job, len(stages))
+	var prev *Job
+	for i, st := range stages {
+		o := st.Opts
+		if prev != nil {
+			o.After = append([]*Job{prev}, o.After...)
+		}
+		set := 0
+		for _, ok := range []bool{st.Body != nil, st.For != nil, st.Reduce != nil} {
+			if ok {
+				set++
+			}
+		}
+		var j *Job
+		switch {
+		case set != 1:
+			j = p.failedJob(fmt.Errorf("loopsched: pipeline stage %d must set exactly one of Body, For and Reduce", i))
+			// Thread the failure through the chain so later stages cancel.
+			if prev != nil {
+				j.err = fmt.Errorf("%w (after stage %d)", j.err, i-1)
+			}
+		case st.Body != nil:
+			j = p.SubmitOpts(st.N, o, st.Body)
+		case st.For != nil:
+			j = p.SubmitForOpts(st.N, o, st.For)
+		default:
+			r := st.Reduce
+			o.Commutative = o.Commutative || r.Commutative
+			j = p.SubmitReduceOpts(st.N, o, r.Identity, r.Combine, r.Body)
+		}
+		out[i] = j
+		prev = j
+	}
+	return out
 }
 
 // Group collects asynchronously submitted jobs for fan-out/fan-in: submit

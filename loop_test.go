@@ -501,3 +501,107 @@ func TestAsyncObserversDoNotCreateRuntime(t *testing.T) {
 		t.Error("observer calls instantiated the async runtime")
 	}
 }
+
+func TestJobThenChain(t *testing.T) {
+	pool := testPool(t, Config{Workers: 4})
+	const n = 4096
+	a := make([]float64, n)
+	last := pool.Submit(n, func(i int) { a[i] = float64(i) }).
+		Then(n, func(i int) { a[i] *= 2 }).
+		ThenReduce(n, 0,
+			func(x, y float64) float64 { return x + y },
+			func(w, lo, hi int, acc float64) float64 {
+				for i := lo; i < hi; i++ {
+					acc += a[i]
+				}
+				return acc
+			})
+	v, err := last.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(n) * float64(n-1); v != want { // 2 * n(n-1)/2
+		t.Errorf("pipeline result = %v, want %v", v, want)
+	}
+}
+
+func TestSubmitPipelineStages(t *testing.T) {
+	pool := testPool(t, Config{Workers: 4, AsyncShards: 2})
+	const n = 2048
+	data := make([]float64, n)
+	js := pool.SubmitPipeline(
+		Stage{N: n, Body: func(i int) { data[i] = float64(i) }},
+		Stage{N: n, For: func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				data[i] += 1
+			}
+		}},
+		Stage{N: n, Reduce: &ReduceStage{
+			Commutative: true,
+			Combine:     func(x, y float64) float64 { return x + y },
+			Body: func(w, lo, hi int, acc float64) float64 {
+				for i := lo; i < hi; i++ {
+					acc += data[i]
+				}
+				return acc
+			},
+		}},
+	)
+	if len(js) != 3 {
+		t.Fatalf("got %d handles, want 3", len(js))
+	}
+	v, err := js[2].Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(n)*float64(n-1)/2 + n; v != want {
+		t.Errorf("pipeline sum = %v, want %v", v, want)
+	}
+	if st := pool.AsyncStats(); st.Total.Released != 2 {
+		t.Errorf("released = %d, want 2 (two dependent stages)", st.Total.Released)
+	}
+}
+
+func TestSubmitPipelineInvalidStage(t *testing.T) {
+	pool := testPool(t, Config{Workers: 2})
+	ran := false
+	js := pool.SubmitPipeline(
+		Stage{N: 8}, // no body: invalid
+		Stage{N: 8, Body: func(i int) { ran = true }},
+	)
+	if err := js[0].Wait(); err == nil {
+		t.Error("invalid stage did not fail")
+	}
+	if err := js[1].Wait(); !errors.Is(err, ErrCanceled) {
+		t.Errorf("stage after invalid stage: err = %v, want ErrCanceled", err)
+	}
+	if ran {
+		t.Error("stage after an invalid stage ran")
+	}
+}
+
+func TestAfterCancelPropagatesThroughPublicAPI(t *testing.T) {
+	pool := testPool(t, Config{Workers: 1})
+	gate := make(chan struct{})
+	occupy := pool.Submit(1, func(i int) { <-gate })
+	defer func() {
+		close(gate)
+		occupy.Wait()
+	}()
+	up := pool.Submit(64, func(i int) {})
+	down := pool.SubmitOpts(64, JobOptions{After: []*Job{up}}, func(i int) {
+		t.Error("canceled dependent ran")
+	})
+	if !up.Cancel() {
+		t.Fatal("Cancel on a queued upstream failed")
+	}
+	err := down.Wait()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("dependent err = %v, want ErrCanceled", err)
+	}
+	// The wrap contract: the dependent's error is not the bare sentinel but
+	// a propagation error wrapping the upstream's cancellation.
+	if err == ErrCanceled { //nolint:errorlint // deliberate identity check
+		t.Error("dependent err is the bare ErrCanceled sentinel; want the upstream's cancellation wrapped")
+	}
+}
