@@ -16,7 +16,9 @@
 // report-only mode used on shared CI runners, whose timing noise would make
 // a hard gate flaky. A metric missing on either side (e.g. a base commit
 // that predates the benchmark) is reported and never counted as a
-// regression.
+// regression; a whole report file missing on either side — the first
+// trajectory run after a new BENCH_*.json is introduced — is handled the
+// same way, not treated as an error.
 package main
 
 import (

@@ -1,0 +1,60 @@
+// Command fairbench runs the weighted-fair scheduling comparison (two
+// tenants at unequal weights saturating one scheduler, with a sparse
+// high-priority deadline stream, under the WFQ+preemption policy and under
+// the FIFO baseline) and emits both a human-readable table and the
+// machine-readable BENCH_fairshare.json artifact used to track the fairness
+// trajectory across PRs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"loopsched/internal/bench"
+)
+
+func main() {
+	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS capped at 16)")
+	weightA := flag.Int("weight-a", 0, "heavy tenant's weight (0 = 3)")
+	weightB := flag.Int("weight-b", 0, "light tenant's weight (0 = 1)")
+	streams := flag.Int("streams", 0, "closed-loop submitters per tenant (0 = 2x workers)")
+	n := flag.Int("n", 0, "iterations per job (0 = 2048)")
+	iterNs := flag.Float64("iterns", 0, "target ns per iteration (0 = 150)")
+	duration := flag.Duration("duration", 0, "measurement window (0 = 600ms)")
+	hpEvery := flag.Duration("hp-every", 0, "high-priority job injection period (0 = duration/25)")
+	noLock := flag.Bool("no-lock", false, "do not pin workers to OS threads")
+	jsonPath := flag.String("json", "BENCH_fairshare.json", "write the machine-readable report here ('' = skip)")
+	flag.Parse()
+
+	if *noLock {
+		bench.LockThreads = false
+	}
+	opt := bench.FairShareOptions{
+		Workers:       *workers,
+		WeightA:       *weightA,
+		WeightB:       *weightB,
+		Streams:       *streams,
+		N:             *n,
+		IterNs:        *iterNs,
+		Duration:      *duration,
+		HighPrioEvery: *hpEvery,
+	}
+	start := time.Now()
+	rep, err := bench.RunFairShareComparison(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bench.WriteFairShare(os.Stdout, rep); err != nil {
+		log.Fatal(err)
+	}
+	if *jsonPath != "" {
+		if err := bench.WriteFairShareJSON(*jsonPath, rep); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	fmt.Printf("total %s\n", bench.Elapsed(start))
+}

@@ -10,7 +10,13 @@
 //
 //	POST /run?workload=spin&n=4096&jobs=8   submit and await jobs of a named
 //	                                        workload (see GET /stats for names;
-//	                                        &shard=i pins to one shard)
+//	                                        &shard=i pins to one shard;
+//	                                        &tenant=name charges a weighted
+//	                                        fair-share account, &prio=p sets
+//	                                        the strict admission priority and
+//	                                        &deadline_ms=d the completion
+//	                                        deadline used for EDF ordering
+//	                                        and deadline-risk preemption)
 //	POST /run?pipeline=spin:4096,sum:1024:4,sum:512
 //	                                        submit a pipeline of named
 //	                                        workload stages (workload[:n[:width]]
@@ -33,9 +39,38 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"strconv"
+	"strings"
 )
+
+// parseTenantWeights parses the -tenants flag: a comma-separated list of
+// tenant weights, either named ("gold=3,bronze=1") or bare ("3,1", which
+// registers tenants t1, t2, ... in order). Weights must be positive
+// integers. An empty spec yields no registrations.
+func parseTenantWeights(spec string) (map[string]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for i, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		name, wstr, named := strings.Cut(part, "=")
+		if !named {
+			name, wstr = fmt.Sprintf("t%d", i+1), part
+		} else if name == "" {
+			return nil, fmt.Errorf("tenants: entry %q has an empty name", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(wstr))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("tenants: entry %q: weight must be a positive integer", part)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -47,8 +82,15 @@ func main() {
 	queue := flag.Int("queue", 0, "total admission queue depth, split across shards (0 = default)")
 	grain := flag.Int("grain", 0, "default self-scheduling chunk size in iterations (0 = heuristic)")
 	elastic := flag.Bool("elastic", true, "let sub-teams grow/shrink after admission (chunked self-scheduling)")
+	tenants := flag.String("tenants", "", "tenant fair-share weights: name=w,... or bare w1,w2,... (registers t1,t2,...)")
+	fair := flag.Bool("fair", true, "weighted-fair admission with priorities, deadlines and preemption (false = plain FIFO)")
 	lock := flag.Bool("lock-os-threads", false, "pin workers to OS threads")
 	flag.Parse()
+
+	weights, err := parseTenantWeights(*tenants)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	srv := newServer(serverConfig{
 		Workers:          *workers,
@@ -59,6 +101,8 @@ func main() {
 		QueueDepth:       *queue,
 		DefaultGrain:     *grain,
 		DisableElastic:   !*elastic,
+		TenantWeights:    weights,
+		DisableFair:      !*fair,
 		LockOSThread:     *lock,
 	})
 	defer srv.Close()

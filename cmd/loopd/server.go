@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -38,6 +39,13 @@ type serverConfig struct {
 	DefaultGrain int
 	// DisableElastic freezes sub-teams at admission (rigid static blocks).
 	DisableElastic bool
+	// TenantWeights pre-registers tenant accounts with fair-share weights;
+	// unknown tenants are created on first use with weight 1.
+	TenantWeights map[string]int
+	// DisableFair replaces the weighted-fair admission policy with the
+	// original single FIFO (tenants, priorities and deadlines ignored for
+	// ordering; accounting still runs).
+	DisableFair bool
 	// LockOSThread pins workers to OS threads (benchmark fidelity; off by
 	// default for a serving daemon).
 	LockOSThread bool
@@ -63,6 +71,8 @@ func newServer(cfg serverConfig) *server {
 				QueueDepth:       cfg.QueueDepth,
 				DefaultGrain:     cfg.DefaultGrain,
 				DisableElastic:   cfg.DisableElastic,
+				TenantWeights:    cfg.TenantWeights,
+				DisableFair:      cfg.DisableFair,
 				LockOSThread:     cfg.LockOSThread,
 				Name:             "loopd",
 			},
@@ -161,6 +171,11 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	pol, err := parsePolicy(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	if spec := r.FormValue("pipeline"); spec != "" {
 		// The pipeline spec subsumes workload and jobs; reject the
 		// combination instead of silently ignoring parameters.
@@ -173,10 +188,66 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		s.runPipeline(w, stages, float64(iterNs), maxWorkers, grain, shard)
+		s.runPipeline(w, stages, float64(iterNs), maxWorkers, grain, shard, pol)
 		return
 	}
-	s.runJobs(w, workload, n, nJobs, float64(iterNs), maxWorkers, grain, shard)
+	s.runJobs(w, workload, n, nJobs, float64(iterNs), maxWorkers, grain, shard, pol)
+}
+
+// jobPolicy carries the per-request scheduling policy parameters: the
+// tenant account, the priority class and the absolute deadline derived from
+// &deadline_ms (zero time when absent).
+type jobPolicy struct {
+	tenant   string
+	prio     int
+	deadline time.Time
+}
+
+// apply stamps the policy onto a built workload request.
+func (p jobPolicy) apply(req *jobs.Request) {
+	req.Tenant = p.tenant
+	req.Priority = p.prio
+	req.Deadline = p.deadline
+}
+
+// parsePolicy parses the &tenant=, &prio= and &deadline_ms= parameters.
+func parsePolicy(r *http.Request) (jobPolicy, error) {
+	var pol jobPolicy
+	pol.tenant = r.FormValue("tenant")
+	if err := validTenant(pol.tenant); err != nil {
+		return pol, err
+	}
+	prio, err := intParam(r, "prio", 0, -100, 100)
+	if err != nil {
+		return pol, err
+	}
+	pol.prio = prio
+	deadlineMs, err := intParam(r, "deadline_ms", 0, 0, 1<<30)
+	if err != nil {
+		return pol, err
+	}
+	if deadlineMs > 0 {
+		pol.deadline = time.Now().Add(time.Duration(deadlineMs) * time.Millisecond)
+	}
+	return pol, nil
+}
+
+// validTenant bounds tenant names so they can label Prometheus series
+// verbatim: at most 64 characters from [A-Za-z0-9_.-]; empty selects the
+// default account.
+func validTenant(name string) error {
+	if len(name) > 64 {
+		return fmt.Errorf("parameter \"tenant\": name longer than 64 characters")
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '.', c == '-':
+		default:
+			return fmt.Errorf("parameter \"tenant\": character %q not in [A-Za-z0-9_.-]", c)
+		}
+	}
+	return nil
 }
 
 // parsePipeline parses the pipeline query parameter: comma-separated stages
@@ -224,7 +295,7 @@ func parsePipeline(spec string, defaultN int) ([]pipelineStage, error) {
 // runPipeline submits the whole stage graph up front — fan-out/fan-in edges
 // expressed through the runtime's job dependencies, no client-side waiting
 // between stages — then waits for every job and reports per-stage results.
-func (s *server) runPipeline(w http.ResponseWriter, stages []pipelineStage, iterNs float64, maxWorkers, grain, shard int) {
+func (s *server) runPipeline(w http.ResponseWriter, stages []pipelineStage, iterNs float64, maxWorkers, grain, shard int, pol jobPolicy) {
 	type submitted struct {
 		stage, idx int
 		job        *jobs.Job
@@ -240,6 +311,7 @@ func (s *server) runPipeline(w http.ResponseWriter, stages []pipelineStage, iter
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		pol.apply(&req)
 		reqs[si] = req
 	}
 	var all []submitted
@@ -295,13 +367,14 @@ func (s *server) runPipeline(w http.ResponseWriter, stages []pipelineStage, iter
 // built (and, for calibrated workloads, calibrated) exactly once and the
 // request value reused for every job: request bodies are stateless, and the
 // calibration cache in bench keeps repeat requests off the measurement path.
-func (s *server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, iterNs float64, maxWorkers, grain, shard int) {
+func (s *server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, iterNs float64, maxWorkers, grain, shard int, pol jobPolicy) {
 	params := bench.JobParams{N: n, IterNs: iterNs, MaxWorkers: maxWorkers, Grain: grain}
 	req, err := bench.NewJobRequest(workload, params)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	pol.apply(&req)
 	resp := runResponse{Workload: workload, Jobs: nJobs, Iterations: n, Results: make([]runJobResult, nJobs)}
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -411,11 +484,49 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("loopd_workers_peeled_total", "workers that left a running job to serve waiting tenants (elastic shrink)", float64(tot.Peeled))
 	counter("loopd_jobs_stolen_total", "whole queued jobs migrated to an idle sibling shard", float64(tot.Stolen))
 	counter("loopd_workers_lent_total", "workers lent to a sibling shard's running elastic job", float64(tot.Lent))
+	counter("loopd_jobs_preempted_total", "preemption targets posted against running jobs to serve waiting tenants", float64(tot.Preempted))
+	counter("loopd_jobs_deadline_missed_total", "jobs completed after their requested deadline", float64(tot.DeadlineMissed))
 	gauge("loopd_uptime_seconds", "seconds since the daemon started", time.Since(s.started).Seconds())
 	summary("loopd_job_latency_seconds", "", "job latency from submission to completion",
 		tot.LatencyP50, tot.LatencyP95, tot.LatencyP99, tot.LatencySumSeconds, tot.Completed, true)
 	summary("loopd_job_run_seconds", "", "job run time from admission to completion",
 		tot.RunP50, tot.RunP95, tot.RunP99, tot.RunSumSeconds, tot.Completed, true)
+
+	// Per-tenant series, labelled by tenant account name. The counters
+	// reconcile with the untagged totals: every job is charged to exactly
+	// one account ("default" when the request named none), so the sums over
+	// the tenant label equal loopd_jobs_submitted_total,
+	// loopd_jobs_completed_total and loopd_iterations_total.
+	tenantNames := make([]string, 0, len(tot.Tenants))
+	for name := range tot.Tenants {
+		tenantNames = append(tenantNames, name)
+	}
+	sort.Strings(tenantNames)
+	tenantMetric := func(name, typ, help string, field func(jobs.TenantStats) float64) {
+		if len(tenantNames) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, tn := range tenantNames {
+			fmt.Fprintf(w, "%s{tenant=%q} %g\n", name, tn, field(tot.Tenants[tn]))
+		}
+	}
+	tenantMetric("loopd_tenant_weight", "gauge", "configured fair-share weight of the tenant",
+		func(t jobs.TenantStats) float64 { return float64(t.Weight) })
+	tenantMetric("loopd_tenant_queue_depth", "gauge", "tenant jobs waiting for admission",
+		func(t jobs.TenantStats) float64 { return float64(t.QueueDepth) })
+	tenantMetric("loopd_tenant_jobs_submitted_total", "counter", "jobs ever submitted by the tenant",
+		func(t jobs.TenantStats) float64 { return float64(t.Submitted) })
+	tenantMetric("loopd_tenant_jobs_completed_total", "counter", "tenant jobs ever completed (served)",
+		func(t jobs.TenantStats) float64 { return float64(t.Completed) })
+	tenantMetric("loopd_tenant_iterations_total", "counter", "loop iterations served to the tenant",
+		func(t jobs.TenantStats) float64 { return float64(t.IterationsDone) })
+	tenantMetric("loopd_tenant_preempted_total", "counter", "preemption targets posted against the tenant's running jobs",
+		func(t jobs.TenantStats) float64 { return float64(t.Preempted) })
+	tenantMetric("loopd_tenant_deadline_missed_total", "counter", "tenant jobs completed after their deadline",
+		func(t jobs.TenantStats) float64 { return float64(t.DeadlineMissed) })
+	tenantMetric("loopd_tenant_wait_seconds_sum", "counter", "cumulative submission-to-admission wait of the tenant's completed jobs",
+		func(t jobs.TenantStats) float64 { return t.WaitSumSeconds })
 
 	// Per-shard series, labelled by shard id (= topology group index).
 	shardMetric := func(name, typ, help string, field func(jobs.Stats) float64) {

@@ -519,6 +519,147 @@ func TestPipelineMetricsExposed(t *testing.T) {
 	}
 }
 
+func TestTenantParamsRoundTripAndMetricsReconcile(t *testing.T) {
+	// &tenant= / &prio= / &deadline_ms= round-trip through /run into the
+	// runtime's tenant accounts, and the tenant-labelled /metrics series
+	// reconcile with the untagged totals: every job is charged to exactly
+	// one account, so the sums over the tenant label must equal the
+	// pool-wide counters.
+	srv := newServer(serverConfig{Workers: 4, TenantWeights: map[string]int{"gold": 3, "bronze": 1}})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	post := func(url string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+url, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("%s: status %d: %s", url, resp.StatusCode, body)
+		}
+		var rr runResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		for i, res := range rr.Results {
+			if res.Error != "" {
+				t.Fatalf("%s job %d: %s", url, i, res.Error)
+			}
+		}
+	}
+	post("/run?workload=sum&n=600&jobs=3&tenant=gold&prio=5&deadline_ms=60000")
+	post("/run?workload=sum&n=500&jobs=2&tenant=bronze")
+	post("/run?workload=sum&n=400") // untagged: charged to "default"
+
+	// /stats: the tenant accounts carry the weights and the served work.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold, ok := st.Queue.Tenants["gold"]
+	if !ok {
+		t.Fatalf("/stats has no gold tenant account: %+v", st.Queue.Tenants)
+	}
+	if gold.Weight != 3 || gold.Submitted != 3 || gold.Completed != 3 || gold.IterationsDone != 3*600 {
+		t.Errorf("gold account = %+v, want weight 3, 3 submitted/completed, %d iterations", gold, 3*600)
+	}
+	if bronze := st.Queue.Tenants["bronze"]; bronze.Weight != 1 || bronze.Completed != 2 {
+		t.Errorf("bronze account = %+v, want weight 1 and 2 completions", bronze)
+	}
+	if def := st.Queue.Tenants["default"]; def.Completed != 1 {
+		t.Errorf("default account = %+v, want the untagged job", def)
+	}
+
+	// /metrics: parse the real exposition output and reconcile the
+	// tenant-labelled series with the untagged totals.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parseExposition(t, string(body))
+	for _, name := range []string{"loopd_tenant_jobs_submitted_total", "loopd_tenant_jobs_completed_total", "loopd_tenant_iterations_total"} {
+		if got := types[name]; got != "counter" {
+			t.Errorf("%s TYPE = %q, want counter", name, got)
+		}
+	}
+	if got := samples[`loopd_tenant_weight{tenant="gold"}`]; got != 3 {
+		t.Errorf(`loopd_tenant_weight{tenant="gold"} = %v, want 3`, got)
+	}
+	if got := samples[`loopd_tenant_jobs_completed_total{tenant="gold"}`]; got != 3 {
+		t.Errorf(`gold completed series = %v, want 3`, got)
+	}
+	for metric, total := range map[string]string{
+		"loopd_tenant_jobs_submitted_total": "loopd_jobs_submitted_total",
+		"loopd_tenant_jobs_completed_total": "loopd_jobs_completed_total",
+		"loopd_tenant_iterations_total":     "loopd_iterations_total",
+	} {
+		var sum float64
+		for name, v := range samples {
+			if strings.HasPrefix(name, metric+"{") {
+				sum += v
+			}
+		}
+		if sum != samples[total] {
+			t.Errorf("per-tenant %s sums to %v, untagged %s says %v", metric, sum, total, samples[total])
+		}
+	}
+}
+
+func TestTenantParamValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, url := range []string{
+		"/run?workload=sum&n=100&prio=abc",
+		"/run?workload=sum&n=100&prio=1000",
+		"/run?workload=sum&n=100&deadline_ms=-5",
+		"/run?workload=sum&n=100&tenant=bad%20name", // space not in [A-Za-z0-9_.-]
+		"/run?workload=sum&n=100&tenant=" + strings.Repeat("x", 65),
+	} {
+		resp, err := http.Post(ts.URL+url, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, resp.StatusCode)
+		}
+	}
+}
+
+func TestParseTenantWeights(t *testing.T) {
+	got, err := parseTenantWeights("gold=3, bronze=1")
+	if err != nil || got["gold"] != 3 || got["bronze"] != 1 || len(got) != 2 {
+		t.Errorf("named spec -> %v, %v", got, err)
+	}
+	got, err = parseTenantWeights("3,1,2")
+	if err != nil || got["t1"] != 3 || got["t2"] != 1 || got["t3"] != 2 {
+		t.Errorf("bare spec -> %v, %v", got, err)
+	}
+	if got, err := parseTenantWeights(""); err != nil || got != nil {
+		t.Errorf("empty spec -> %v, %v", got, err)
+	}
+	for _, bad := range []string{"gold=0", "gold=-1", "gold=x", "=3", "gold"} {
+		if _, err := parseTenantWeights(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
 func TestPipelineBadLaterStageSubmitsNothing(t *testing.T) {
 	// A request whose later stage names an unknown workload must 400
 	// without having already launched (and abandoned) the earlier stages.

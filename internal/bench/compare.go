@@ -130,14 +130,36 @@ func CompareReports(base, head map[string]float64, specs []MetricSpec, threshold
 	return out, anyRegression
 }
 
+// MissingComparisons returns one all-missing Comparison per spec: the shape
+// CompareBenchFiles degrades to when a whole report file is absent, and the
+// shape callers should render when they detect the absence themselves.
+func MissingComparisons(specs []MetricSpec) []Comparison {
+	out := make([]Comparison, 0, len(specs))
+	for _, spec := range specs {
+		out = append(out, Comparison{Metric: spec.Path, Missing: true})
+	}
+	return out
+}
+
 // CompareBenchFiles loads two BENCH_*.json files and compares them; see
-// CompareReports.
+// CompareReports. A report file that does not exist — a base commit that
+// predates the benchmark, e.g. the first trajectory run after a new
+// BENCH_*.json is introduced — is not an error: every metric is reported as
+// missing and nothing counts as a regression, mirroring how a single
+// missing metric path is handled. A file that exists but does not parse is
+// still an error.
 func CompareBenchFiles(basePath, headPath string, specs []MetricSpec, threshold float64) ([]Comparison, bool, error) {
 	baseData, err := os.ReadFile(basePath)
+	if os.IsNotExist(err) {
+		return MissingComparisons(specs), false, nil
+	}
 	if err != nil {
 		return nil, false, err
 	}
 	headData, err := os.ReadFile(headPath)
+	if os.IsNotExist(err) {
+		return MissingComparisons(specs), false, nil
+	}
 	if err != nil {
 		return nil, false, err
 	}
@@ -161,7 +183,7 @@ func WriteComparison(w io.Writer, title string, cs []Comparison, threshold float
 	fmt.Fprintf(w, "| metric | base | head | delta | verdict |\n|---|---:|---:|---:|---|\n")
 	for _, c := range cs {
 		if c.Missing {
-			fmt.Fprintf(w, "| `%s` | — | — | — | metric missing in base or head |\n", c.Metric)
+			fmt.Fprintf(w, "| `%s` | — | — | — | missing in base or head (new benchmark?) — not a regression |\n", c.Metric)
 			continue
 		}
 		verdict := "ok"

@@ -86,6 +86,58 @@ func TestCompareBenchFilesEndToEnd(t *testing.T) {
 	}
 }
 
+func TestCompareMissingBaseFileIsReportedNotFailed(t *testing.T) {
+	// BENCH_fairshare.json is new on its first trajectory run: the base
+	// commit has no such file at all. benchcmp must report every metric as
+	// missing and exit cleanly instead of erroring (or worse) — same
+	// contract as a single missing metric path.
+	dir := t.TempDir()
+	headPath := filepath.Join(dir, "head.json")
+	if err := os.WriteFile(headPath, []byte(`{"high_prio_p95_speedup": 3.0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specs := []MetricSpec{
+		{Path: "high_prio_p95_speedup", HigherIsBetter: true},
+		{Path: "fair_share_error", HigherIsBetter: false},
+	}
+	for _, missingSide := range []string{"base", "head"} {
+		base, head := filepath.Join(dir, "does-not-exist.json"), headPath
+		if missingSide == "head" {
+			base, head = headPath, filepath.Join(dir, "does-not-exist.json")
+		}
+		cs, regressed, err := CompareBenchFiles(base, head, specs, 0.25)
+		if err != nil {
+			t.Fatalf("missing %s file: err = %v, want graceful report", missingSide, err)
+		}
+		if regressed {
+			t.Errorf("missing %s file counted as a regression", missingSide)
+		}
+		if len(cs) != len(specs) {
+			t.Fatalf("missing %s file: %d comparisons, want %d", missingSide, len(cs), len(specs))
+		}
+		for _, c := range cs {
+			if !c.Missing {
+				t.Errorf("missing %s file: metric %s not marked Missing", missingSide, c.Metric)
+			}
+		}
+		var sb strings.Builder
+		if err := WriteComparison(&sb, "test", cs, 0.25); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), "missing in base or head") || strings.Contains(sb.String(), "**regression**") {
+			t.Errorf("missing-%s table wrong:\n%s", missingSide, sb.String())
+		}
+	}
+	// A file that exists but is not JSON is still a hard error.
+	badPath := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(badPath, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := CompareBenchFiles(badPath, headPath, specs, 0.25); err == nil {
+		t.Error("corrupt base file accepted")
+	}
+}
+
 func TestParseMetricSpec(t *testing.T) {
 	if s, err := ParseMetricSpec("a.b:higher"); err != nil || !s.HigherIsBetter || s.Path != "a.b" {
 		t.Errorf("a.b:higher -> %+v, %v", s, err)

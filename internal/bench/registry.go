@@ -146,6 +146,15 @@ var scenarios = map[string]Scenario{
 		}
 		return WriteShardBurst(w, rep)
 	},
+	"fairshare": func(w io.Writer) error {
+		rep, err := RunFairShareComparison(FairShareOptions{
+			Workers: 4, Duration: 250 * time.Millisecond, N: 1024,
+		})
+		if err != nil {
+			return err
+		}
+		return WriteFairShare(w, rep)
+	},
 	"pipeline": func(w io.Writer) error {
 		rep, err := RunPipelineComparison(PipelineOptions{
 			Workers: 4, Shards: 2, Chains: 4, Stages: 2, FanOut: 2, N: 1024, Rounds: 2,

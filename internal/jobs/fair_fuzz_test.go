@@ -1,0 +1,154 @@
+package jobs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// FuzzTenantAccounting drives the fair queue's deficit counters with random
+// submit / admit / cancel / reweight streams decoded from the fuzz input
+// (two bytes per op: opcode and argument), asserting after every op:
+//
+//   - non-negative balances: the queue size and every tenant's depth gauge
+//     never go negative, and the depth gauges always sum to the size;
+//   - pass monotonicity: a tenant's stride pass never decreases (the
+//     catch-up rule only ever advances an idle tenant to the clock);
+//   - pop soundness: pop returns a job iff the queue is non-empty, and
+//     never returns the same job twice.
+//
+// And at the end, after draining:
+//
+//   - exact conservation of served chunks: every pushed job is popped
+//     exactly once, and its iterations are either served (admission CAS
+//     won) or canceled — pushed == served + canceled, nothing lost or
+//     double-counted, whatever the interleaving of cancels and reweights.
+//
+// It mirrors FuzzChunker one layer up: the chunker fuzz proves the
+// iteration space tiles exactly; this proves the admission queue conserves
+// whole jobs under the weighted-fair policy.
+func FuzzTenantAccounting(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 130, 1, 0, 2, 3, 0, 7, 3, 200, 1, 0, 1, 0})
+	f.Add([]byte{0, 0, 0, 64, 0, 128, 0, 192, 1, 0, 2, 0, 1, 0, 1, 0, 1, 0})
+	f.Add([]byte{3, 9, 0, 33, 4, 2, 0, 77, 2, 1, 1, 0, 3, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			t.Skip("op stream long enough; cap the per-case cost")
+		}
+		for _, fifo := range []bool{false, true} {
+			fuzzAccounting(t, data, fifo)
+		}
+	})
+}
+
+func fuzzAccounting(t *testing.T, data []byte, fifo bool) {
+	fq := newFairQueue(fifo, map[string]int{"t0": 3})
+	tenants := [4]string{"t0", "t1", "t2", "t3"}
+	var (
+		queued                         []*Job // pushed, not yet popped
+		popped                         = make(map[*Job]bool)
+		pushedN, servedN, canceledN    int64
+		pushedJobs, servedJ, canceledJ int
+		lastPass                       = make(map[string]uint64)
+	)
+	check := func(op int) {
+		t.Helper()
+		fq.mu.Lock()
+		defer fq.mu.Unlock()
+		if fq.size < 0 {
+			t.Fatalf("op %d (fifo=%v): negative queue size %d", op, fifo, fq.size)
+		}
+		if fq.size != len(queued) {
+			t.Fatalf("op %d (fifo=%v): size %d, model says %d", op, fifo, fq.size, len(queued))
+		}
+		sum := int64(0)
+		for name, tn := range fq.tenants {
+			d := tn.depth.Load()
+			if d < 0 {
+				t.Fatalf("op %d (fifo=%v): tenant %s depth %d < 0", op, fifo, name, d)
+			}
+			sum += d
+			if tn.pass < lastPass[name] {
+				t.Fatalf("op %d (fifo=%v): tenant %s pass went backwards: %d -> %d",
+					op, fifo, name, lastPass[name], tn.pass)
+			}
+			lastPass[name] = tn.pass
+		}
+		if sum != int64(fq.size) {
+			t.Fatalf("op %d (fifo=%v): tenant depths sum to %d, size is %d", op, fifo, sum, fq.size)
+		}
+	}
+	pop := func(op int) {
+		t.Helper()
+		j := fq.pop()
+		if j == nil {
+			if len(queued) != 0 {
+				t.Fatalf("op %d (fifo=%v): pop returned nil with %d jobs queued", op, fifo, len(queued))
+			}
+			return
+		}
+		if popped[j] {
+			t.Fatalf("op %d (fifo=%v): job popped twice", op, fifo)
+		}
+		popped[j] = true
+		for i, q := range queued {
+			if q == j {
+				queued = append(queued[:i], queued[i+1:]...)
+				break
+			}
+		}
+		// The admission CAS: exactly one of served or canceled per job.
+		if j.state.CompareAndSwap(int32(Pending), int32(Running)) {
+			servedN += int64(j.req.N)
+			servedJ++
+		} else {
+			canceledN += int64(j.req.N)
+			canceledJ++
+		}
+	}
+	for op := 0; op+1 < len(data); op += 2 {
+		code, arg := data[op], data[op+1]
+		switch code % 5 {
+		case 0: // push
+			j := &Job{tenant: tenants[arg%4], prio: int(arg%5) - 1}
+			j.req.N = int(arg%50) + 1
+			if arg%7 == 0 {
+				j.deadline = time.Unix(int64(arg), 0)
+			}
+			j.state.Store(int32(Pending))
+			fq.push(j)
+			queued = append(queued, j)
+			pushedN += int64(j.req.N)
+			pushedJobs++
+		case 1: // pop (admit)
+			pop(op)
+		case 2: // cancel a random queued job (it stays in the queue)
+			if len(queued) > 0 {
+				queued[int(arg)%len(queued)].state.CompareAndSwap(int32(Pending), int32(Canceled))
+			}
+		case 3: // reweight (also exercises the <1 clamp)
+			fq.setWeight(tenants[arg%4], int(arg%10)-1)
+		case 4: // register a brand-new tenant mid-stream
+			fq.setWeight(fmt.Sprintf("x%d", arg%8), int(arg%6)+1)
+		}
+		check(op)
+	}
+	// Drain: every pushed job must come back out exactly once.
+	for i := 0; len(queued) > 0; i++ {
+		pop(len(data) + i)
+		check(len(data) + i)
+	}
+	if fq.pop() != nil {
+		t.Fatalf("fifo=%v: pop on an empty queue returned a job", fifo)
+	}
+	if servedJ+canceledJ != pushedJobs {
+		t.Fatalf("fifo=%v: %d jobs pushed, %d served + %d canceled", fifo, pushedJobs, servedJ, canceledJ)
+	}
+	if servedN+canceledN != pushedN {
+		t.Fatalf("fifo=%v: conservation broken: pushed %d iterations, served %d + canceled %d",
+			fifo, pushedN, servedN, canceledN)
+	}
+	if fq.len() != 0 {
+		t.Fatalf("fifo=%v: %d jobs left after drain", fifo, fq.len())
+	}
+}

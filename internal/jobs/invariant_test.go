@@ -85,6 +85,65 @@ func TestInvariantShardedNoStealing(t *testing.T) {
 	schedtest.RunJobInvariants(t, p, schedtest.InvariantOptions{Seed: seed + 5}, 4, shardedDrain(p))
 }
 
+func TestInvariantTenantWeights(t *testing.T) {
+	// The standard op stream (which tags jobs with tenants, priorities and
+	// deadlines) against a scheduler with registered unequal weights: the
+	// structural invariants must hold whatever the admission order.
+	s := jobs.New(jobs.Config{Workers: 4, TenantWeights: map[string]int{
+		"acct-a": 4, "acct-b": 2, "acct-c": 1,
+	}})
+	defer s.Close()
+	schedtest.RunJobInvariants(t, s, schedtest.InvariantOptions{Seed: seed + 7}, 4, schedulerDrain(s))
+}
+
+func TestInvariantFIFOPolicy(t *testing.T) {
+	// The same stream with the policy disabled: the FIFO path must satisfy
+	// the same structural invariants (it shares all execution machinery).
+	s := jobs.New(jobs.Config{Workers: 4, DisableFair: true})
+	defer s.Close()
+	schedtest.RunJobInvariants(t, s, schedtest.InvariantOptions{Seed: seed + 8}, 4, schedulerDrain(s))
+}
+
+func TestInvariantWeightedShare(t *testing.T) {
+	// Policy invariant: two tenants at 3:1 weights under sustained
+	// saturation are served within 15% of 3:1 over a long seeded window.
+	s := jobs.New(jobs.Config{Workers: 4, TenantWeights: map[string]int{
+		"share-a": 3, "share-b": 1,
+	}})
+	defer s.Close()
+	schedtest.RunWeightedShareInvariant(t, s,
+		func() map[string]jobs.TenantStats { return s.Stats().Tenants },
+		schedtest.FairnessOptions{WeightA: 3, WeightB: 1})
+}
+
+func TestInvariantWeightedShareSharded(t *testing.T) {
+	// The same share invariant across a sharded pool with stealing: steals
+	// pop through each victim's weighted-fair queue, so the pool-wide
+	// served ratio must still track the weights.
+	p := jobs.NewSharded(jobs.ShardedConfig{
+		Config: jobs.Config{Workers: 4, TenantWeights: map[string]int{
+			"share-a": 3, "share-b": 1,
+		}},
+		Shards: 2,
+	})
+	defer p.Close()
+	schedtest.RunWeightedShareInvariant(t, p,
+		func() map[string]jobs.TenantStats { return p.Stats().Total.Tenants },
+		schedtest.FairnessOptions{WeightA: 3, WeightB: 1})
+}
+
+func TestInvariantNoStarvation(t *testing.T) {
+	// Policy invariant: a light tenant's jobs complete in bounded time
+	// while a heavy tenant floods a sharded pool with stealing enabled.
+	p := jobs.NewSharded(jobs.ShardedConfig{
+		Config:        jobs.Config{Workers: 4},
+		Shards:        2,
+		StealInterval: 50 * time.Microsecond,
+	})
+	defer p.Close()
+	schedtest.RunNoStarvationInvariant(t, p, schedtest.FairnessOptions{})
+}
+
 func TestInvariantShardedRigid(t *testing.T) {
 	p := jobs.NewSharded(jobs.ShardedConfig{
 		Config: jobs.Config{Workers: 4, DisableElastic: true},

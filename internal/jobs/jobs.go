@@ -38,6 +38,17 @@
 // block per sub-worker, a fixed sub-team and a join half-barrier that folds
 // views in worker order (exactly k-1 combines), bit-for-bit the same result
 // as the synchronous scheduler.
+//
+// # Weighted-fair multi-tenancy
+//
+// Admission is arbitrated by a policy layer (see fair.go) instead of a
+// single FIFO: per-tenant accounts with weights are served by stride-based
+// weighted fair queuing, job priorities form strict admission classes with
+// an earliest-deadline-first tie-break, and the dispatcher preempts
+// over-share or lower-priority running jobs at chunk granularity by asking
+// their elastic sub-teams to shrink between chunks (never below one
+// participant). The policy runs only on the per-job admission path; the
+// per-chunk execution path stays a single atomic claim.
 package jobs
 
 import (
@@ -145,6 +156,25 @@ type Request struct {
 	// iterations per worker: the sub-team never exceeds ceil(N/Grain)
 	// workers. <= 0 selects the scheduler's default heuristic.
 	Grain int
+	// Tenant names the account the job is charged to; the empty string
+	// selects the shared "default" account. Tenants with registered weights
+	// (Config.TenantWeights, Scheduler.SetTenantWeight) are served in
+	// proportion to those weights under saturation; unknown tenants are
+	// created on first use with weight 1.
+	Tenant string
+	// Priority orders admission strictly: among waiting jobs, a higher
+	// priority is always admitted first, across all tenants (weights
+	// arbitrate only within a priority class). The dispatcher also shrinks
+	// running lower-priority elastic jobs, chunk by chunk, to free workers
+	// for a waiting higher-priority job. 0 is the default class; negative
+	// priorities yield to everything else.
+	Priority int
+	// Deadline is the completion deadline used as the admission tie-break
+	// within a priority class (earliest deadline first) and as the
+	// preemption trigger when the deadline is at risk. The zero time means
+	// no deadline. A missed deadline does not fail the job; it increments
+	// the scheduler's and tenant's deadline-missed counters.
+	Deadline time.Time
 	// After lists jobs that must complete before this one may start. The job
 	// is held in the Blocked state — outside every admission queue, invisible
 	// to fair-share sizing and to cross-shard stealing — and the last
@@ -202,6 +232,19 @@ type Job struct {
 	// into at leave time (once per participant, not per chunk).
 	redMu sync.Mutex
 	acc   float64
+
+	// Admission-policy state: the normalized tenant account name, the
+	// priority class and deadline copied out of the request, and the
+	// fair-queue submission sequence (assigned under the queue lock).
+	tenant   string
+	prio     int
+	deadline time.Time
+	seq      uint64
+	// shrinkTo is the dispatcher's preemption request: a participant count
+	// the running elastic job should shrink toward, observed by participants
+	// between chunks. 0 means no constraint. Posted only by the job's own
+	// dispatcher; cleared when its queue drains.
+	shrinkTo atomic.Int32
 
 	submitted time.Time
 	started   time.Time
@@ -289,6 +332,7 @@ func (j *Job) Cancel() bool {
 		// whose Pending->Running CAS fails, so exactly one side accounts for
 		// each job.
 		j.s.depth.Add(-1)
+		j.s.releaseQueueSlot()
 	}
 	for _, d := range deps {
 		d.depDone(ErrCanceled)
@@ -396,13 +440,21 @@ func (j *Job) runElastic(home *Scheduler, sub int) {
 				j.req.Body(sub, r.Begin, r.End)
 			}
 			touched = true
-			// Shrink under queue pressure: with tenants waiting for
-			// admission, stop claiming chunks and let the dispatcher re-mold
-			// this worker. The cheap loads keep the no-pressure hot path
-			// arbitration-free.
-			if j.underPressure(home) && j.active.Load() > 1 {
-				peel = true
-				break
+			// Shrink between chunks — the chunk-granular preemption point.
+			// Either the dispatcher posted a shrink target below the current
+			// participant count (this job is over its tenant's weighted
+			// share, or a higher-priority / deadline-risk job is waiting),
+			// or tenants are waiting for admission (generic queue pressure).
+			// The cheap loads keep the no-pressure hot path arbitration-free.
+			if a := j.active.Load(); a > 1 {
+				if t := j.shrinkTo.Load(); t > 0 && a > t {
+					peel = true
+					break
+				}
+				if j.underPressure(home) {
+					peel = true
+					break
+				}
 			}
 		}
 		if reducing && touched {
@@ -649,7 +701,7 @@ func (j *Job) release() {
 		return
 	}
 	if j.pool != nil {
-		if target := j.pool.route(); target != j.home && target.acceptReleased(j) {
+		if target := j.pool.routeFor(j.tenant); target != j.home && target.acceptReleased(j) {
 			return
 		}
 	}

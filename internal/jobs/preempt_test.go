@@ -1,0 +1,151 @@
+package jobs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Preemption regression tests, run under -race: chunk-granular preemption
+// (the dispatcher posting shrink targets, participants peeling between
+// chunks) must never lose a chunk, lose a join wave, or collide with
+// cross-shard stealing. The bodies are time-bound (sleeps) so the
+// contention windows are wide on any machine.
+
+func TestPreemptVsJoin(t *testing.T) {
+	// A victim peeled while executing its last chunks must still complete
+	// its join wave with an exact result: the peel decrement and the
+	// completing decrement race on the participant count, and the last
+	// participant out must fold every partial.
+	s := testScheduler(t, 4, Config{TenantWeights: map[string]int{
+		"victim": 1, "urgent": 8,
+	}})
+	rounds := 15
+	if testing.Short() {
+		rounds = 5
+	}
+	sawShrink := false
+	for round := 0; round < rounds; round++ {
+		const n = 64 // grain 1: up to 64 chunk boundaries to peel at
+		victim, err := s.Submit(Request{
+			N: n, Grain: 1, Tenant: "victim", Commutative: true,
+			Combine: func(a, b float64) float64 { return a + b },
+			RBody: func(w, lo, hi int, acc float64) float64 {
+				for i := lo; i < hi; i++ {
+					time.Sleep(50 * time.Microsecond)
+					acc += float64(i)
+				}
+				return acc
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, victim, Running)
+		// A burst of higher-priority jobs from a heavier tenant: the
+		// dispatcher must shrink the victim between chunks to serve them.
+		urgent := make([]*Job, 6)
+		for i := range urgent {
+			urgent[i], err = s.Submit(Request{
+				N: 8, Tenant: "urgent", Priority: 9,
+				Deadline: time.Now().Add(50 * time.Millisecond),
+				Body:     func(w, lo, hi int) { time.Sleep(100 * time.Microsecond) },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		v, err := victim.Wait()
+		if err != nil {
+			t.Fatalf("round %d: victim: %v", round, err)
+		}
+		if want := float64(n) * float64(n-1) / 2; v != want {
+			t.Fatalf("round %d: victim sum = %v, want %v (chunk lost or double-run during preemption)", round, v, want)
+		}
+		for i, u := range urgent {
+			if _, err := u.Wait(); err != nil {
+				t.Fatalf("round %d: urgent %d: %v", round, i, err)
+			}
+		}
+		if st := s.Stats(); st.Preempted > 0 || st.Peeled > 0 {
+			sawShrink = true
+		}
+	}
+	if !sawShrink {
+		t.Error("no preemption or peel activity across all rounds: the shrink path never engaged")
+	}
+}
+
+func TestPreemptVsSteal(t *testing.T) {
+	// A job being shrunk on shard A must not be concurrently stolen by
+	// shard B: stealing CASes Pending->stealing, so a Running (shrinking)
+	// victim is unstealable, and the queued urgent jobs that migrate to the
+	// idle shard must each run exactly once. The marks array doubles as a
+	// race probe for overlapping chunk execution.
+	p := NewSharded(ShardedConfig{
+		Config: Config{Workers: 4, TenantWeights: map[string]int{
+			"victim": 1, "urgent": 4,
+		}},
+		Shards:        2,
+		StealInterval: 20 * time.Microsecond,
+	})
+	defer p.Close()
+	rounds := 10
+	if testing.Short() {
+		rounds = 4
+	}
+	for round := 0; round < rounds; round++ {
+		const n = 96
+		marks := make([]int32, n)
+		victim, err := p.SubmitTo(0, Request{
+			N: n, Grain: 1, Tenant: "victim",
+			Body: func(w, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					time.Sleep(30 * time.Microsecond)
+					atomic.AddInt32(&marks[i], 1)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, victim, Running)
+		// Flood the victim's shard with urgent work: its dispatcher posts
+		// shrink targets on the victim while the idle sibling shard steals
+		// the queued urgent jobs through the same fair queue.
+		var wg sync.WaitGroup
+		var urgentRan atomic.Int64
+		for i := 0; i < 12; i++ {
+			u, err := p.SubmitTo(0, Request{
+				N: 4, Tenant: "urgent", Priority: 5,
+				Body: func(w, lo, hi int) {
+					time.Sleep(50 * time.Microsecond)
+					urgentRan.Add(int64(hi - lo))
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func(u *Job) {
+				defer wg.Done()
+				if _, err := u.Wait(); err != nil {
+					t.Errorf("round %d: urgent: %v", round, err)
+				}
+			}(u)
+		}
+		if _, err := victim.Wait(); err != nil {
+			t.Fatalf("round %d: victim: %v", round, err)
+		}
+		wg.Wait()
+		for i, m := range marks {
+			if m != 1 {
+				t.Fatalf("round %d: victim iteration %d executed %d times, want 1 (preempt/steal duplicated or dropped a chunk)", round, i, m)
+			}
+		}
+		if got := urgentRan.Load(); got != 12*4 {
+			t.Fatalf("round %d: urgent jobs covered %d iterations, want %d", round, got, 12*4)
+		}
+	}
+}

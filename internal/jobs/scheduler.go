@@ -32,6 +32,17 @@ type Config struct {
 	// (the convoy and straggler benchmarks measure elastic against it) and
 	// for callers that require the static-block body contract.
 	DisableElastic bool
+	// TenantWeights pre-registers tenant accounts with fair-share weights
+	// (values < 1 are clamped to 1). Tenants not listed here are created on
+	// first use with weight 1; weights can be changed at runtime with
+	// SetTenantWeight.
+	TenantWeights map[string]int
+	// DisableFair replaces the weighted-fair admission policy with the
+	// original single FIFO: tenants, weights, priorities and deadlines are
+	// ignored for ordering (the tenant accounts still meter served work) and
+	// the dispatcher never posts preemption targets. It exists for
+	// comparison — the fairshare benchmark measures the policy against it.
+	DisableFair bool
 	// LatencyWindow is the number of recent completions kept for the latency
 	// percentiles in Stats; <= 0 selects 1024.
 	LatencyWindow int
@@ -96,9 +107,16 @@ type Scheduler struct {
 	p    int
 	team *pool.Team
 
-	// queue is the admission queue; the single dispatcher goroutine is its
-	// only consumer.
+	// queue is the admission *intake*: submitters hand jobs to the
+	// dispatcher through it, and the dispatcher drains it into fq, the
+	// weighted-fair multi-queue that decides admission order. The bounded
+	// submitted-but-unadmitted population is enforced by the queuedHeld gate
+	// below, not by the channel capacity.
 	queue chan *Job
+	// fq is the admission policy: per-tenant accounts, weights, priorities,
+	// deadlines (see fair.go). Thread-safe — sibling shards steal from it
+	// directly.
+	fq *fairQueue
 	// free carries the ids of workers returning to the dispatcher after
 	// finishing an assignment; the dispatcher is its only consumer while
 	// running (Close drains it at teardown).
@@ -132,10 +150,15 @@ type Scheduler struct {
 	// dependent submissions: a blocked job never enters the queue channel,
 	// so without this gate a pipeline fan-out could park unbounded memory
 	// behind one upstream. blockedHeld mirrors the blocked gauge under a
-	// mutex so waiters can sleep on the condition.
+	// mutex so waiters can sleep on the condition. queuedHeld applies the
+	// same bound to the queued population now that the dispatcher drains
+	// the intake channel eagerly into the fair queue: every queued job
+	// holds one slot, reserved at Submit (blocking at the cap) and released
+	// when the job is admitted, canceled, or stolen away.
 	gateMu      sync.Mutex
 	gateCond    *sync.Cond
 	blockedHeld int
+	queuedHeld  int
 
 	// growSet is the shared registry of running elastic jobs, maintained only
 	// when steal hooks are installed: sibling shards read it to find jobs
@@ -144,20 +167,25 @@ type Scheduler struct {
 	growMu  sync.Mutex
 	growSet map[*Job]struct{}
 
-	depth       atomic.Int64
-	running     atomic.Int64
-	busy        atomic.Int64
-	submitted   atomic.Int64
-	completed   atomic.Int64
-	canceled    atomic.Int64
-	itersDone   atomic.Int64
-	grown       atomic.Int64
-	peeled      atomic.Int64
-	stolen      atomic.Int64
-	lent        atomic.Int64
-	blocked     atomic.Int64
-	released    atomic.Int64
-	depCanceled atomic.Int64
+	depth          atomic.Int64
+	running        atomic.Int64
+	busy           atomic.Int64
+	submitted      atomic.Int64
+	completed      atomic.Int64
+	canceled       atomic.Int64
+	itersDone      atomic.Int64
+	grown          atomic.Int64
+	peeled         atomic.Int64
+	stolen         atomic.Int64
+	lent           atomic.Int64
+	blocked        atomic.Int64
+	released       atomic.Int64
+	depCanceled    atomic.Int64
+	preempted      atomic.Int64
+	deadlineMissed atomic.Int64
+	// lastRunNanos is an EWMA of recent job run times, feeding the
+	// deadline-risk horizon of the preemption policy.
+	lastRunNanos atomic.Int64
 
 	lat latRing
 }
@@ -174,6 +202,7 @@ func New(cfg Config) *Scheduler {
 		dispatcherDone: make(chan struct{}),
 		closeDone:      make(chan struct{}),
 		overflowC:      make(chan struct{}, 1),
+		fq:             newFairQueue(cfg.DisableFair, cfg.TenantWeights),
 	}
 	if cfg.hooks != nil {
 		s.growSet = make(map[*Job]struct{})
@@ -230,7 +259,8 @@ func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 			return nil, err
 		}
 	}
-	j := &Job{req: req, done: make(chan struct{}), s: s, home: s, submitted: time.Now(), acyclic: true}
+	j := &Job{req: req, done: make(chan struct{}), s: s, home: s, submitted: time.Now(), acyclic: true,
+		tenant: tenantName(req.Tenant), prio: req.Priority, deadline: req.Deadline}
 	if len(req.After) > 0 {
 		// Copy the edge list so later caller mutations of the request slice
 		// cannot corrupt the verified graph, and drop the request's own
@@ -251,6 +281,7 @@ func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 			return nil, ErrClosed
 		}
 		s.submitted.Add(1)
+		s.fq.account(j.tenant).submitted.Add(1)
 		// The blocked gauge is raised under the read lock: Close's
 		// write-lock barrier guarantees its blocked drain starts only after
 		// observing this job.
@@ -260,13 +291,14 @@ func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 		j.registerDeps() // may release (or cancel) the job immediately
 		return j, nil
 	}
-	s.submitMu.RLock()
-	defer s.submitMu.RUnlock()
-	if s.closed {
-		return nil, ErrClosed
-	}
-	s.submitted.Add(1)
 	if req.N <= 0 {
+		s.submitMu.RLock()
+		defer s.submitMu.RUnlock()
+		if s.closed {
+			return nil, ErrClosed
+		}
+		s.submitted.Add(1)
+		s.fq.account(j.tenant).submitted.Add(1)
 		// Degenerate loop: complete inline, never queued. A reducing job
 		// still yields its identity.
 		j.state.Store(int32(Running))
@@ -278,6 +310,20 @@ func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 		j.complete()
 		return j, nil
 	}
+	// QueueDepth backpressure on the queued population: the dispatcher
+	// drains the intake channel eagerly into the fair queue, so the channel
+	// capacity no longer bounds the submitted-but-unadmitted jobs — this
+	// slot gate does. A held lock would block Close, so the wait happens
+	// before the read lock.
+	s.reserveQueueSlot()
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
+	if s.closed {
+		s.releaseQueueSlot()
+		return nil, ErrClosed
+	}
+	s.submitted.Add(1)
+	s.fq.account(j.tenant).submitted.Add(1)
 	s.depth.Add(1)
 	s.queue <- j
 	return j, nil
@@ -307,13 +353,17 @@ func (s *Scheduler) acceptReleased(j *Job) bool {
 	// Raise the depth before the state flip so a Cancel racing the fresh
 	// Pending state can never drive this scheduler's depth negative, and
 	// re-point the job before the flip so that Cancel reads the right
-	// scheduler (the CAS publishes both stores).
+	// scheduler (the CAS publishes both stores). The queued slot is forced
+	// (never waited for): this path runs on a completing worker and its
+	// population is already bounded by the blocked gate at submission.
 	s.depth.Add(1)
+	s.forceQueueSlot()
 	j.s = s
 	if !j.state.CompareAndSwap(int32(Blocked), int32(Pending)) {
 		// Canceled while blocked; Cancel already settled the accounting
 		// against the home scheduler's blocked gauge.
 		s.depth.Add(-1)
+		s.releaseQueueSlot()
 		return true
 	}
 	select {
@@ -355,6 +405,38 @@ func (s *Scheduler) reserveBlockedSlot() {
 func (s *Scheduler) signalBlockedFreed() {
 	s.gateMu.Lock()
 	s.blockedHeld--
+	s.gateCond.Broadcast()
+	s.gateMu.Unlock()
+}
+
+// reserveQueueSlot blocks until the queued population is below QueueDepth
+// and reserves one slot. Slots drain as the dispatcher admits jobs (or as
+// they are canceled), which never depends on the caller, so the wait always
+// ends.
+func (s *Scheduler) reserveQueueSlot() {
+	s.gateMu.Lock()
+	for s.queuedHeld >= s.cfg.QueueDepth {
+		s.gateCond.Wait()
+	}
+	s.queuedHeld++
+	s.gateMu.Unlock()
+}
+
+// forceQueueSlot takes a queued slot without waiting, for paths that must
+// not block (released dependents, jobs stolen in from a sibling shard). The
+// population may transiently exceed QueueDepth; both sources are bounded
+// elsewhere (the blocked gate, the victim's own slot count).
+func (s *Scheduler) forceQueueSlot() {
+	s.gateMu.Lock()
+	s.queuedHeld++
+	s.gateMu.Unlock()
+}
+
+// releaseQueueSlot returns a queued slot (the job was admitted, canceled,
+// stolen away, or failed submission) and wakes gate waiters.
+func (s *Scheduler) releaseQueueSlot() {
+	s.gateMu.Lock()
+	s.queuedHeld--
 	s.gateCond.Broadcast()
 	s.gateMu.Unlock()
 }
@@ -455,18 +537,21 @@ func (s *Scheduler) elasticFor(j *Job) bool {
 }
 
 // dispatch is the admission loop: a single event loop over two channels (the
-// admission queue and returning workers) that admits jobs in submission
-// order, performs each fork-side release wave (one buffered channel send per
-// chosen worker; like the paper's release half-barrier, the dispatcher never
-// waits for a sub-team), and — when no tenant is waiting — re-molds idle
-// workers onto running elastic jobs that still have unclaimed chunks. With
-// steal hooks installed, a dispatcher whose shard has gone fully idle pulls
-// whole queued jobs from sibling shards and lends leftover workers to their
-// running elastic jobs, waking every hooks.interval to re-scan.
+// intake queue and returning workers) that drains submissions into the fair
+// queue, admits jobs in policy order (priority class, then weighted-fair
+// stride arbitration between tenants, EDF within a class), performs each
+// fork-side release wave (one buffered channel send per chosen worker; like
+// the paper's release half-barrier, the dispatcher never waits for a
+// sub-team), posts chunk-granular preemption targets on running jobs when
+// tenants wait with no idle worker, and — when no tenant is waiting —
+// re-molds idle workers onto running elastic jobs that still have unclaimed
+// chunks. With steal hooks installed, a dispatcher whose shard has gone
+// fully idle pulls whole queued jobs from sibling shards and lends leftover
+// workers to their running elastic jobs, waking every hooks.interval to
+// re-scan.
 func (s *Scheduler) dispatch() {
 	defer close(s.dispatcherDone)
 	var idle []int                      // workers held by the dispatcher
-	var pending []*Job                  // popped jobs waiting for their first worker
 	growable := make(map[*Job]struct{}) // running elastic jobs
 	queue := s.queue
 	var stealTimer *time.Timer
@@ -485,15 +570,12 @@ func (s *Scheduler) dispatch() {
 		defer stealTimer.Stop()
 	}
 	for {
-		// Opportunistically collect every worker that has already returned,
-		// so admission sees the largest possible idle set. The queue is
-		// received from only while no popped job waits (qc below), keeping
-		// at most one job out of the bounded channel: QueueDepth
-		// backpressure still caps the submitted-but-unadmitted population.
+		// Opportunistically collect every worker that has already returned
+		// and drain the intake channel and released-dependent overflow into
+		// the fair queue, so admission sees the largest possible idle set
+		// and the full policy picture. The queued population stays bounded
+		// by the queuedHeld slot gate at submission.
 		qc := queue
-		if len(pending) > 0 {
-			qc = nil
-		}
 		for collecting := true; collecting; {
 			select {
 			case id := <-s.free:
@@ -503,10 +585,11 @@ func (s *Scheduler) dispatch() {
 					queue, qc = nil, nil
 					continue
 				}
-				pending = append(pending, j)
-				qc = nil
+				s.fq.push(j)
 			case <-s.overflowC:
-				pending = append(pending, s.takeOverflow()...)
+				for _, j := range s.takeOverflow() {
+					s.fq.push(j)
+				}
 			default:
 				collecting = false
 			}
@@ -516,16 +599,32 @@ func (s *Scheduler) dispatch() {
 				delete(growable, j)
 			}
 		}
-		for len(pending) > 0 && len(idle) > 0 {
-			j := pending[0]
-			pending = pending[1:]
+		for len(idle) > 0 {
+			j := s.fq.pop()
+			if j == nil {
+				break
+			}
 			idle = s.admit(j, idle, growable)
+		}
+		if s.fq.len() > 0 {
+			// Tenants are waiting and every worker is busy (the admit loop
+			// above drained one or the other): post chunk-granular
+			// preemption targets on over-share or out-prioritized running
+			// elastic jobs, so workers peel between chunks instead of the
+			// waiting jobs sitting out whole completions.
+			s.preemptForWaiting(growable)
+		} else if s.depth.Load() == 0 {
+			// No tenant waits anywhere: lift the preemption constraints so
+			// running jobs can use the whole team again.
+			for j := range growable {
+				j.shrinkTo.Store(0)
+			}
 		}
 		// The depth guard closes the race with a tenant that was submitted
 		// (depth is incremented before the queue send) but not yet
 		// received: a worker that just peeled for that tenant must not be
 		// grown straight back onto the job it left.
-		if len(pending) == 0 && len(idle) > 0 && s.depth.Load() == 0 {
+		if s.fq.len() == 0 && len(idle) > 0 && s.depth.Load() == 0 {
 			idle = s.grow(idle, growable)
 		}
 		// Cross-shard work conservation: with local admission, growth and the
@@ -533,11 +632,11 @@ func (s *Scheduler) dispatch() {
 		// shards — first a whole queued job (admitted exactly like a local
 		// one), else lend the idle workers to a running under-provisioned
 		// elastic job over there.
-		if s.cfg.hooks != nil && queue != nil && len(pending) == 0 && len(idle) > 0 && s.depth.Load() == 0 {
+		if s.cfg.hooks != nil && queue != nil && s.fq.len() == 0 && len(idle) > 0 && s.depth.Load() == 0 {
 			if j := s.cfg.hooks.steal(s); j != nil {
 				s.stolen.Add(1)
 				emptyScans = 0
-				pending = append(pending, j)
+				s.fq.push(j)
 				continue // restart: collect, then admit the stolen job
 			}
 			if lj := s.cfg.hooks.lend(s); lj != nil {
@@ -548,22 +647,22 @@ func (s *Scheduler) dispatch() {
 			}
 		}
 		// The exit condition must be re-checked here, not only where the
-		// closure is observed: admit can empty `pending` after the queue
-		// was seen closed (a canceled job is popped without consuming a
-		// worker), and blocking below with both channels dead would hang
+		// closure is observed: admit can empty the fair queue after the
+		// queue was seen closed (a canceled job is popped without consuming
+		// a worker), and blocking below with both channels dead would hang
 		// Close. Released dependents parked on the overflow list count as
 		// pending work; no new ones can appear once the queue has closed
 		// (the release window shuts strictly first).
-		if queue == nil && len(pending) == 0 {
-			if pending = append(pending, s.takeOverflow()...); len(pending) == 0 {
+		if queue == nil && s.fq.len() == 0 {
+			for _, j := range s.takeOverflow() {
+				s.fq.push(j)
+			}
+			if s.fq.len() == 0 {
 				break
 			}
 			continue
 		}
 		qc = queue
-		if len(pending) > 0 {
-			qc = nil
-		}
 		// With idle workers and siblings to steal from, wake periodically to
 		// re-scan instead of blocking until local traffic arrives, at the
 		// current backed-off period.
@@ -578,13 +677,15 @@ func (s *Scheduler) dispatch() {
 			if !ok {
 				queue = nil
 			} else {
-				pending = append(pending, j)
+				s.fq.push(j)
 				emptyScans = 0 // local traffic: scan siblings promptly again
 			}
 		case id := <-s.free:
 			idle = append(idle, id)
 		case <-s.overflowC:
-			pending = append(pending, s.takeOverflow()...)
+			for _, j := range s.takeOverflow() {
+				s.fq.push(j)
+			}
 			emptyScans = 0 // released dependents are local traffic too
 		case <-stealC:
 			fired = true
@@ -601,6 +702,75 @@ func (s *Scheduler) dispatch() {
 	}
 }
 
+// preemptForWaiting implements the preemption policy: with jobs waiting and
+// the team fully busy, every tenant's weighted share of the team is
+// computed over the tenants currently queued or running, and each running
+// elastic job whose sub-team exceeds its tenant's per-job allowance gets a
+// shrink target posted. The allowance is halved when the best waiting job
+// out-prioritizes the victim or carries a deadline at risk, so urgent work
+// admits within chunks rather than whole job completions. Participants
+// observe the target between chunks (see Job.runElastic) and peel — never
+// below one participant, so the victim always completes its join wave.
+func (s *Scheduler) preemptForWaiting(growable map[*Job]struct{}) {
+	if len(growable) == 0 || s.cfg.DisableFair {
+		return
+	}
+	head := s.fq.peek()
+	if head == nil {
+		return
+	}
+	risk := s.deadlineRisk(head)
+	runningJobs := make(map[string]int, len(growable))
+	for j := range growable {
+		runningJobs[j.tenant]++
+	}
+	shares := s.fq.shares(s.p, runningJobs)
+	for j := range growable {
+		allowed := shares[j.tenant] / runningJobs[j.tenant]
+		if allowed < 1 {
+			allowed = 1
+		}
+		if (head.prio > j.prio || risk) && allowed > 1 {
+			allowed = (allowed + 1) / 2
+		}
+		target := int32(allowed)
+		old := j.shrinkTo.Load()
+		if old == target {
+			continue
+		}
+		j.shrinkTo.Store(target)
+		// Count a preemption decision only when the new target actually
+		// constrains the job below its current sub-team and tightens the
+		// previous target, so a steady policy is not re-counted every loop.
+		if (old == 0 || old > target) && j.active.Load() > target {
+			s.preempted.Add(1)
+			s.fq.account(j.tenant).preempted.Add(1)
+		}
+	}
+}
+
+// deadlineRisk reports whether a waiting job's deadline is close enough
+// that waiting for a running job to finish on its own would likely miss it:
+// within twice the recent average job run time (floored at 1ms so a cold
+// scheduler still honors tight deadlines).
+func (s *Scheduler) deadlineRisk(j *Job) bool {
+	if j.deadline.IsZero() {
+		return false
+	}
+	horizon := 2 * time.Duration(s.lastRunNanos.Load())
+	if horizon < time.Millisecond {
+		horizon = time.Millisecond
+	}
+	return !j.deadline.After(time.Now().Add(horizon))
+}
+
+// SetTenantWeight registers (or re-weights) a tenant's fair-share weight;
+// weights < 1 are clamped to 1. Safe for concurrent use; takes effect on
+// the next admission.
+func (s *Scheduler) SetTenantWeight(name string, weight int) {
+	s.fq.setWeight(name, weight)
+}
+
 // admit molds a sub-team for one popped job from the dispatcher's idle
 // workers and performs the release wave. It returns the remaining idle set
 // (unchanged when the job was canceled while queued).
@@ -609,6 +779,7 @@ func (s *Scheduler) admit(j *Job, idle []int, growable map[*Job]struct{}) []int 
 		return idle // canceled while queued; Cancel already adjusted depth
 	}
 	s.depth.Add(-1)
+	s.releaseQueueSlot()
 	want := s.teamSize(j, int(s.depth.Load()))
 	k := len(idle)
 	if k > want {
@@ -703,21 +874,18 @@ func (s *Scheduler) lendTo(j *Job, idle []int) []int {
 	return idle
 }
 
-// stealQueued removes one job from this scheduler's admission queue on behalf
-// of a sibling shard, without admitting it. It returns nil when the queue is
-// empty or closed. The caller owns the returned job and must migrate it (see
-// Sharded.stealFor); the job is still in the Pending state and still counted
-// in this scheduler's depth.
+// stealQueued removes one job from this scheduler's fair queue on behalf of
+// a sibling shard, without admitting it. It returns nil when the queue is
+// empty. The pop goes through the same weighted-fair policy as local
+// admission, so steals respect tenant weights and priorities: the thief
+// takes exactly the job the victim would have admitted next. The caller
+// owns the returned job and must migrate it (see Sharded.stealFor); the job
+// is still in the Pending state and still counted in this scheduler's
+// depth. Jobs still in the intake channel are invisible to steals until the
+// victim's dispatcher drains them, which it does ahead of any blocking
+// wait.
 func (s *Scheduler) stealQueued() *Job {
-	select {
-	case j, ok := <-s.queue:
-		if !ok {
-			return nil
-		}
-		return j
-	default:
-		return nil
-	}
+	return s.fq.pop()
 }
 
 // lendableJob returns a running elastic job that still has unclaimed work,
@@ -760,13 +928,25 @@ func (s *Scheduler) recordCompletion(j *Job) {
 		s.growMu.Unlock()
 	}
 	s.completed.Add(1)
+	acct := s.fq.account(j.tenant)
+	acct.completed.Add(1)
 	if j.req.N > 0 {
 		s.itersDone.Add(int64(j.req.N))
+		acct.iters.Add(int64(j.req.N))
+	}
+	acct.waitNanos.Add(int64(j.started.Sub(j.submitted)))
+	if !j.deadline.IsZero() && now.After(j.deadline) {
+		s.deadlineMissed.Add(1)
+		acct.deadlineMissed.Add(1)
 	}
 	if j.workers.Load() > 0 {
 		s.running.Add(-1)
 	}
-	s.lat.add(now.Sub(j.submitted).Seconds(), now.Sub(j.started).Seconds())
+	run := now.Sub(j.started)
+	// EWMA of recent run times (new = 3/4 old + 1/4 current) for the
+	// deadline-risk horizon; last-writer-wins staleness is acceptable.
+	s.lastRunNanos.Store(s.lastRunNanos.Load() - s.lastRunNanos.Load()/4 + int64(run)/4)
+	s.lat.add(now.Sub(j.submitted).Seconds(), run.Seconds())
 }
 
 // Close drains the admission queue, waits for every in-flight job and
@@ -849,6 +1029,18 @@ type Stats struct {
 	BlockedDepth int64 `json:"blocked_depth"`
 	Released     int64 `json:"released_total"`
 	DepCanceled  int64 `json:"dep_canceled_total"`
+	// Preempted counts preemption decisions: shrink targets the dispatcher
+	// posted against running elastic jobs to serve waiting tenants.
+	// DeadlineMissed counts jobs that completed after their requested
+	// deadline.
+	Preempted      int64 `json:"preempted_total"`
+	DeadlineMissed int64 `json:"deadline_missed_total"`
+	// Tenants is the per-tenant accounting: weights, queued depth, served
+	// jobs/iterations, preemptions, deadline misses and cumulative
+	// admission-wait time, keyed by tenant name (jobs submitted without a
+	// tenant are charged to "default"). Nil until the first submission or
+	// weight registration.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 	// Latency quantiles (submission to completion) over the recent window.
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
 	LatencyP95 time.Duration `json:"latency_p95_ns"`
@@ -893,6 +1085,9 @@ func (s *Scheduler) statsWindows() (Stats, []float64, []float64) {
 		BlockedDepth:   s.blocked.Load(),
 		Released:       s.released.Load(),
 		DepCanceled:    s.depCanceled.Load(),
+		Preempted:      s.preempted.Load(),
+		DeadlineMissed: s.deadlineMissed.Load(),
+		Tenants:        s.fq.tenantsSnapshot(),
 	}
 	tot, run, totSum, runSum := s.lat.snapshot()
 	st.LatencySamples = len(tot)

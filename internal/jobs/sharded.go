@@ -150,10 +150,14 @@ func (p *Sharded) Shard(i int) *Scheduler { return p.shards[i] }
 // Topology returns the topology the shards were placed on.
 func (p *Sharded) Topology() topology.Topology { return p.topo }
 
-// route picks the least-loaded shard: the one with the fewest jobs waiting
-// or running per worker, ties broken round-robin so a burst that arrives on
-// an idle pool spreads instead of piling onto shard 0.
-func (p *Sharded) route() *Scheduler {
+// routeFor picks the admission shard for one of the named tenant's jobs:
+// primarily the least-loaded shard (fewest jobs waiting or running per
+// worker), with load ties broken by where the tenant has the fewest jobs
+// already queued — spreading one tenant's burst across shards keeps the
+// per-shard weighted-fair queues short for everyone else — and finally
+// round-robin so a burst that arrives on an idle pool spreads instead of
+// piling onto shard 0.
+func (p *Sharded) routeFor(tenant string) *Scheduler {
 	n := len(p.shards)
 	if n == 1 {
 		return p.shards[0]
@@ -161,10 +165,16 @@ func (p *Sharded) route() *Scheduler {
 	start := int(p.rr.Add(1) % uint64(n))
 	best := p.shards[start]
 	bestLoad := shardLoad(best)
+	bestTenant := best.fq.depthOf(tenant)
 	for k := 1; k < n; k++ {
 		s := p.shards[(start+k)%n]
-		if l := shardLoad(s); l < bestLoad {
-			best, bestLoad = s, l
+		l := shardLoad(s)
+		if l > bestLoad {
+			continue
+		}
+		td := s.fq.depthOf(tenant)
+		if l < bestLoad || td < bestTenant {
+			best, bestLoad, bestTenant = s, l, td
 		}
 	}
 	return best
@@ -181,7 +191,15 @@ func shardLoad(s *Scheduler) float64 {
 // It blocks only when that shard's admission queue is full. Safe from any
 // number of goroutines.
 func (p *Sharded) Submit(req Request) (*Job, error) {
-	return p.route().Submit(req)
+	return p.routeFor(req.Tenant).Submit(req)
+}
+
+// SetTenantWeight registers (or re-weights) a tenant's fair-share weight on
+// every shard; weights < 1 are clamped to 1. Safe for concurrent use.
+func (p *Sharded) SetTenantWeight(name string, weight int) {
+	for _, s := range p.shards {
+		s.SetTenantWeight(name, weight)
+	}
 }
 
 // SubmitTo pins a job to the given shard (for tenants with domain-local
@@ -224,8 +242,10 @@ func (p *Sharded) stealFor(thief *Scheduler) *Job {
 		}
 		p.migrateBegin.Add(1)
 		victim.depth.Add(-1)
+		victim.releaseQueueSlot()
 		j.s = thief
 		thief.depth.Add(1)
+		thief.forceQueueSlot()
 		p.migrateEnd.Add(1)
 		j.state.Store(int32(Pending))
 		return j
@@ -331,6 +351,29 @@ func (p *Sharded) statsSnapshot() ShardedStats {
 		out.Total.BlockedDepth += st.BlockedDepth
 		out.Total.Released += st.Released
 		out.Total.DepCanceled += st.DepCanceled
+		out.Total.Preempted += st.Preempted
+		out.Total.DeadlineMissed += st.DeadlineMissed
+		// Per-tenant accounting merges across shards: counters sum (a job
+		// stolen mid-queue is submitted on one shard and completes on
+		// another, so only the pool-wide sums reconcile); the weight is the
+		// registered value, identical on every shard that has seen it.
+		for name, ts := range st.Tenants {
+			if out.Total.Tenants == nil {
+				out.Total.Tenants = make(map[string]TenantStats)
+			}
+			agg := out.Total.Tenants[name]
+			if ts.Weight > agg.Weight {
+				agg.Weight = ts.Weight
+			}
+			agg.QueueDepth += ts.QueueDepth
+			agg.Submitted += ts.Submitted
+			agg.Completed += ts.Completed
+			agg.IterationsDone += ts.IterationsDone
+			agg.Preempted += ts.Preempted
+			agg.DeadlineMissed += ts.DeadlineMissed
+			agg.WaitSumSeconds += ts.WaitSumSeconds
+			out.Total.Tenants[name] = agg
+		}
 		out.Total.LatencySamples += st.LatencySamples
 		out.Total.LatencySumSeconds += st.LatencySumSeconds
 		out.Total.RunSumSeconds += st.RunSumSeconds

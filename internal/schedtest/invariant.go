@@ -1,9 +1,9 @@
 // invariant.go is the deterministic invariant harness for the multi-tenant
 // jobs runtimes: it drives a jobs scheduler (single or sharded) with a
 // seeded pseudo-random operation stream — submissions of plain, commutative-
-// reducing and ordered-reducing loops of random sizes, grains and worker
-// caps, interleaved with cancels — and asserts the runtime's structural
-// invariants after every run:
+// reducing and ordered-reducing loops of random sizes, grains, worker caps,
+// tenants, priorities and deadlines, interleaved with cancels — and asserts
+// the runtime's structural invariants after every run:
 //
 //   - every loop index of every completed job executed exactly once
 //     (elastic growth, peeling, cross-shard stealing and lending must never
@@ -150,6 +150,25 @@ func RunJobInvariants(t *testing.T, runner JobRunner, opt InvariantOptions, tota
 	}
 }
 
+// policyFields draws the scheduling-policy dimensions of one op: a tenant
+// account (tenants deliberately shared across submitter goroutines so their
+// streams interleave inside one account), a priority class, and sometimes a
+// deadline. The tenant and priority are pure functions of the seed; the
+// deadline must be an absolute time, so its presence is seeded but its value
+// is not — the invariants do not depend on it (a missed deadline only
+// increments counters; ordering differences are what the stream explores).
+func policyFields(rng *rand.Rand, req *jobs.Request) {
+	if rng.Intn(2) == 0 {
+		req.Tenant = [...]string{"acct-a", "acct-b", "acct-c"}[rng.Intn(3)]
+	}
+	if rng.Intn(3) == 0 {
+		req.Priority = rng.Intn(5) - 1 // -1..3: below, at and above the default class
+	}
+	if rng.Intn(8) == 0 {
+		req.Deadline = time.Now().Add(time.Duration(1+rng.Intn(50)) * time.Millisecond)
+	}
+}
+
 // runOneOp submits (and possibly cancels) one pseudo-random job and checks
 // its outcome.
 func runOneOp(t *testing.T, runner JobRunner, rng *rand.Rand, opt InvariantOptions, tnt, op int) {
@@ -199,6 +218,7 @@ func runOneOp(t *testing.T, runner JobRunner, rng *rand.Rand, opt InvariantOptio
 		}
 	}
 
+	policyFields(rng, &req)
 	j, err := runner.Submit(req)
 	if err != nil {
 		t.Errorf("tenant %d op %d (seed %d): submit: %v", tnt, op, opt.Seed, err)
@@ -283,14 +303,16 @@ func runDepOp(t *testing.T, runner JobRunner, rng *rand.Rand, opt InvariantOptio
 
 	var earlyStart atomic.Bool // dependent ran before an upstream join completed
 	var depRan atomic.Int64
-	dep, err := runner.Submit(jobs.Request{N: n, Grain: grain, After: ups, Body: func(w, lo, hi int) {
+	depReq := jobs.Request{N: n, Grain: grain, After: ups, Body: func(w, lo, hi int) {
 		for _, c := range covered {
 			if c.Load() != int64(upN) {
 				earlyStart.Store(true)
 			}
 		}
 		depRan.Add(int64(hi - lo))
-	}})
+	}}
+	policyFields(rng, &depReq)
+	dep, err := runner.Submit(depReq)
 	if err != nil {
 		t.Errorf("tenant %d op %d (seed %d): dependent submit: %v", tnt, op, opt.Seed, err)
 		return

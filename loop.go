@@ -121,6 +121,9 @@ type Pool struct {
 	jobsMu     sync.Mutex
 	jobsRT     *jobs.Sharded
 	jobsClosed bool
+	// tenantWeights collects Pool.Tenant registrations made before the
+	// async runtime is instantiated, applied at creation.
+	tenantWeights map[string]int
 }
 
 // New creates a pool. Call Close to release its workers.
@@ -182,11 +185,16 @@ func (p *Pool) jobs() *jobs.Sharded {
 		// synchronous team's spin-waiting workers, jobs workers park on
 		// channels between jobs, and pinning a second P threads would only
 		// oversubscribe the machine.
+		weights := make(map[string]int, len(p.tenantWeights))
+		for name, w := range p.tenantWeights {
+			weights[name] = w
+		}
 		p.jobsRT = jobs.NewSharded(jobs.ShardedConfig{
 			Config: jobs.Config{
 				Workers:        p.s.P(),
 				DefaultGrain:   p.asyncGrain,
 				DisableElastic: p.asyncRigid,
+				TenantWeights:  weights,
 				Name:           "async-" + p.s.Name(),
 			},
 			Shards:        shards,
@@ -194,6 +202,26 @@ func (p *Pool) jobs() *jobs.Sharded {
 		})
 	}
 	return p.jobsRT
+}
+
+// Tenant registers (or re-weights) a tenant account on the async runtime:
+// under saturation, tenants are admitted in proportion to their weights
+// (weights < 1 are clamped to 1). Tag jobs with JobOptions.Tenant to charge
+// them to an account; unregistered tenants run at weight 1. Tenant is safe
+// for concurrent use and may be called before any job is submitted — the
+// weights survive until the runtime is created and apply from its first
+// admission.
+func (p *Pool) Tenant(name string, weight int) {
+	p.jobsMu.Lock()
+	if p.tenantWeights == nil {
+		p.tenantWeights = make(map[string]int)
+	}
+	p.tenantWeights[name] = weight
+	rt := p.jobsRT
+	p.jobsMu.Unlock()
+	if rt != nil {
+		rt.SetTenantWeight(name, weight)
+	}
 }
 
 // AsyncShards returns the shard count the async runtime has (or will have
@@ -492,6 +520,23 @@ type JobOptions struct {
 	// range values fail the job with an error from Wait. A pinned job with
 	// dependencies is released back onto its pinned shard.
 	Shard int
+	// Tenant names the account the job is charged to; the empty string
+	// selects the shared "default" account. Register weights with
+	// Pool.Tenant to serve tenants in proportion under saturation;
+	// unregistered tenants run at weight 1.
+	Tenant string
+	// Priority orders admission strictly: a waiting higher-priority job is
+	// admitted before every lower-priority one, across all tenants, and the
+	// runtime shrinks running lower-priority elastic jobs chunk by chunk to
+	// free workers for it. 0 is the default class; negative priorities
+	// yield to everything else.
+	Priority int
+	// Deadline is the job's completion deadline: the admission tie-break
+	// within a priority class (earliest deadline first) and the preemption
+	// trigger when it is at risk. The zero time means no deadline; missing
+	// a deadline does not fail the job, it only increments the runtime's
+	// deadline-missed counters.
+	Deadline time.Time
 	// After lists jobs that must complete before this one starts. The job is
 	// held in a blocked state — outside the admission queue, invisible to
 	// fair-share sizing and to cross-shard stealing — until the last
@@ -519,7 +564,7 @@ func (p *Pool) SubmitOpts(n int, o JobOptions, body func(i int)) *Job {
 		for i := low; i < high; i++ {
 			body(i)
 		}
-	}, MaxWorkers: o.MaxWorkers, Grain: o.Grain, Label: o.Label})
+	}, MaxWorkers: o.MaxWorkers, Grain: o.Grain, Tenant: o.Tenant, Priority: o.Priority, Deadline: o.Deadline, Label: o.Label})
 }
 
 // SubmitFor is the asynchronous For: body receives a dense sub-team worker
@@ -534,7 +579,7 @@ func (p *Pool) SubmitFor(n int, body func(worker, low, high int)) *Job {
 
 // SubmitForOpts is SubmitFor with per-job tuning options.
 func (p *Pool) SubmitForOpts(n int, o JobOptions, body func(worker, low, high int)) *Job {
-	return p.submit(o.Shard, o.After, jobs.Request{N: n, Body: body, MaxWorkers: o.MaxWorkers, Grain: o.Grain, Label: o.Label})
+	return p.submit(o.Shard, o.After, jobs.Request{N: n, Body: body, MaxWorkers: o.MaxWorkers, Grain: o.Grain, Tenant: o.Tenant, Priority: o.Priority, Deadline: o.Deadline, Label: o.Label})
 }
 
 // SubmitReduce is the asynchronous ReduceFloat64: per-sub-worker partials
@@ -551,7 +596,8 @@ func (p *Pool) SubmitReduce(n int, identity float64, combine func(a, b float64) 
 func (p *Pool) SubmitReduceOpts(n int, o JobOptions, identity float64, combine func(a, b float64) float64, body func(worker, low, high int, acc float64) float64) *Job {
 	return p.submit(o.Shard, o.After, jobs.Request{
 		N: n, RBody: body, Identity: identity, Combine: combine,
-		Commutative: o.Commutative, MaxWorkers: o.MaxWorkers, Grain: o.Grain, Label: o.Label,
+		Commutative: o.Commutative, MaxWorkers: o.MaxWorkers, Grain: o.Grain,
+		Tenant: o.Tenant, Priority: o.Priority, Deadline: o.Deadline, Label: o.Label,
 	})
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func testPool(t *testing.T, cfg Config) *Pool {
@@ -461,6 +462,38 @@ func TestAsyncShardedPool(t *testing.T) {
 	}
 	if sum != st.Total.Completed {
 		t.Errorf("per-shard completed sum %d != total %d", sum, st.Total.Completed)
+	}
+}
+
+func TestPoolTenantAccountsThroughPublicAPI(t *testing.T) {
+	// Pool.Tenant registrations made before the async runtime exists must
+	// survive into it, and JobOptions.Tenant/Priority/Deadline must land in
+	// the runtime's tenant accounting.
+	pool := testPool(t, Config{Workers: 2})
+	pool.Tenant("gold", 3) // before the lazy runtime is created
+	var ran atomic.Int64
+	j := pool.SubmitOpts(100, JobOptions{
+		Tenant:   "gold",
+		Priority: 5,
+		Deadline: time.Now().Add(time.Minute),
+	}, func(i int) { ran.Add(1) })
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d of 100 iterations", ran.Load())
+	}
+	if err := pool.Submit(50, func(i int) {}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	pool.Tenant("silver", 2) // after creation: applied live
+	st := pool.AsyncStats()
+	gold := st.Total.Tenants["gold"]
+	if gold.Weight != 3 || gold.Completed != 1 || gold.IterationsDone != 100 {
+		t.Errorf("gold account = %+v, want weight 3, 1 completion, 100 iterations", gold)
+	}
+	if def := st.Total.Tenants["default"]; def.Completed != 1 {
+		t.Errorf("default account = %+v, want the untagged job", def)
 	}
 }
 
