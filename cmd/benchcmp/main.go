@@ -9,16 +9,20 @@
 //	    -threshold 0.25 -fail
 //
 // Each -metric is a dotted JSON path plus a direction (higher or lower is
-// better). With -fail, the exit status is 1 when any metric degraded beyond
-// the threshold — the mode the comparison logic is verified in (a synthetic
-// 2x slowdown must fail; see internal/bench/compare_test.go). Without
-// -fail, regressions are reported but the exit status stays 0: the
-// report-only mode used on shared CI runners, whose timing noise would make
-// a hard gate flaky. A metric missing on either side (e.g. a base commit
-// that predates the benchmark) is reported and never counted as a
-// regression; a whole report file missing on either side — the first
-// trajectory run after a new BENCH_*.json is introduced — is handled the
-// same way, not treated as an error.
+// better), optionally suffixed :trace to mark a tracing-only metric
+// (e.g. "scenarios.0.on_jobs_per_second:higher:trace"): one that only moves
+// when lifecycle tracing is enabled, so a degradation there is a tracing-cost
+// regression, not a baseline slowdown. The two classes are flagged separately
+// in the table and gated independently — -fail exits 1 on baseline
+// regressions, -fail-trace exits 1 on tracing-only ones. -fail is the mode
+// the comparison logic is verified in (a synthetic 2x slowdown must fail;
+// see internal/bench/compare_test.go). Without either flag, regressions are
+// reported but the exit status stays 0: the report-only mode used on shared
+// CI runners, whose timing noise would make a hard gate flaky. A metric
+// missing on either side (e.g. a base commit that predates the benchmark) is
+// reported and never counted as a regression; a whole report file missing on
+// either side — the first trajectory run after a new BENCH_*.json is
+// introduced — is handled the same way, not treated as an error.
 package main
 
 import (
@@ -48,10 +52,11 @@ func main() {
 	headPath := flag.String("head", "", "head report JSON (required)")
 	title := flag.String("title", "", "table title (default: the head file name)")
 	threshold := flag.Float64("threshold", 0.25, "allowed fractional degradation per metric (0.25 = 25%)")
-	failOnRegression := flag.Bool("fail", false, "exit 1 when any metric degrades beyond the threshold")
+	failOnRegression := flag.Bool("fail", false, "exit 1 when any baseline metric degrades beyond the threshold")
+	failOnTraceRegression := flag.Bool("fail-trace", false, "exit 1 when any :trace metric degrades beyond the threshold")
 	list := flag.Bool("list", false, "list the head report's metric paths and exit")
 	var metrics metricFlags
-	flag.Var(&metrics, "metric", "metric to compare, as path:higher or path:lower (repeatable)")
+	flag.Var(&metrics, "metric", "metric to compare, as path:higher or path:lower, with optional :trace suffix (repeatable)")
 	flag.Parse()
 
 	if *headPath == "" || (!*list && *basePath == "") {
@@ -85,10 +90,16 @@ func main() {
 	if err := bench.WriteComparison(os.Stdout, *title, cs, *threshold); err != nil {
 		fatal(err)
 	}
+	exit := 0
 	if regressed && *failOnRegression {
-		fmt.Fprintln(os.Stderr, "benchcmp: regression beyond threshold")
-		os.Exit(1)
+		fmt.Fprintln(os.Stderr, "benchcmp: baseline regression beyond threshold")
+		exit = 1
 	}
+	if bench.TraceRegressed(cs) && *failOnTraceRegression {
+		fmt.Fprintln(os.Stderr, "benchcmp: tracing-only regression beyond threshold")
+		exit = 1
+	}
+	os.Exit(exit)
 }
 
 func fatal(err error) {

@@ -27,14 +27,27 @@
 //	                                        (fan-out/fan-in dependencies inside
 //	                                        the runtime, no client-side waits)
 //	GET  /stats                             queue depth, blocked depth,
-//	                                        occupancy and job latency
-//	                                        percentiles as JSON, totals plus
-//	                                        per-shard
+//	                                        occupancy, job latency percentiles,
+//	                                        per-tenant SLO windows, Go-runtime
+//	                                        health and tracer accounting as
+//	                                        JSON, totals plus per-shard; every
+//	                                        scrape carries a monotonic
+//	                                        snapshot_seq
 //	GET  /metrics                           the same in Prometheus text format
 //	                                        (loopd_* totals, loopd_shard_*
-//	                                        shard-labelled; pipelines add
-//	                                        loopd_blocked_depth and the
-//	                                        released/depcanceled counters)
+//	                                        shard-labelled, loopd_tenant_* and
+//	                                        loopd_slo_* tenant-labelled,
+//	                                        loopd_build_info, loopd_trace_*)
+//	GET  /events                            live lifecycle event feed as
+//	                                        server-sent events (&tenant= and
+//	                                        &job= filter; &buffer= sizes the
+//	                                        per-subscriber buffer — a slow
+//	                                        consumer drops events, counted,
+//	                                        never blocking the runtime)
+//	GET  /trace/{job}                       a finished job's span tree as
+//	                                        OTLP-compatible JSON (job ids come
+//	                                        from /run responses and /events)
+//	GET  /debug/pprof/                      Go profiling handlers (-debug only)
 package main
 
 import (
@@ -85,6 +98,11 @@ func main() {
 	tenants := flag.String("tenants", "", "tenant fair-share weights: name=w,... or bare w1,w2,... (registers t1,t2,...)")
 	fair := flag.Bool("fair", true, "weighted-fair admission with priorities, deadlines and preemption (false = plain FIFO)")
 	lock := flag.Bool("lock-os-threads", false, "pin workers to OS threads")
+	traceOn := flag.Bool("trace", true, "lifecycle tracing: job ids in /run responses, /events stream, /trace/{job} span trees")
+	traceBuffer := flag.Int("trace-buffer", 4096, "default per-subscriber /events buffer (slow subscribers drop, never block)")
+	traceCap := flag.Int("trace-capacity", 0, "finished job traces retained for /trace/{job} (0 = default 1024)")
+	sloTarget := flag.Float64("slo-target", 0, "per-tenant deadline-hit objective for burn rates (0 = default 0.99)")
+	debugHandlers := flag.Bool("debug", false, "serve the net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
 	weights, err := parseTenantWeights(*tenants)
@@ -104,6 +122,11 @@ func main() {
 		TenantWeights:    weights,
 		DisableFair:      !*fair,
 		LockOSThread:     *lock,
+		Trace:            *traceOn,
+		TraceBuffer:      *traceBuffer,
+		TraceCapacity:    *traceCap,
+		SLOTarget:        *sloTarget,
+		Debug:            *debugHandlers,
 	})
 	defer srv.Close()
 

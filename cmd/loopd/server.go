@@ -4,14 +4,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"loopsched/internal/bench"
 	"loopsched/internal/jobs"
+	"loopsched/internal/trace"
 )
 
 // serverConfig configures the daemon's shared jobs runtime.
@@ -49,6 +54,24 @@ type serverConfig struct {
 	// LockOSThread pins workers to OS threads (benchmark fidelity; off by
 	// default for a serving daemon).
 	LockOSThread bool
+	// Trace enables lifecycle tracing: /run responses carry job ids,
+	// GET /events streams lifecycle transitions and GET /trace/{job} serves
+	// finished span trees. Off, the hooks cost one nil check per transition
+	// and both endpoints return 404.
+	Trace bool
+	// TraceBuffer is the default per-subscriber event buffer on /events
+	// (overridable per request with &buffer=); <= 0 selects 4096. A
+	// subscriber that falls behind loses events, which are counted, not
+	// blocked on.
+	TraceBuffer int
+	// TraceCapacity is the number of finished job traces retained for
+	// GET /trace/{job}; <= 0 selects the default (1024).
+	TraceCapacity int
+	// SLOTarget is the per-tenant deadline-hit objective burn rates are
+	// measured against; outside (0, 1) selects the default (0.99).
+	SLOTarget float64
+	// Debug registers the net/http/pprof handlers under /debug/pprof/.
+	Debug bool
 }
 
 // server is the HTTP front-end over one sharded multi-tenant jobs runtime.
@@ -57,12 +80,23 @@ type serverConfig struct {
 // workers across shards, so concurrent requests share the machine without
 // any scheduler-wide serialization point.
 type server struct {
-	rt      *jobs.Sharded
-	started time.Time
-	mux     *http.ServeMux
+	rt          *jobs.Sharded
+	tracer      *trace.Tracer // nil unless serverConfig.Trace
+	traceBuffer int
+	started     time.Time
+	statsSeq    atomic.Uint64 // monotonic /stats snapshot sequence
+	mux         *http.ServeMux
 }
 
 func newServer(cfg serverConfig) *server {
+	var tracer *trace.Tracer
+	if cfg.Trace {
+		tracer = trace.NewTracer(cfg.TraceCapacity)
+	}
+	traceBuffer := cfg.TraceBuffer
+	if traceBuffer <= 0 {
+		traceBuffer = 4096
+	}
 	s := &server{
 		rt: jobs.NewSharded(jobs.ShardedConfig{
 			Config: jobs.Config{
@@ -74,18 +108,34 @@ func newServer(cfg serverConfig) *server {
 				TenantWeights:    cfg.TenantWeights,
 				DisableFair:      cfg.DisableFair,
 				LockOSThread:     cfg.LockOSThread,
+				Tracer:           tracer,
+				SLOTarget:        cfg.SLOTarget,
 				Name:             "loopd",
 			},
 			Shards:          cfg.Shards,
 			StealInterval:   cfg.StealInterval,
 			DisableStealing: cfg.DisableStealing,
 		}),
-		started: time.Now(),
-		mux:     http.NewServeMux(),
+		tracer:      tracer,
+		traceBuffer: traceBuffer,
+		started:     time.Now(),
+		mux:         http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /run", s.handleRun)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /events", s.handleEvents)
+	s.mux.HandleFunc("GET /trace/{job}", s.handleTrace)
+	if cfg.Debug {
+		// The pprof handlers are registered explicitly on the daemon's own
+		// mux (the package's init wires http.DefaultServeMux, which loopd
+		// never serves).
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -102,12 +152,22 @@ const (
 	maxPipelineStages   = 64
 )
 
-// runJobResult is the outcome of one job of a /run request.
+// runJobResult is the outcome of one job of a /run request. Job is the
+// tracing id usable with GET /trace/{job}; 0 when tracing is disabled.
 type runJobResult struct {
+	Job     uint64  `json:"job,omitempty"`
 	Workers int     `json:"workers"`
 	Seconds float64 `json:"seconds"`
 	Result  float64 `json:"result"`
 	Error   string  `json:"error,omitempty"`
+}
+
+// traceID returns a job's tracing id (0 when tracing is disabled).
+func traceID(j *jobs.Job) uint64 {
+	if jt := j.Trace(); jt != nil {
+		return jt.ID
+	}
+	return 0
 }
 
 // runResponse is the JSON body of a /run response. For pipeline requests,
@@ -351,6 +411,7 @@ func (s *server) runPipeline(w http.ResponseWriter, stages []pipelineStage, iter
 			// job's completion — for a dependent job that includes the time
 			// spent blocked behind its upstreams.
 			res.Seconds = time.Since(start).Seconds()
+			res.Job = traceID(sub.job)
 			res.Workers = sub.job.Workers()
 			res.Result = v
 			if err != nil {
@@ -395,6 +456,7 @@ func (s *server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, i
 			jobStart := time.Now()
 			v, err := j.Wait()
 			resp.Results[i].Seconds = time.Since(jobStart).Seconds()
+			resp.Results[i].Job = traceID(j)
 			resp.Results[i].Workers = j.Workers()
 			resp.Results[i].Result = v
 			if err != nil {
@@ -409,24 +471,139 @@ func (s *server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, i
 
 // statsResponse is the JSON body of /stats. Queue carries the merged totals
 // (stable field names from the pre-sharding daemon); Shards the per-shard
-// snapshots in shard order.
+// snapshots in shard order. SnapshotSeq increments on every scrape, so a
+// poller can detect reordered or duplicated reads.
 type statsResponse struct {
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Workloads     []string     `json:"workloads"`
-	Shards        int          `json:"shards"`
-	Queue         jobs.Stats   `json:"queue"`
-	ShardStats    []jobs.Stats `json:"shard_stats"`
+	SnapshotSeq   uint64             `json:"snapshot_seq"`
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Workloads     []string           `json:"workloads"`
+	Shards        int                `json:"shards"`
+	Queue         jobs.Stats         `json:"queue"`
+	ShardStats    []jobs.Stats       `json:"shard_stats"`
+	Runtime       runtimeStats       `json:"runtime"`
+	Trace         *trace.TracerStats `json:"trace,omitempty"`
+}
+
+// runtimeStats is the Go-runtime health block of /stats.
+type runtimeStats struct {
+	Goroutines          int     `json:"goroutines"`
+	HeapAllocBytes      uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes        uint64  `json:"heap_sys_bytes"`
+	NumGC               uint32  `json:"num_gc"`
+	GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
+}
+
+func readRuntimeStats() runtimeStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return runtimeStats{
+		Goroutines:          runtime.NumGoroutine(),
+		HeapAllocBytes:      m.HeapAlloc,
+		HeapSysBytes:        m.HeapSys,
+		NumGC:               m.NumGC,
+		GCPauseTotalSeconds: time.Duration(m.PauseTotalNs).Seconds(),
+	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.rt.Stats()
-	writeJSON(w, statsResponse{
+	resp := statsResponse{
+		SnapshotSeq:   s.statsSeq.Add(1),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Workloads:     bench.JobWorkloads(),
 		Shards:        s.rt.Shards(),
 		Queue:         st.Total,
 		ShardStats:    st.Shards,
-	})
+		Runtime:       readRuntimeStats(),
+	}
+	if s.tracer != nil {
+		ts := s.tracer.Stats()
+		resp.Trace = &ts
+	}
+	writeJSON(w, resp)
+}
+
+// handleEvents streams lifecycle events as server-sent events: one SSE
+// message per transition, `event:` naming the type, `id:` the tracer
+// sequence number and `data:` the JSON event. ?tenant= and ?job= filter at
+// the tracer (unmatched events are never buffered); ?buffer= overrides the
+// per-subscriber buffer. A subscriber that falls behind loses events rather
+// than slowing the runtime: drops are counted and reported inline as an SSE
+// comment when delivery resumes.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		http.Error(w, "tracing disabled (run loopd with -trace)", http.StatusNotFound)
+		return
+	}
+	tenant := r.FormValue("tenant")
+	if err := validTenant(tenant); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var jobID uint64
+	if raw := r.FormValue("job"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("parameter %q: %v", "job", err), http.StatusBadRequest)
+			return
+		}
+		jobID = v
+	}
+	buffer, err := intParam(r, "buffer", s.traceBuffer, 1, 1<<16)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sub := s.tracer.Subscribe(buffer, tenant, jobID)
+	defer sub.Close()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	var reported int64
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-sub.Events():
+			if d := sub.Dropped(); d > reported {
+				fmt.Fprintf(w, ": dropped %d events (slow subscriber)\n\n", d-reported)
+				reported = d
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Seq, data)
+			fl.Flush()
+		}
+	}
+}
+
+// handleTrace serves a finished job's span tree as OTLP-compatible JSON
+// (resourceSpans/scopeSpans/spans with hex ids, suitable for an OTLP/HTTP
+// collector's traces endpoint or offline span tooling).
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		http.Error(w, "tracing disabled (run loopd with -trace)", http.StatusNotFound)
+		return
+	}
+	id, err := strconv.ParseUint(r.PathValue("job"), 10, 64)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad job id: %v", err), http.StatusBadRequest)
+		return
+	}
+	jt := s.tracer.Trace(id)
+	if jt == nil {
+		http.Error(w, fmt.Sprintf("no finished trace for job %d (still running, never traced, or evicted)", id), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, jt.OTLP("loopd"))
 }
 
 // handleMetrics renders the runtime's state in the Prometheus text
@@ -487,6 +664,19 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("loopd_jobs_preempted_total", "preemption targets posted against running jobs to serve waiting tenants", float64(tot.Preempted))
 	counter("loopd_jobs_deadline_missed_total", "jobs completed after their requested deadline", float64(tot.DeadlineMissed))
 	gauge("loopd_uptime_seconds", "seconds since the daemon started", time.Since(s.started).Seconds())
+
+	// Build identity as the conventional constant-1 info gauge.
+	goVersion, revision := buildIdentity()
+	fmt.Fprintf(w, "# HELP loopd_build_info build metadata of the running daemon\n# TYPE loopd_build_info gauge\n")
+	fmt.Fprintf(w, "loopd_build_info{go_version=%q,revision=%q} 1\n", goVersion, revision)
+
+	if s.tracer != nil {
+		trs := s.tracer.Stats()
+		counter("loopd_trace_events_total", "lifecycle events ever emitted by the tracer", float64(trs.EventsTotal))
+		counter("loopd_trace_events_dropped_total", "event deliveries lost to full subscriber buffers", float64(trs.DroppedTotal))
+		gauge("loopd_trace_subscribers", "live /events subscriptions", float64(trs.Subscribers))
+		gauge("loopd_trace_finished_traces", "finished job traces held for GET /trace/{job}", float64(trs.FinishedTraces))
+	}
 	summary("loopd_job_latency_seconds", "", "job latency from submission to completion",
 		tot.LatencyP50, tot.LatencyP95, tot.LatencyP99, tot.LatencySumSeconds, tot.Completed, true)
 	summary("loopd_job_run_seconds", "", "job run time from admission to completion",
@@ -527,6 +717,42 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		func(t jobs.TenantStats) float64 { return float64(t.DeadlineMissed) })
 	tenantMetric("loopd_tenant_wait_seconds_sum", "counter", "cumulative submission-to-admission wait of the tenant's completed jobs",
 		func(t jobs.TenantStats) float64 { return t.WaitSumSeconds })
+	tenantMetric("loopd_tenant_run_seconds_sum", "counter", "cumulative admission-to-completion run time of the tenant's completed jobs",
+		func(t jobs.TenantStats) float64 { return t.RunSumSeconds })
+	tenantMetric("loopd_tenant_deadline_jobs_total", "counter", "tenant jobs ever completed that carried a deadline (hits plus misses; loopd_tenant_deadline_missed_total counts the misses)",
+		func(t jobs.TenantStats) float64 { return float64(t.DeadlineJobsTotal) })
+
+	// SLO series, derived from each tenant's rolling completion window (the
+	// slo block of /stats). Tenants whose window is still empty are skipped:
+	// an absent series is "no data yet", a 0 would be a false alarm.
+	sloNames := make([]string, 0, len(tenantNames))
+	for _, tn := range tenantNames {
+		if tot.Tenants[tn].SLO != nil {
+			sloNames = append(sloNames, tn)
+		}
+	}
+	sloMetric := func(name, typ, help string, field func(*jobs.TenantSLO) float64) {
+		if len(sloNames) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, tn := range sloNames {
+			fmt.Fprintf(w, "%s{tenant=%q} %g\n", name, tn, field(tot.Tenants[tn].SLO))
+		}
+	}
+	if len(sloNames) > 0 {
+		gauge("loopd_slo_target", "deadline-hit objective burn rates are measured against", tot.Tenants[sloNames[0]].SLO.Target)
+	}
+	sloMetric("loopd_slo_window_jobs", "gauge", "completions in the tenant's rolling SLO window",
+		func(s *jobs.TenantSLO) float64 { return float64(s.WindowJobs) })
+	sloMetric("loopd_slo_deadline_hit_ratio", "gauge", "windowed deadline-hit ratio of the tenant (1 when the window has no deadline jobs)",
+		func(s *jobs.TenantSLO) float64 { return s.HitRatio })
+	sloMetric("loopd_slo_burn_rate", "gauge", "windowed error-budget burn rate of the tenant (1.0 = burning exactly at the sustainable rate)",
+		func(s *jobs.TenantSLO) float64 { return s.BurnRate })
+	sloMetric("loopd_slo_wait_p99_seconds", "gauge", "windowed p99 submission-to-admission wait of the tenant",
+		func(s *jobs.TenantSLO) float64 { return s.WaitP99 })
+	sloMetric("loopd_slo_run_p99_seconds", "gauge", "windowed p99 admission-to-completion run time of the tenant",
+		func(s *jobs.TenantSLO) float64 { return s.RunP99 })
 
 	// Per-shard series, labelled by shard id (= topology group index).
 	shardMetric := func(name, typ, help string, field func(jobs.Stats) float64) {
@@ -582,6 +808,21 @@ func intParam(r *http.Request, name string, def, min, max int) (int, error) {
 		return 0, fmt.Errorf("parameter %q = %d out of range [%d, %d]", name, v, min, max)
 	}
 	return v, nil
+}
+
+// buildIdentity extracts the go toolchain version and VCS revision from the
+// binary's embedded build info ("unknown" when built without VCS stamping,
+// as in `go test`).
+func buildIdentity() (goVersion, revision string) {
+	goVersion, revision = runtime.Version(), "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				revision = kv.Value
+			}
+		}
+	}
+	return goVersion, revision
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,52 @@
+// Command tracebench measures the cost of lifecycle tracing: the fairshare
+// (admission-bound) and shardburst (dispatcher-bound) scenarios each run with
+// tracing off and with tracing on behind a live draining subscriber, and the
+// throughput ratio is reported as a table plus the machine-readable
+// BENCH_traceoverhead.json artifact used to track the tracing cost across
+// PRs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"loopsched/internal/bench"
+)
+
+func main() {
+	reps := flag.Int("reps", 0, "runs per configuration, best-of compared (0 = 5)")
+	workers := flag.Int("workers", 0, "worker count for both scenarios (0 = scenario defaults)")
+	duration := flag.Duration("duration", 0, "fairshare measurement window (0 = 600ms)")
+	tenants := flag.Int("tenants", 0, "shardburst concurrent submitters (0 = default)")
+	jobsPerTenant := flag.Int("jobs-per-tenant", 0, "shardburst jobs per submitter (0 = 30)")
+	noLock := flag.Bool("no-lock", false, "do not pin workers to OS threads")
+	jsonPath := flag.String("json", "BENCH_traceoverhead.json", "write the machine-readable report here ('' = skip)")
+	flag.Parse()
+
+	if *noLock {
+		bench.LockThreads = false
+	}
+	opt := bench.TraceOverheadOptions{
+		Reps:       *reps,
+		FairShare:  bench.FairShareOptions{Workers: *workers, Duration: *duration},
+		ShardBurst: bench.ShardBurstOptions{Workers: *workers, Tenants: *tenants, JobsPerTenant: *jobsPerTenant},
+	}
+	start := time.Now()
+	rep, err := bench.RunTraceOverhead(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bench.WriteTraceOverhead(os.Stdout, rep); err != nil {
+		log.Fatal(err)
+	}
+	if *jsonPath != "" {
+		if err := bench.WriteTraceOverheadJSON(*jsonPath, rep); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	fmt.Printf("total %s\n", bench.Elapsed(start))
+}

@@ -24,22 +24,39 @@ type MetricSpec struct {
 	// HigherIsBetter orients the regression test: throughput metrics set
 	// it, latency/overhead metrics leave it false.
 	HigherIsBetter bool
+	// TraceOnly marks a metric that only moves when lifecycle tracing is
+	// enabled (the traced throughputs and overhead fraction of
+	// BENCH_traceoverhead.json). A degradation there means the tracing
+	// hot path got more expensive, not that the scheduler itself slowed
+	// down, so it is flagged separately from baseline regressions.
+	TraceOnly bool
 }
 
 // ParseMetricSpec parses the cmd/benchcmp flag form "path:higher" or
-// "path:lower".
+// "path:lower", with an optional ":trace" suffix ("path:lower:trace")
+// marking the metric as tracing-only.
 func ParseMetricSpec(s string) (MetricSpec, error) {
-	path, dir, ok := strings.Cut(s, ":")
+	path, rest, ok := strings.Cut(s, ":")
 	if !ok || path == "" {
-		return MetricSpec{}, fmt.Errorf("bench: metric spec %q: want path:higher or path:lower", s)
+		return MetricSpec{}, fmt.Errorf("bench: metric spec %q: want path:higher or path:lower (optionally :trace)", s)
 	}
+	dir, qualifier, hasQualifier := strings.Cut(rest, ":")
+	spec := MetricSpec{Path: path}
 	switch dir {
 	case "higher":
-		return MetricSpec{Path: path, HigherIsBetter: true}, nil
+		spec.HigherIsBetter = true
 	case "lower":
-		return MetricSpec{Path: path, HigherIsBetter: false}, nil
+		spec.HigherIsBetter = false
+	default:
+		return MetricSpec{}, fmt.Errorf("bench: metric spec %q: direction %q is not higher or lower", s, dir)
 	}
-	return MetricSpec{}, fmt.Errorf("bench: metric spec %q: direction %q is not higher or lower", s, dir)
+	if hasQualifier {
+		if qualifier != "trace" {
+			return MetricSpec{}, fmt.Errorf("bench: metric spec %q: qualifier %q is not trace", s, qualifier)
+		}
+		spec.TraceOnly = true
+	}
+	return spec, nil
 }
 
 // Comparison is the outcome for one metric.
@@ -56,6 +73,10 @@ type Comparison struct {
 	Delta float64
 	// Regression is set when the degradation exceeds the threshold.
 	Regression bool
+	// TraceOnly is carried over from the spec: a regression here is a
+	// tracing-cost regression, reported in its own grouping and gated by
+	// its own benchcmp flag rather than the baseline -fail gate.
+	TraceOnly bool
 }
 
 // FlattenJSON decodes a JSON document and flattens every numeric leaf into
@@ -92,12 +113,14 @@ func FlattenJSON(data []byte) (map[string]float64, error) {
 // CompareReports compares the selected metrics of two flattened reports
 // against a fractional regression threshold (0.10 = 10% degradation
 // allowed). It returns one Comparison per spec, in spec order, and whether
-// any metric regressed beyond the threshold.
+// any baseline (non-TraceOnly) metric regressed beyond the threshold;
+// tracing-only regressions are marked on the comparisons and queried with
+// TraceRegressed, so the two classes gate independently.
 func CompareReports(base, head map[string]float64, specs []MetricSpec, threshold float64) ([]Comparison, bool) {
 	out := make([]Comparison, 0, len(specs))
 	anyRegression := false
 	for _, spec := range specs {
-		c := Comparison{Metric: spec.Path}
+		c := Comparison{Metric: spec.Path, TraceOnly: spec.TraceOnly}
 		b, okB := base[spec.Path]
 		h, okH := head[spec.Path]
 		c.Base, c.Head = b, h
@@ -123,11 +146,25 @@ func CompareReports(base, head map[string]float64, specs []MetricSpec, threshold
 		}
 		if c.Delta < -threshold {
 			c.Regression = true
-			anyRegression = true
+			if !c.TraceOnly {
+				anyRegression = true
+			}
 		}
 		out = append(out, c)
 	}
 	return out, anyRegression
+}
+
+// TraceRegressed reports whether any tracing-only metric regressed. It is
+// the trace-cost counterpart of CompareReports' baseline-regression result,
+// gated by cmd/benchcmp's -fail-trace instead of -fail.
+func TraceRegressed(cs []Comparison) bool {
+	for _, c := range cs {
+		if c.Regression && c.TraceOnly {
+			return true
+		}
+	}
+	return false
 }
 
 // MissingComparisons returns one all-missing Comparison per spec: the shape
@@ -136,7 +173,7 @@ func CompareReports(base, head map[string]float64, specs []MetricSpec, threshold
 func MissingComparisons(specs []MetricSpec) []Comparison {
 	out := make([]Comparison, 0, len(specs))
 	for _, spec := range specs {
-		out = append(out, Comparison{Metric: spec.Path, Missing: true})
+		out = append(out, Comparison{Metric: spec.Path, Missing: true, TraceOnly: spec.TraceOnly})
 	}
 	return out
 }
@@ -177,10 +214,13 @@ func CompareBenchFiles(basePath, headPath string, specs []MetricSpec, threshold 
 
 // WriteComparison renders the comparisons as a GitHub-flavoured markdown
 // table (the shape $GITHUB_STEP_SUMMARY renders), titled with the report
-// name.
+// name. Tracing-only regressions get their own verdict label and a
+// separate summary line below the table, so a reviewer can tell a
+// tracing-cost slip from a baseline scheduler slowdown at a glance.
 func WriteComparison(w io.Writer, title string, cs []Comparison, threshold float64) error {
 	fmt.Fprintf(w, "### %s\n\n", title)
 	fmt.Fprintf(w, "| metric | base | head | delta | verdict |\n|---|---:|---:|---:|---|\n")
+	var traceRegressed []string
 	for _, c := range cs {
 		if c.Missing {
 			fmt.Fprintf(w, "| `%s` | — | — | — | missing in base or head (new benchmark?) — not a regression |\n", c.Metric)
@@ -188,6 +228,9 @@ func WriteComparison(w io.Writer, title string, cs []Comparison, threshold float
 		}
 		verdict := "ok"
 		switch {
+		case c.Regression && c.TraceOnly:
+			verdict = fmt.Sprintf("**trace-only regression** (> %.0f%% worse with tracing on)", threshold*100)
+			traceRegressed = append(traceRegressed, c.Metric)
 		case c.Regression:
 			verdict = fmt.Sprintf("**regression** (> %.0f%% worse)", threshold*100)
 		case c.Delta > threshold:
@@ -196,6 +239,10 @@ func WriteComparison(w io.Writer, title string, cs []Comparison, threshold float
 		fmt.Fprintf(w, "| `%s` | %.4g | %.4g | %+.1f%% | %s |\n", c.Metric, c.Base, c.Head, c.Delta*100, verdict)
 	}
 	fmt.Fprintln(w)
+	if len(traceRegressed) > 0 {
+		fmt.Fprintf(w, "Tracing-only regressions (lifecycle-tracing cost grew; baseline throughput unaffected): `%s`\n\n",
+			strings.Join(traceRegressed, "`, `"))
+	}
 	return nil
 }
 

@@ -139,16 +139,76 @@ func TestCompareMissingBaseFileIsReportedNotFailed(t *testing.T) {
 }
 
 func TestParseMetricSpec(t *testing.T) {
-	if s, err := ParseMetricSpec("a.b:higher"); err != nil || !s.HigherIsBetter || s.Path != "a.b" {
+	if s, err := ParseMetricSpec("a.b:higher"); err != nil || !s.HigherIsBetter || s.Path != "a.b" || s.TraceOnly {
 		t.Errorf("a.b:higher -> %+v, %v", s, err)
 	}
-	if s, err := ParseMetricSpec("p95:lower"); err != nil || s.HigherIsBetter {
+	if s, err := ParseMetricSpec("p95:lower"); err != nil || s.HigherIsBetter || s.TraceOnly {
 		t.Errorf("p95:lower -> %+v, %v", s, err)
 	}
-	for _, bad := range []string{"", "a.b", "a.b:sideways", ":higher"} {
+	if s, err := ParseMetricSpec("overhead_fraction:lower:trace"); err != nil || s.HigherIsBetter || !s.TraceOnly {
+		t.Errorf("overhead_fraction:lower:trace -> %+v, %v", s, err)
+	}
+	if s, err := ParseMetricSpec("on_jps:higher:trace"); err != nil || !s.HigherIsBetter || !s.TraceOnly {
+		t.Errorf("on_jps:higher:trace -> %+v, %v", s, err)
+	}
+	for _, bad := range []string{"", "a.b", "a.b:sideways", ":higher", "a.b:higher:sideways", "a.b:trace"} {
 		if _, err := ParseMetricSpec(bad); err == nil {
 			t.Errorf("%q accepted", bad)
 		}
+	}
+}
+
+func TestCompareTraceOnlyRegressionsAreSeparate(t *testing.T) {
+	// A tracing-only slowdown must not trip the baseline regression gate,
+	// must be visible through TraceRegressed, and must get its own grouping
+	// in the markdown summary.
+	base := map[string]float64{"off_jps": 1000, "on_jps": 990}
+	head := map[string]float64{"off_jps": 1000, "on_jps": 500}
+	specs := []MetricSpec{
+		{Path: "off_jps", HigherIsBetter: true},
+		{Path: "on_jps", HigherIsBetter: true, TraceOnly: true},
+	}
+	cs, regressed := CompareReports(base, head, specs, 0.20)
+	if regressed {
+		t.Error("tracing-only slowdown tripped the baseline regression gate")
+	}
+	if !TraceRegressed(cs) {
+		t.Error("tracing-only slowdown not reported by TraceRegressed")
+	}
+	if !cs[1].Regression || !cs[1].TraceOnly {
+		t.Errorf("on_jps comparison not marked as trace-only regression: %+v", cs[1])
+	}
+	var sb strings.Builder
+	if err := WriteComparison(&sb, "test", cs, 0.20); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "**trace-only regression**") || !strings.Contains(out, "Tracing-only regressions") {
+		t.Errorf("trace-only regression not rendered in its own grouping:\n%s", out)
+	}
+
+	// A baseline regression on the same specs still trips the baseline gate
+	// and is rendered as a plain regression, not a trace-only one.
+	head["off_jps"] = 400
+	cs, regressed = CompareReports(base, head, specs, 0.20)
+	if !regressed {
+		t.Error("baseline slowdown not flagged")
+	}
+	sb.Reset()
+	if err := WriteComparison(&sb, "test", cs, 0.20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "| `off_jps` | 1000 | 400 | -60.0% | **regression**") {
+		t.Errorf("baseline regression row missing:\n%s", sb.String())
+	}
+
+	// Missing trace-only metrics never count as regressions of either class.
+	mcs := MissingComparisons(specs)
+	if TraceRegressed(mcs) {
+		t.Error("missing trace-only metric counted as a trace regression")
+	}
+	if !mcs[1].TraceOnly {
+		t.Error("MissingComparisons dropped the TraceOnly mark")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"loopsched/internal/jobs"
 	"loopsched/internal/stats"
+	"loopsched/internal/trace"
 	"loopsched/internal/workload"
 )
 
@@ -58,6 +59,9 @@ type FairShareOptions struct {
 	HighPrioEvery time.Duration
 	// DisableFair runs the FIFO baseline instead of the policy.
 	DisableFair bool
+	// Tracer, when set, runs the scheduler with lifecycle tracing on (the
+	// trace-overhead scenario measures the cost); nil runs untraced.
+	Tracer *trace.Tracer
 }
 
 func (o *FairShareOptions) normalize() {
@@ -145,6 +149,7 @@ func RunFairShare(opt FairShareOptions) (FairShareResult, error) {
 		},
 		DisableFair:  opt.DisableFair,
 		LockOSThread: LockThreads,
+		Tracer:       opt.Tracer,
 		Name:         "fairshare",
 	})
 	res := FairShareResult{

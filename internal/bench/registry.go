@@ -155,6 +155,13 @@ var scenarios = map[string]Scenario{
 		}
 		return WriteFairShare(w, rep)
 	},
+	"traceoverhead": func(w io.Writer) error {
+		rep, err := RunTraceOverhead(quickTraceOverheadOptions())
+		if err != nil {
+			return err
+		}
+		return WriteTraceOverhead(w, rep)
+	},
 	"pipeline": func(w io.Writer) error {
 		rep, err := RunPipelineComparison(PipelineOptions{
 			Workers: 4, Shards: 2, Chains: 4, Stages: 2, FanOut: 2, N: 1024, Rounds: 2,

@@ -13,6 +13,7 @@ import (
 
 	"loopsched/internal/jobs"
 	"loopsched/internal/stats"
+	"loopsched/internal/trace"
 )
 
 // ShardBurstOptions configures the sharded-throughput scenario: many
@@ -45,6 +46,9 @@ type ShardBurstOptions struct {
 	// StealInterval and DisableStealing pass through to the sharded pool.
 	StealInterval   time.Duration
 	DisableStealing bool
+	// Tracer, when set, runs the pool with lifecycle tracing on (the
+	// trace-overhead scenario measures the cost); nil runs untraced.
+	Tracer *trace.Tracer
 }
 
 func (o *ShardBurstOptions) normalize() {
@@ -108,6 +112,7 @@ func RunShardBurst(opt ShardBurstOptions) (ShardBurstResult, error) {
 		Config: jobs.Config{
 			Workers:      opt.Workers,
 			LockOSThread: LockThreads,
+			Tracer:       opt.Tracer,
 			Name:         "shardburst",
 		},
 		Shards:          opt.Shards,

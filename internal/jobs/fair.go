@@ -86,6 +86,24 @@ type TenantStats struct {
 	// tenant's completed jobs (with Completed, the _sum/_count pair of a
 	// wait-time summary).
 	WaitSumSeconds float64 `json:"wait_sum_seconds"`
+	// RunSumSeconds is the cumulative admission-to-completion time over the
+	// tenant's completed jobs (with Completed, the _sum/_count pair of a
+	// run-time summary).
+	RunSumSeconds float64 `json:"run_sum_seconds"`
+	// DeadlineJobsTotal counts completed jobs that carried a deadline;
+	// DeadlineMissed of them finished late, the rest hit. Cumulative, so the
+	// SLO window's hit ratio reconciles against these totals.
+	DeadlineJobsTotal int64 `json:"deadline_jobs_total"`
+	// SLO is the tenant's rolling-window SLO snapshot (see slo.go): deadline
+	// hit ratio, burn rate, and wait/run quantiles over the recent window.
+	// Nil until the tenant's first completion.
+	SLO *TenantSLO `json:"slo,omitempty"`
+
+	// Raw SLO windows backing SLO, carried unexported so a Sharded pool can
+	// merge the per-shard windows into pool-wide quantiles at the same
+	// instant (same pattern as the scheduler's latency windows).
+	sloWait, sloRun    []float64
+	sloHits, sloMisses int
 }
 
 // tenant is one per-tenant account: the fair-queue state guarded by the
@@ -106,7 +124,13 @@ type tenant struct {
 	iters          atomic.Int64
 	preempted      atomic.Int64
 	deadlineMissed atomic.Int64
+	deadlineJobs   atomic.Int64
 	waitNanos      atomic.Int64
+	runNanos       atomic.Int64
+
+	// slo is the tenant's rolling window of completion samples (see slo.go);
+	// internally locked, touched once per job completion.
+	slo sloRing
 }
 
 // stride is the pass increment per admission: inversely proportional to the
@@ -389,8 +413,9 @@ func (fq *fairQueue) shares(p int, running map[string]int) map[string]int {
 	return out
 }
 
-// tenantsSnapshot builds the per-tenant slice of a Stats snapshot.
-func (fq *fairQueue) tenantsSnapshot() map[string]TenantStats {
+// tenantsSnapshot builds the per-tenant slice of a Stats snapshot; target is
+// the scheduler's normalized SLO deadline-hit objective.
+func (fq *fairQueue) tenantsSnapshot(target float64) map[string]TenantStats {
 	fq.mu.Lock()
 	defer fq.mu.Unlock()
 	if len(fq.tenants) == 0 {
@@ -398,16 +423,21 @@ func (fq *fairQueue) tenantsSnapshot() map[string]TenantStats {
 	}
 	out := make(map[string]TenantStats, len(fq.tenants))
 	for name, t := range fq.tenants {
-		out[name] = TenantStats{
-			Weight:         t.weight,
-			QueueDepth:     int(t.depth.Load()),
-			Submitted:      t.submitted.Load(),
-			Completed:      t.completed.Load(),
-			IterationsDone: t.iters.Load(),
-			Preempted:      t.preempted.Load(),
-			DeadlineMissed: t.deadlineMissed.Load(),
-			WaitSumSeconds: float64(t.waitNanos.Load()) / float64(time.Second),
+		ts := TenantStats{
+			Weight:            t.weight,
+			QueueDepth:        int(t.depth.Load()),
+			Submitted:         t.submitted.Load(),
+			Completed:         t.completed.Load(),
+			IterationsDone:    t.iters.Load(),
+			Preempted:         t.preempted.Load(),
+			DeadlineMissed:    t.deadlineMissed.Load(),
+			DeadlineJobsTotal: t.deadlineJobs.Load(),
+			WaitSumSeconds:    float64(t.waitNanos.Load()) / float64(time.Second),
+			RunSumSeconds:     float64(t.runNanos.Load()) / float64(time.Second),
 		}
+		ts.sloWait, ts.sloRun, ts.sloHits, ts.sloMisses = t.slo.snapshot()
+		ts.SLO = buildTenantSLO(target, ts.sloWait, ts.sloRun, ts.sloHits, ts.sloMisses)
+		out[name] = ts
 	}
 	return out
 }

@@ -61,6 +61,7 @@ import (
 	"loopsched/internal/barrier"
 	"loopsched/internal/iterspace"
 	"loopsched/internal/sched"
+	"loopsched/internal/trace"
 )
 
 // Errors returned by Job.Wait and Submit.
@@ -263,6 +264,11 @@ type Job struct {
 	acyclic bool
 	home    *Scheduler
 	pool    *Sharded
+	// tr is the job's lifecycle trace, set at submit when the scheduler has a
+	// Tracer and nil otherwise; every hook is nil-safe, so untraced jobs pay
+	// one nil check per transition.
+	tr *trace.JobTrace
+
 	// waits counts upstreams not yet terminal, plus one registration
 	// sentinel so a fast upstream cannot release the job mid-registration.
 	waits atomic.Int32
@@ -334,6 +340,15 @@ func (j *Job) Cancel() bool {
 		j.s.depth.Add(-1)
 		j.s.releaseQueueSlot()
 	}
+	if j.tr != nil {
+		sh := 0
+		if blocked && j.home != nil {
+			sh = j.home.cfg.shard
+		} else if !blocked && j.s != nil {
+			sh = j.s.cfg.shard
+		}
+		j.tr.Event(trace.EvCanceled, sh, 0, "")
+	}
 	for _, d := range deps {
 		d.depDone(ErrCanceled)
 	}
@@ -344,6 +359,11 @@ func (j *Job) Cancel() bool {
 // admitted). Elastic jobs may grow and shrink while running; the peak is the
 // largest number of simultaneous participants.
 func (j *Job) Workers() int { return int(j.workers.Load()) }
+
+// Trace returns the job's lifecycle trace handle, or nil when the scheduler
+// runs without a Tracer. The handle's ID is the job id used by the event
+// stream and the trace collector.
+func (j *Job) Trace() *trace.JobTrace { return j.tr }
 
 // Label returns the request's label.
 func (j *Job) Label() string { return j.req.Label }
@@ -477,6 +497,7 @@ func (j *Job) runElastic(home *Scheduler, sub int) {
 			j.slots <- sub
 			if home != nil {
 				home.peeled.Add(1)
+				j.tr.Event(trace.EvPeeled, home.cfg.shard, int(j.active.Load()), "")
 			}
 			return
 		}
@@ -515,6 +536,17 @@ type assignment struct {
 // assignments too.
 func (a *assignment) run(home *Scheduler) {
 	j := a.job
+	if j.tr != nil {
+		// One chunk-wave child span per participant stint. The stint of the
+		// completing participant ends just after the join wave publishes the
+		// result; exporters fall back to the trace end for still-open waves.
+		sh := 0
+		if home != nil {
+			sh = home.cfg.shard
+		}
+		w := j.tr.WaveStart(sh, home != j.s)
+		defer j.tr.WaveEnd(w)
+	}
 	if a.elastic {
 		j.runElastic(home, a.sub)
 		return
@@ -669,6 +701,13 @@ func (j *Job) cancelBlocked(upErr error) {
 		j.home.blocked.Add(-1)
 		j.home.signalBlockedFreed()
 	}
+	if j.tr != nil {
+		sh := 0
+		if j.home != nil {
+			sh = j.home.cfg.shard
+		}
+		j.tr.Event(trace.EvCanceled, sh, 0, "upstream")
+	}
 	for _, d := range deps {
 		d.depDone(j.err)
 	}
@@ -696,6 +735,15 @@ func (j *Job) release() {
 		if j.req.RBody != nil {
 			j.partials = make([]paddedPartial, 1)
 			j.partials[0].v = j.req.Identity
+		}
+		if j.tr != nil {
+			sh := 0
+			if j.home != nil {
+				sh = j.home.cfg.shard
+			}
+			j.tr.Event(trace.EvReleased, sh, 0, "")
+			j.tr.Event(trace.EvAdmitted, sh, 0, "")
+			j.tr.Event(trace.EvDispatched, sh, 0, "degenerate")
 		}
 		j.complete()
 		return

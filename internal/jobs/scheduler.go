@@ -10,6 +10,7 @@ import (
 	"loopsched/internal/barrier"
 	"loopsched/internal/pool"
 	"loopsched/internal/stats"
+	"loopsched/internal/trace"
 )
 
 // Config configures a jobs scheduler.
@@ -50,8 +51,24 @@ type Config struct {
 	// serving daemons and tests usually leave it false so idle workers are
 	// cheap goroutines.
 	LockOSThread bool
+	// Tracer, when non-nil, records every job's lifecycle transitions
+	// (submitted, admitted, dispatched, grown, peeled, preempted, stolen,
+	// joined, ...) and per-chunk-wave participant stints as spans, and fans
+	// the event stream out to subscribers. Nil runs untraced: every hook
+	// compiles down to one nil check, keeping the fair-scheduler hot path
+	// unchanged. Shards of a Sharded pool share the pool's tracer.
+	Tracer *trace.Tracer
+	// SLOTarget is the per-tenant deadline-hit objective used by the SLO
+	// accounting (see slo.go): the burn rate reported per tenant is the
+	// windowed miss fraction divided by the budget (1 - SLOTarget). Outside
+	// (0, 1) selects 0.99.
+	SLOTarget float64
 	// Name is used in diagnostics.
 	Name string
+
+	// shard is this scheduler's index within its owning Sharded pool (0 for
+	// standalone schedulers); carried on every trace event.
+	shard int
 
 	// hooks connects this scheduler to sibling shards of a Sharded pool.
 	// With hooks set, a dispatcher that runs out of local work steals whole
@@ -94,6 +111,9 @@ func (c *Config) normalize() {
 	}
 	if c.LatencyWindow <= 0 {
 		c.LatencyWindow = 1024
+	}
+	if c.SLOTarget <= 0 || c.SLOTarget >= 1 {
+		c.SLOTarget = 0.99
 	}
 	if c.Name == "" {
 		c.Name = "jobs"
@@ -261,6 +281,10 @@ func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 	}
 	j := &Job{req: req, done: make(chan struct{}), s: s, home: s, submitted: time.Now(), acyclic: true,
 		tenant: tenantName(req.Tenant), prio: req.Priority, deadline: req.Deadline}
+	if s.cfg.Tracer != nil {
+		j.tr = s.cfg.Tracer.Begin(j.tenant, req.Label, req.Priority)
+		j.tr.Event(trace.EvSubmitted, s.cfg.shard, 0, "")
+	}
 	if len(req.After) > 0 {
 		// Copy the edge list so later caller mutations of the request slice
 		// cannot corrupt the verified graph, and drop the request's own
@@ -288,6 +312,7 @@ func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 		s.blocked.Add(1)
 		s.submitMu.RUnlock()
 		j.state.Store(int32(Blocked))
+		j.tr.Event(trace.EvBlocked, s.cfg.shard, 0, "")
 		j.registerDeps() // may release (or cancel) the job immediately
 		return j, nil
 	}
@@ -300,12 +325,17 @@ func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 		s.submitted.Add(1)
 		s.fq.account(j.tenant).submitted.Add(1)
 		// Degenerate loop: complete inline, never queued. A reducing job
-		// still yields its identity.
+		// still yields its identity. The trace still passes through the
+		// canonical admitted -> dispatched -> joined order.
 		j.state.Store(int32(Running))
 		j.started = j.submitted
 		if req.RBody != nil {
 			j.partials = make([]paddedPartial, 1)
 			j.partials[0].v = req.Identity
+		}
+		if j.tr != nil {
+			j.tr.Event(trace.EvAdmitted, s.cfg.shard, 0, "")
+			j.tr.Event(trace.EvDispatched, s.cfg.shard, 0, "degenerate")
 		}
 		j.complete()
 		return j, nil
@@ -325,6 +355,9 @@ func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 	s.submitted.Add(1)
 	s.fq.account(j.tenant).submitted.Add(1)
 	s.depth.Add(1)
+	// Admitted to the intake before the channel send, so the event is always
+	// published before the dispatcher can emit the job's dispatched event.
+	j.tr.Event(trace.EvAdmitted, s.cfg.shard, 0, "")
 	s.queue <- j
 	return j, nil
 }
@@ -365,6 +398,10 @@ func (s *Scheduler) acceptReleased(j *Job) bool {
 		s.depth.Add(-1)
 		s.releaseQueueSlot()
 		return true
+	}
+	if j.tr != nil {
+		j.tr.Event(trace.EvReleased, s.cfg.shard, 0, "")
+		j.tr.Event(trace.EvAdmitted, s.cfg.shard, 0, "")
 	}
 	select {
 	case s.queue <- j:
@@ -745,6 +782,7 @@ func (s *Scheduler) preemptForWaiting(growable map[*Job]struct{}) {
 		if (old == 0 || old > target) && j.active.Load() > target {
 			s.preempted.Add(1)
 			s.fq.account(j.tenant).preempted.Add(1)
+			j.tr.Event(trace.EvPreempted, s.cfg.shard, allowed, "")
 		}
 	}
 }
@@ -806,6 +844,7 @@ func (s *Scheduler) admit(j *Job, idle []int, growable map[*Job]struct{}) []int 
 	}
 	j.started = time.Now()
 	s.running.Add(1)
+	j.tr.Event(trace.EvDispatched, s.cfg.shard, k, "")
 	for sub := 0; sub < k; sub++ {
 		id := idle[len(idle)-1]
 		idle = idle[:len(idle)-1]
@@ -846,6 +885,7 @@ func (s *Scheduler) grow(idle []int, growable map[*Job]struct{}) []int {
 			id := idle[len(idle)-1]
 			idle = idle[:len(idle)-1]
 			s.grown.Add(1)
+			j.tr.Event(trace.EvGrown, s.cfg.shard, int(j.active.Load()), "")
 			s.assign[id] <- &assignment{job: j, sub: sub, elastic: true}
 			progressed = true
 		}
@@ -869,6 +909,7 @@ func (s *Scheduler) lendTo(j *Job, idle []int) []int {
 		id := idle[len(idle)-1]
 		idle = idle[:len(idle)-1]
 		s.lent.Add(1)
+		j.tr.Event(trace.EvLent, s.cfg.shard, int(j.active.Load()), "")
 		s.assign[id] <- &assignment{job: j, sub: sub, elastic: true}
 	}
 	return idle
@@ -934,19 +975,44 @@ func (s *Scheduler) recordCompletion(j *Job) {
 		s.itersDone.Add(int64(j.req.N))
 		acct.iters.Add(int64(j.req.N))
 	}
-	acct.waitNanos.Add(int64(j.started.Sub(j.submitted)))
-	if !j.deadline.IsZero() && now.After(j.deadline) {
+	wait := j.started.Sub(j.submitted)
+	acct.waitNanos.Add(int64(wait))
+	hadDeadline := !j.deadline.IsZero()
+	missed := hadDeadline && now.After(j.deadline)
+	if missed {
 		s.deadlineMissed.Add(1)
 		acct.deadlineMissed.Add(1)
+	}
+	if hadDeadline {
+		acct.deadlineJobs.Add(1)
 	}
 	if j.workers.Load() > 0 {
 		s.running.Add(-1)
 	}
 	run := now.Sub(j.started)
+	acct.runNanos.Add(int64(run))
 	// EWMA of recent run times (new = 3/4 old + 1/4 current) for the
 	// deadline-risk horizon; last-writer-wins staleness is acceptable.
 	s.lastRunNanos.Store(s.lastRunNanos.Load() - s.lastRunNanos.Load()/4 + int64(run)/4)
 	s.lat.add(now.Sub(j.submitted).Seconds(), run.Seconds())
+	// SLO window sample: deadline outcome plus the wait/run pair feeding the
+	// per-tenant rolling quantiles (see slo.go).
+	dl := sloNoDeadline
+	if hadDeadline {
+		if missed {
+			dl = sloMiss
+		} else {
+			dl = sloHit
+		}
+	}
+	acct.slo.add(wait.Seconds(), run.Seconds(), dl)
+	if j.tr != nil {
+		detail := ""
+		if missed {
+			detail = "deadline_missed"
+		}
+		j.tr.Event(trace.EvJoined, s.cfg.shard, int(j.workers.Load()), detail)
+	}
 }
 
 // Close drains the admission queue, waits for every in-flight job and
@@ -1087,7 +1153,7 @@ func (s *Scheduler) statsWindows() (Stats, []float64, []float64) {
 		DepCanceled:    s.depCanceled.Load(),
 		Preempted:      s.preempted.Load(),
 		DeadlineMissed: s.deadlineMissed.Load(),
-		Tenants:        s.fq.tenantsSnapshot(),
+		Tenants:        s.fq.tenantsSnapshot(s.cfg.SLOTarget),
 	}
 	tot, run, totSum, runSum := s.lat.snapshot()
 	st.LatencySamples = len(tot)

@@ -9,6 +9,7 @@ import (
 
 	"loopsched/internal/stats"
 	"loopsched/internal/topology"
+	"loopsched/internal/trace"
 )
 
 // ShardedConfig configures a Sharded pool. The embedded Config applies to
@@ -118,6 +119,9 @@ func NewSharded(cfg ShardedConfig) *Sharded {
 		sc.QueueDepth = perQueue
 		sc.Name = fmt.Sprintf("%s-shard%d", cfg.Name, g)
 		sc.pool = p
+		// Every shard shares the pool's tracer (inherited through the Config
+		// copy) and stamps its own index on the events it emits.
+		sc.shard = g
 		if !cfg.DisableStealing && cfg.Shards > 1 {
 			sc.hooks = &stealHooks{
 				totalP:   cfg.Workers,
@@ -248,6 +252,9 @@ func (p *Sharded) stealFor(thief *Scheduler) *Job {
 		thief.forceQueueSlot()
 		p.migrateEnd.Add(1)
 		j.state.Store(int32(Pending))
+		if j.tr != nil {
+			j.tr.Event(trace.EvStolen, thief.cfg.shard, 0, fmt.Sprintf("from=%d", victim.cfg.shard))
+		}
 		return j
 	}
 	return nil
@@ -371,7 +378,15 @@ func (p *Sharded) statsSnapshot() ShardedStats {
 			agg.IterationsDone += ts.IterationsDone
 			agg.Preempted += ts.Preempted
 			agg.DeadlineMissed += ts.DeadlineMissed
+			agg.DeadlineJobsTotal += ts.DeadlineJobsTotal
 			agg.WaitSumSeconds += ts.WaitSumSeconds
+			agg.RunSumSeconds += ts.RunSumSeconds
+			// SLO windows concatenate across shards; the pool-wide snapshot is
+			// rebuilt from the union after the walk.
+			agg.sloWait = append(agg.sloWait, ts.sloWait...)
+			agg.sloRun = append(agg.sloRun, ts.sloRun...)
+			agg.sloHits += ts.sloHits
+			agg.sloMisses += ts.sloMisses
 			out.Total.Tenants[name] = agg
 		}
 		out.Total.LatencySamples += st.LatencySamples
@@ -385,6 +400,10 @@ func (p *Sharded) statsSnapshot() ShardedStats {
 		out.Total.LatencyP50, out.Total.LatencyP95, out.Total.LatencyP99 = secs(q[0]), secs(q[1]), secs(q[2])
 		q = stats.Quantiles(run, 0.5, 0.95, 0.99)
 		out.Total.RunP50, out.Total.RunP95, out.Total.RunP99 = secs(q[0]), secs(q[1]), secs(q[2])
+	}
+	for name, agg := range out.Total.Tenants {
+		agg.SLO = buildTenantSLO(p.cfg.SLOTarget, agg.sloWait, agg.sloRun, agg.sloHits, agg.sloMisses)
+		out.Total.Tenants[name] = agg
 	}
 	return out
 }

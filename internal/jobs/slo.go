@@ -1,0 +1,135 @@
+package jobs
+
+// slo.go is the per-tenant SLO accounting: every job completion deposits one
+// sample — the admission wait, the run time, and the deadline outcome — into
+// the tenant's rolling window, and snapshots derive the windowed deadline-hit
+// ratio, the burn rate against the configured objective, and wait/run
+// quantiles. The window is deliberately sized in jobs, not time: under a
+// steady load it is a recent-past view, and under a trickle it still answers
+// "how did the last N jobs do" instead of decaying to nothing.
+//
+// Burn rate follows the usual SLO convention: the windowed miss fraction
+// divided by the error budget (1 - target). A tenant burning at 1.0 consumes
+// its budget exactly as fast as the objective allows; above 1.0 it is on
+// track to violate the SLO, and a burn of N means the budget disappears N
+// times faster than sustainable.
+
+import (
+	"sync"
+
+	"loopsched/internal/stats"
+)
+
+// sloWindowSize is the number of recent completions kept per tenant.
+const sloWindowSize = 256
+
+// Deadline outcome of one completion sample.
+const (
+	sloNoDeadline uint8 = iota
+	sloHit
+	sloMiss
+)
+
+// sloRing is one tenant's rolling window of completion samples. The slices
+// are allocated lazily on the first completion, so registering many tenants
+// costs nothing until they run work.
+type sloRing struct {
+	mu   sync.Mutex
+	wait []float64 // submission -> admission, seconds
+	run  []float64 // admission -> completion, seconds
+	dl   []uint8   // deadline outcome per sample
+	idx  int
+	n    int
+}
+
+func (r *sloRing) add(wait, run float64, dl uint8) {
+	r.mu.Lock()
+	if r.wait == nil {
+		r.wait = make([]float64, sloWindowSize)
+		r.run = make([]float64, sloWindowSize)
+		r.dl = make([]uint8, sloWindowSize)
+	}
+	r.wait[r.idx], r.run[r.idx], r.dl[r.idx] = wait, run, dl
+	r.idx = (r.idx + 1) % sloWindowSize
+	if r.n < sloWindowSize {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// snapshot copies out the window and tallies the deadline outcomes in it.
+func (r *sloRing) snapshot() (wait, run []float64, hits, misses int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return nil, nil, 0, 0
+	}
+	wait = append([]float64(nil), r.wait[:r.n]...)
+	run = append([]float64(nil), r.run[:r.n]...)
+	for _, d := range r.dl[:r.n] {
+		switch d {
+		case sloHit:
+			hits++
+		case sloMiss:
+			misses++
+		}
+	}
+	return wait, run, hits, misses
+}
+
+// TenantSLO is one tenant's rolling-window SLO snapshot. The JSON field names
+// are stable (cmd/loopd serves this struct on /stats and derives the
+// loopd_slo_* metrics from it).
+type TenantSLO struct {
+	// Target is the deadline-hit objective the burn rate is measured against
+	// (Config.SLOTarget).
+	Target float64 `json:"target"`
+	// WindowJobs is the number of completions in the rolling window;
+	// DeadlineJobs of them carried a deadline and DeadlineHits of those met
+	// it.
+	WindowJobs   int `json:"window_jobs"`
+	DeadlineJobs int `json:"deadline_jobs"`
+	DeadlineHits int `json:"deadline_hits"`
+	// HitRatio is DeadlineHits / DeadlineJobs over the window (1 when the
+	// window has no deadline jobs: an unexercised SLO is not a violated one).
+	HitRatio float64 `json:"hit_ratio"`
+	// BurnRate is the windowed miss fraction divided by the error budget
+	// (1 - Target): 0 when nothing missed, 1.0 when the tenant burns budget
+	// exactly at the sustainable rate, above 1 when on track to violate.
+	BurnRate float64 `json:"burn_rate"`
+	// Wait (submission to admission) and run (admission to completion)
+	// quantiles over the window, in seconds.
+	WaitP50 float64 `json:"wait_p50_seconds"`
+	WaitP95 float64 `json:"wait_p95_seconds"`
+	WaitP99 float64 `json:"wait_p99_seconds"`
+	RunP50  float64 `json:"run_p50_seconds"`
+	RunP95  float64 `json:"run_p95_seconds"`
+	RunP99  float64 `json:"run_p99_seconds"`
+}
+
+// buildTenantSLO derives the SLO snapshot from a window (nil when the window
+// is empty). Quantiles sort an internal copy, so unsorted concatenations of
+// shard windows are fine as input.
+func buildTenantSLO(target float64, wait, run []float64, hits, misses int) *TenantSLO {
+	if len(wait) == 0 {
+		return nil
+	}
+	slo := &TenantSLO{
+		Target:       target,
+		WindowJobs:   len(wait),
+		DeadlineJobs: hits + misses,
+		DeadlineHits: hits,
+		HitRatio:     1,
+	}
+	if slo.DeadlineJobs > 0 {
+		slo.HitRatio = float64(hits) / float64(slo.DeadlineJobs)
+		if budget := 1 - target; budget > 0 {
+			slo.BurnRate = (1 - slo.HitRatio) / budget
+		}
+	}
+	wq := stats.Quantiles(wait, 0.5, 0.95, 0.99)
+	rq := stats.Quantiles(run, 0.5, 0.95, 0.99)
+	slo.WaitP50, slo.WaitP95, slo.WaitP99 = wq[0], wq[1], wq[2]
+	slo.RunP50, slo.RunP95, slo.RunP99 = rq[0], rq[1], rq[2]
+	return slo
+}

@@ -1,0 +1,195 @@
+package jobs_test
+
+// SLO accounting tests: every completion must deposit exactly one sample into
+// its tenant's rolling window, the derived hit ratio / burn rate must match
+// the deadline outcomes, and the sharded pool's Total view must rebuild the
+// SLO from the union of the shard windows so it reconciles with the per-shard
+// numbers.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"loopsched/internal/jobs"
+)
+
+// runBatch submits count jobs for tenant with the given deadline offset
+// (zero means no deadline) and waits for them all.
+func runBatch(t *testing.T, s *jobs.Scheduler, tenant string, count int, deadline time.Duration) {
+	t.Helper()
+	js := make([]*jobs.Job, 0, count)
+	for i := 0; i < count; i++ {
+		req := jobs.Request{N: 64, Tenant: tenant, Body: func(w, lo, hi int) {}}
+		if deadline != 0 {
+			req.Deadline = time.Now().Add(deadline)
+		}
+		j, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js = append(js, j)
+	}
+	for _, j := range js {
+		if _, err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSLOAccounting(t *testing.T) {
+	s := jobs.New(jobs.Config{Workers: 2, SLOTarget: 0.9})
+	defer s.Close()
+
+	// 6 guaranteed hits (generous deadline), 2 guaranteed misses (deadline
+	// already past at submission), 2 jobs with no deadline at all.
+	runBatch(t, s, "acme", 6, time.Hour)
+	runBatch(t, s, "acme", 2, -time.Hour)
+	runBatch(t, s, "acme", 2, 0)
+
+	ts, ok := s.Stats().Tenants["acme"]
+	if !ok {
+		t.Fatal("no tenant stats for acme")
+	}
+	if ts.Completed != 10 {
+		t.Fatalf("Completed = %d, want 10", ts.Completed)
+	}
+	if ts.DeadlineJobsTotal != 8 {
+		t.Fatalf("DeadlineJobsTotal = %d, want 8", ts.DeadlineJobsTotal)
+	}
+	if ts.DeadlineMissed != 2 {
+		t.Fatalf("DeadlineMissed = %d, want 2", ts.DeadlineMissed)
+	}
+	if ts.RunSumSeconds <= 0 {
+		t.Fatalf("RunSumSeconds = %v, want > 0", ts.RunSumSeconds)
+	}
+
+	slo := ts.SLO
+	if slo == nil {
+		t.Fatal("nil SLO snapshot after completions")
+	}
+	if slo.Target != 0.9 {
+		t.Fatalf("SLO target = %v, want 0.9", slo.Target)
+	}
+	if slo.WindowJobs != 10 {
+		t.Fatalf("WindowJobs = %d, want 10", slo.WindowJobs)
+	}
+	if slo.DeadlineJobs != 8 || slo.DeadlineHits != 6 {
+		t.Fatalf("DeadlineJobs/Hits = %d/%d, want 8/6", slo.DeadlineJobs, slo.DeadlineHits)
+	}
+	// Window totals must reconcile with the cumulative tenant counters while
+	// the window hasn't wrapped.
+	if int64(slo.DeadlineJobs) != ts.DeadlineJobsTotal {
+		t.Fatalf("window DeadlineJobs %d != DeadlineJobsTotal %d", slo.DeadlineJobs, ts.DeadlineJobsTotal)
+	}
+	if int64(slo.DeadlineJobs-slo.DeadlineHits) != ts.DeadlineMissed {
+		t.Fatalf("window misses %d != DeadlineMissed %d", slo.DeadlineJobs-slo.DeadlineHits, ts.DeadlineMissed)
+	}
+	wantRatio := 6.0 / 8.0
+	if math.Abs(slo.HitRatio-wantRatio) > 1e-12 {
+		t.Fatalf("HitRatio = %v, want %v", slo.HitRatio, wantRatio)
+	}
+	// Burn = miss fraction / error budget = 0.25 / 0.1.
+	wantBurn := (1 - wantRatio) / (1 - 0.9)
+	if math.Abs(slo.BurnRate-wantBurn) > 1e-9 {
+		t.Fatalf("BurnRate = %v, want %v", slo.BurnRate, wantBurn)
+	}
+	if slo.WaitP50 < 0 || slo.WaitP99 < slo.WaitP50 {
+		t.Fatalf("wait quantiles not ordered: p50=%v p99=%v", slo.WaitP50, slo.WaitP99)
+	}
+	if slo.RunP50 < 0 || slo.RunP99 < slo.RunP50 {
+		t.Fatalf("run quantiles not ordered: p50=%v p99=%v", slo.RunP50, slo.RunP99)
+	}
+}
+
+func TestSLONoDeadlineJobsIsUnexercised(t *testing.T) {
+	s := jobs.New(jobs.Config{Workers: 2})
+	defer s.Close()
+	runBatch(t, s, "calm", 4, 0)
+
+	slo := s.Stats().Tenants["calm"].SLO
+	if slo == nil {
+		t.Fatal("nil SLO after deadline-less completions")
+	}
+	if slo.Target != 0.99 {
+		t.Fatalf("default SLO target = %v, want 0.99", slo.Target)
+	}
+	if slo.DeadlineJobs != 0 {
+		t.Fatalf("DeadlineJobs = %d, want 0", slo.DeadlineJobs)
+	}
+	if slo.HitRatio != 1 || slo.BurnRate != 0 {
+		t.Fatalf("unexercised SLO hit/burn = %v/%v, want 1/0", slo.HitRatio, slo.BurnRate)
+	}
+}
+
+func TestSLONilBeforeFirstCompletion(t *testing.T) {
+	s := jobs.New(jobs.Config{Workers: 2, TenantWeights: map[string]int{"idle": 1}})
+	defer s.Close()
+	if ts, ok := s.Stats().Tenants["idle"]; ok && ts.SLO != nil {
+		t.Fatalf("registered-but-idle tenant has SLO %+v, want nil", ts.SLO)
+	}
+}
+
+func TestSLOShardedMerge(t *testing.T) {
+	p := jobs.NewSharded(jobs.ShardedConfig{
+		Config: jobs.Config{Workers: 2, SLOTarget: 0.5},
+		Shards: 2,
+	})
+	defer p.Close()
+
+	// Spread jobs for one tenant across the pool: half guaranteed misses.
+	var js []*jobs.Job
+	for i := 0; i < 12; i++ {
+		dl := time.Now().Add(time.Hour)
+		if i%2 == 0 {
+			dl = time.Now().Add(-time.Hour)
+		}
+		j, err := p.Submit(jobs.Request{N: 64, Tenant: "spread", Deadline: dl, Body: func(w, lo, hi int) {}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		js = append(js, j)
+	}
+	for _, j := range js {
+		if _, err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := p.Stats()
+	total, ok := st.Total.Tenants["spread"]
+	if !ok {
+		t.Fatal("no pool-wide tenant stats for spread")
+	}
+	if total.SLO == nil {
+		t.Fatal("nil pool-wide SLO")
+	}
+	if total.SLO.WindowJobs != 12 {
+		t.Fatalf("pool-wide WindowJobs = %d, want 12", total.SLO.WindowJobs)
+	}
+	if total.SLO.DeadlineJobs != 12 || total.SLO.DeadlineHits != 6 {
+		t.Fatalf("pool-wide DeadlineJobs/Hits = %d/%d, want 12/6", total.SLO.DeadlineJobs, total.SLO.DeadlineHits)
+	}
+	if math.Abs(total.SLO.HitRatio-0.5) > 1e-12 {
+		t.Fatalf("pool-wide HitRatio = %v, want 0.5", total.SLO.HitRatio)
+	}
+	// Miss fraction 0.5 over a 0.5 error budget burns at exactly 1.0.
+	if math.Abs(total.SLO.BurnRate-1.0) > 1e-9 {
+		t.Fatalf("pool-wide BurnRate = %v, want 1.0", total.SLO.BurnRate)
+	}
+
+	// The pool-wide window must be the union of the shard windows.
+	var shardWindow, shardDeadline, shardHits int
+	for _, ss := range st.Shards {
+		if ts, ok := ss.Tenants["spread"]; ok && ts.SLO != nil {
+			shardWindow += ts.SLO.WindowJobs
+			shardDeadline += ts.SLO.DeadlineJobs
+			shardHits += ts.SLO.DeadlineHits
+		}
+	}
+	if shardWindow != total.SLO.WindowJobs || shardDeadline != total.SLO.DeadlineJobs || shardHits != total.SLO.DeadlineHits {
+		t.Fatalf("shard union %d/%d/%d != pool-wide %d/%d/%d",
+			shardWindow, shardDeadline, shardHits,
+			total.SLO.WindowJobs, total.SLO.DeadlineJobs, total.SLO.DeadlineHits)
+	}
+}

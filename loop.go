@@ -41,6 +41,23 @@ import (
 	"loopsched/internal/jobs"
 	"loopsched/internal/reduce"
 	"loopsched/internal/sched"
+	"loopsched/internal/trace"
+)
+
+// Tracing re-exports: the async runtime's lifecycle tracing is implemented in
+// internal/trace; these aliases let library users consume it without importing
+// an internal package.
+type (
+	// Tracer collects per-job lifecycle traces and streams events to
+	// subscribers; obtain the pool's from Pool.Tracer.
+	Tracer = trace.Tracer
+	// JobTrace is one job's recorded trace (events and chunk-wave stints);
+	// obtain a job's from Job.Trace, or a finished one from Tracer.Trace.
+	JobTrace = trace.JobTrace
+	// TraceEvent is one lifecycle transition as delivered to subscribers.
+	TraceEvent = trace.StreamEvent
+	// TraceSubscription is a live event feed created by Tracer.Subscribe.
+	TraceSubscription = trace.Subscription
 )
 
 // BarrierKind selects the synchronisation substrate of a Pool.
@@ -100,6 +117,18 @@ type Config struct {
 	// siblings for queued jobs to steal or elastic jobs to lend workers to;
 	// <= 0 selects the default (200µs). Ignored with fewer than two shards.
 	AsyncStealInterval time.Duration
+	// Trace enables lifecycle tracing on the async runtime: every job
+	// records a span of its transitions (submit, admission, dispatch,
+	// elastic churn, join) and finished traces are kept in a ring queryable
+	// through Pool.Tracer. Tracing off costs one nil check per transition.
+	Trace bool
+	// TraceCapacity is the number of finished job traces retained;
+	// <= 0 selects the default (1024). Ignored unless Trace is set.
+	TraceCapacity int
+	// SLOTarget is the per-tenant deadline-hit objective burn rates are
+	// measured against in the async runtime's SLO snapshots; outside (0, 1)
+	// selects the default (0.99).
+	SLOTarget float64
 }
 
 // Pool is a team of persistent workers executing parallel loops. The
@@ -117,6 +146,8 @@ type Pool struct {
 	asyncRigid         bool
 	asyncShards        int
 	asyncStealInterval time.Duration
+	asyncSLOTarget     float64
+	tracer             *trace.Tracer
 
 	jobsMu     sync.Mutex
 	jobsRT     *jobs.Sharded
@@ -145,13 +176,18 @@ func New(cfg Config) *Pool {
 		OuterFanout:  cfg.OuterFanout,
 		LockOSThread: !cfg.DisableThreadLock,
 	})
-	return &Pool{
+	p := &Pool{
 		s:                  s,
 		asyncGrain:         cfg.AsyncGrain,
 		asyncRigid:         cfg.AsyncRigid,
 		asyncShards:        cfg.AsyncShards,
 		asyncStealInterval: cfg.AsyncStealInterval,
+		asyncSLOTarget:     cfg.SLOTarget,
 	}
+	if cfg.Trace {
+		p.tracer = trace.NewTracer(cfg.TraceCapacity)
+	}
+	return p
 }
 
 // NewDefault creates a pool with the default configuration.
@@ -195,6 +231,8 @@ func (p *Pool) jobs() *jobs.Sharded {
 				DefaultGrain:   p.asyncGrain,
 				DisableElastic: p.asyncRigid,
 				TenantWeights:  weights,
+				Tracer:         p.tracer,
+				SLOTarget:      p.asyncSLOTarget,
 				Name:           "async-" + p.s.Name(),
 			},
 			Shards:        shards,
@@ -265,6 +303,11 @@ func (p *Pool) AsyncStats() jobs.ShardedStats {
 	}
 	return rt.Stats()
 }
+
+// Tracer returns the pool's lifecycle tracer, or nil unless Config.Trace
+// was set. Subscribe to it for a live event feed, or query finished job
+// traces with Tracer.Trace.
+func (p *Pool) Tracer() *Tracer { return p.tracer }
 
 // Scheduler exposes the underlying runtime through the internal scheduler
 // interface; it is used by the benchmark harness and example applications
@@ -448,6 +491,17 @@ func (j *Job) Workers() int {
 		return 0
 	}
 	return j.inner.Workers()
+}
+
+// Trace returns the job's lifecycle trace, or nil unless the pool was
+// created with Config.Trace (failed submissions also have no trace). The
+// trace is live while the job runs; after Wait it is finished and its OTLP
+// span tree is complete.
+func (j *Job) Trace() *JobTrace {
+	if j.inner == nil {
+		return nil
+	}
+	return j.inner.Trace()
 }
 
 // failedJob wraps a submission error as an already-completed Job so call

@@ -638,3 +638,84 @@ func TestAfterCancelPropagatesThroughPublicAPI(t *testing.T) {
 		t.Error("dependent err is the bare ErrCanceled sentinel; want the upstream's cancellation wrapped")
 	}
 }
+
+func TestPoolTraceThroughPublicAPI(t *testing.T) {
+	pool := testPool(t, Config{Workers: 4, Trace: true, TraceCapacity: 64})
+	tr := pool.Tracer()
+	if tr == nil {
+		t.Fatal("Config.Trace set but Tracer() is nil")
+	}
+	sub := tr.Subscribe(1024, "", 0)
+	defer sub.Close()
+
+	js := pool.SubmitPipeline(
+		Stage{N: 256, Opts: JobOptions{Tenant: "pipe", Label: "produce"}, Body: func(i int) {}},
+		Stage{N: 256, Opts: JobOptions{Tenant: "pipe", Label: "consume"}, Body: func(i int) {}},
+	)
+	for _, j := range js {
+		if err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jt := js[1].Trace()
+	if jt == nil {
+		t.Fatal("traced pool returned a nil Job.Trace")
+	}
+	if !jt.Finished() {
+		t.Fatal("trace not finished after Wait")
+	}
+	if jt.Tenant != "pipe" || jt.Label != "consume" {
+		t.Fatalf("trace tenant/label = %q/%q, want pipe/consume", jt.Tenant, jt.Label)
+	}
+	if tr.Trace(jt.ID) == nil {
+		t.Fatal("finished trace not queryable from the pool tracer")
+	}
+	doc := jt.OTLP("loopsched")
+	if len(doc.ResourceSpans) != 1 || len(doc.ResourceSpans[0].ScopeSpans[0].Spans) == 0 {
+		t.Fatal("empty OTLP document for a finished trace")
+	}
+	// The dependent stage must have recorded its blocked -> released hold.
+	var sawBlocked, sawReleased bool
+	for _, ev := range jt.Events() {
+		switch ev.Type {
+		case "blocked":
+			sawBlocked = true
+		case "released":
+			sawReleased = true
+		}
+	}
+	if !sawBlocked || !sawReleased {
+		t.Fatalf("dependent stage events missing blocked/released: blocked=%v released=%v", sawBlocked, sawReleased)
+	}
+	// The live feed delivered events for both stages.
+	got := 0
+	for {
+		select {
+		case <-sub.Events():
+			got++
+			continue
+		default:
+		}
+		break
+	}
+	if got == 0 {
+		t.Fatal("subscription delivered no events")
+	}
+}
+
+func TestPoolUntracedHasNoTracer(t *testing.T) {
+	pool := testPool(t, Config{Workers: 2})
+	if pool.Tracer() != nil {
+		t.Fatal("Tracer() non-nil without Config.Trace")
+	}
+	j := pool.Submit(32, func(i int) {})
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Trace() != nil {
+		t.Fatal("untraced pool produced a job trace")
+	}
+	if pool.failedJob(ErrClosed).Trace() != nil {
+		t.Fatal("failed job has a trace")
+	}
+}
