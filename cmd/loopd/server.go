@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -231,12 +232,21 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	batch, err := intParam(r, "batch", 0, 0, 1)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	pol, err := parsePolicy(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	if spec := r.FormValue("pipeline"); spec != "" {
+		if batch != 0 {
+			http.Error(w, "batch conflicts with pipeline: batched admission is for independent jobs", http.StatusBadRequest)
+			return
+		}
 		// The pipeline spec subsumes workload and jobs; reject the
 		// combination instead of silently ignoring parameters.
 		if r.FormValue("workload") != "" || r.FormValue("jobs") != "" {
@@ -251,7 +261,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.runPipeline(w, stages, float64(iterNs), maxWorkers, grain, shard, pol)
 		return
 	}
-	s.runJobs(w, workload, n, nJobs, float64(iterNs), maxWorkers, grain, shard, pol)
+	s.runJobs(w, workload, n, nJobs, float64(iterNs), maxWorkers, grain, shard, pol, batch != 0)
 }
 
 // jobPolicy carries the per-request scheduling policy parameters: the
@@ -428,7 +438,10 @@ func (s *server) runPipeline(w http.ResponseWriter, stages []pipelineStage, iter
 // built (and, for calibrated workloads, calibrated) exactly once and the
 // request value reused for every job: request bodies are stateless, and the
 // calibration cache in bench keeps repeat requests off the measurement path.
-func (s *server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, iterNs float64, maxWorkers, grain, shard int, pol jobPolicy) {
+// With batch set the whole fan-out is admitted through SubmitBatch — one
+// queue-lock acquisition for all nJobs — instead of nJobs Submit calls; the
+// response body is identical either way.
+func (s *server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, iterNs float64, maxWorkers, grain, shard int, pol jobPolicy, batch bool) {
 	params := bench.JobParams{N: n, IterNs: iterNs, MaxWorkers: maxWorkers, Grain: grain}
 	req, err := bench.NewJobRequest(workload, params)
 	if err != nil {
@@ -439,19 +452,9 @@ func (s *server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, i
 	resp := runResponse{Workload: workload, Jobs: nJobs, Iterations: n, Results: make([]runJobResult, nJobs)}
 	start := time.Now()
 	var wg sync.WaitGroup
-	for i := 0; i < nJobs; i++ {
-		var j *jobs.Job
-		if shard >= 0 {
-			j, err = s.rt.SubmitTo(shard, req)
-		} else {
-			j, err = s.rt.Submit(req)
-		}
-		if err != nil {
-			resp.Results[i].Error = err.Error()
-			continue
-		}
+	await := func(i int, j *jobs.Job) {
 		wg.Add(1)
-		go func(i int, j *jobs.Job) {
+		go func() {
 			defer wg.Done()
 			jobStart := time.Now()
 			v, err := j.Wait()
@@ -462,7 +465,44 @@ func (s *server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, i
 			if err != nil {
 				resp.Results[i].Error = err.Error()
 			}
-		}(i, j)
+		}()
+	}
+	if batch {
+		reqs := make([]jobs.Request, nJobs)
+		for i := range reqs {
+			reqs[i] = req
+		}
+		out := make([]*jobs.Job, nJobs)
+		if shard >= 0 {
+			// A pinned batch goes to the pinned shard's scheduler directly,
+			// mirroring SubmitTo.
+			err = s.rt.Shard(shard).SubmitBatch(reqs, out)
+		} else {
+			err = s.rt.SubmitBatch(reqs, out)
+		}
+		for i, j := range out {
+			if j == nil {
+				if err != nil {
+					resp.Results[i].Error = err.Error()
+				}
+				continue
+			}
+			await(i, j)
+		}
+	} else {
+		for i := 0; i < nJobs; i++ {
+			var j *jobs.Job
+			if shard >= 0 {
+				j, err = s.rt.SubmitTo(shard, req)
+			} else {
+				j, err = s.rt.Submit(req)
+			}
+			if err != nil {
+				resp.Results[i].Error = err.Error()
+				continue
+			}
+			await(i, j)
+		}
 	}
 	wg.Wait()
 	resp.WallSeconds = time.Since(start).Seconds()
@@ -825,9 +865,24 @@ func buildIdentity() (goVersion, revision string) {
 	return goVersion, revision
 }
 
+// jsonBufPool recycles response-encoding buffers across requests: the /run
+// hot path re-encodes structurally identical bodies per request, so encoding
+// into a pooled buffer and writing once keeps the handler allocation-light
+// and the response a single Write. Buffers that grew beyond
+// maxPooledBufBytes are dropped rather than pinned.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBufBytes = 1 << 20
+
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledBufBytes {
+		jsonBufPool.Put(buf)
+	}
 }

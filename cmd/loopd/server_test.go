@@ -693,3 +693,82 @@ func TestPipelineRejectsConflictingParams(t *testing.T) {
 		}
 	}
 }
+
+// TestRunBatch exercises the batched admission form of /run: &batch=1
+// submits the whole fan-out through SubmitBatch, and the response must carry
+// the same fields and correct per-job results as the unbatched form.
+func TestRunBatch(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, q := range []string{
+		"/run?workload=sum&n=2048&jobs=6&batch=1",
+		"/run?workload=sum&n=2048&jobs=6&batch=1&shard=0",
+		"/run?workload=sum&n=2048&jobs=6&batch=1&tenant=gold&prio=2",
+	} {
+		resp, err := http.Post(ts.URL+q, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", q, resp.StatusCode, body)
+		}
+		var rr runResponse
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Fatal(err)
+		}
+		if rr.Jobs != 6 || len(rr.Results) != 6 {
+			t.Fatalf("%s: %+v", q, rr)
+		}
+		want := float64(2048) * 2047 / 2
+		for i, res := range rr.Results {
+			if res.Error != "" {
+				t.Fatalf("%s: job %d: %s", q, i, res.Error)
+			}
+			if math.Abs(res.Result-want) > 1e-6 {
+				t.Fatalf("%s: job %d: result %v, want %v", q, i, res.Result, want)
+			}
+		}
+	}
+	// batch conflicts with pipeline.
+	resp, err := http.Post(ts.URL+"/run?pipeline=sum:100&batch=1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("pipeline+batch: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestWriteJSONPooledIdentical pins the response-buffer pooling contract:
+// writeJSON through the recycled buffers produces byte-identical output to a
+// fresh indent encoder, across repeated (pool-reusing) calls.
+func TestWriteJSONPooledIdentical(t *testing.T) {
+	fixture := runResponse{
+		Workload:   "sum",
+		Jobs:       2,
+		Iterations: 128,
+		Results: []runJobResult{
+			{Seconds: 0.25, Workers: 2, Result: 8128},
+			{Seconds: 0.5, Workers: 1, Result: 8128, Error: "boom"},
+		},
+		WallSeconds: 0.75,
+	}
+	var want strings.Builder
+	enc := json.NewEncoder(&want)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(fixture); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		rec := httptest.NewRecorder()
+		writeJSON(rec, fixture)
+		if got := rec.Body.String(); got != want.String() {
+			t.Fatalf("call %d: pooled writeJSON diverged:\ngot  %q\nwant %q", i, got, want.String())
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("call %d: Content-Type = %q", i, ct)
+		}
+	}
+}

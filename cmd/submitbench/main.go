@@ -1,0 +1,83 @@
+// Command submitbench runs the submit-path micro-benchmark (per-submit
+// latency, allocations per submit cycle and dispatch-latency percentiles
+// through the full Sharded -> fair queue -> dispatcher -> worker spine) and
+// emits both a human-readable table and the machine-readable
+// BENCH_submitpath.json artifact used to track the perf trajectory across
+// PRs. The -cpuprofile/-memprofile flags make the before/after profiles that
+// justify submit-path changes reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"loopsched/internal/bench"
+)
+
+func main() {
+	workers := flag.Int("workers", 0, "team size (0 = GOMAXPROCS capped at 8)")
+	shards := flag.Int("shards", 0, "shard count (0 = 1; the router is on the measured path either way)")
+	jobsN := flag.Int("jobs", 0, "measured submissions (0 = 20000)")
+	warmup := flag.Int("warmup", 0, "unmeasured priming submissions (0 = 2000)")
+	batch := flag.Int("batch", 0, "SubmitBatch size of the batched phase (0 = 64)")
+	n := flag.Int("n", 0, "iterations per job (0 = 1, the pure-handoff regime)")
+	noLock := flag.Bool("no-lock", false, "do not pin workers to OS threads")
+	jsonPath := flag.String("json", "BENCH_submitpath.json", "write the machine-readable report here ('' = skip)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured run here")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the measured run here")
+	flag.Parse()
+
+	if *noLock {
+		bench.LockThreads = false
+	}
+	opt := bench.SubmitPathOptions{
+		Workers: *workers,
+		Shards:  *shards,
+		Jobs:    *jobsN,
+		Warmup:  *warmup,
+		Batch:   *batch,
+		N:       *n,
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	start := time.Now()
+	res, err := bench.RunSubmitPath(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // surface only live objects: the retained footprint
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+	if err := bench.WriteSubmitPath(os.Stdout, res); err != nil {
+		log.Fatal(err)
+	}
+	if *jsonPath != "" {
+		if err := bench.WriteSubmitPathJSON(*jsonPath, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	fmt.Printf("total %s\n", bench.Elapsed(start))
+}

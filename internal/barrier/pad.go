@@ -18,3 +18,18 @@ type paddedUint32 struct {
 	v atomic.Uint32
 	_ [cacheLine - 4]byte
 }
+
+// PaddedInt64 is an atomic int64 on its own cache line, for hot counters
+// embedded in structs whose neighbouring fields are written by other
+// goroutines (the false-sharing discipline the in-package padded types apply
+// to barrier state, exported for the scheduler's hot atomics).
+type PaddedInt64 struct {
+	atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// PaddedUint64 is an atomic uint64 on its own cache line.
+type PaddedUint64 struct {
+	atomic.Uint64
+	_ [cacheLine - 8]byte
+}

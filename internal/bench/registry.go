@@ -162,6 +162,13 @@ var scenarios = map[string]Scenario{
 		}
 		return WriteTraceOverhead(w, rep)
 	},
+	"submitpath": func(w io.Writer) error {
+		res, err := RunSubmitPath(SubmitPathOptions{Workers: 2, Jobs: 2000, Warmup: 200})
+		if err != nil {
+			return err
+		}
+		return WriteSubmitPath(w, res)
+	},
 	"pipeline": func(w io.Writer) error {
 		rep, err := RunPipelineComparison(PipelineOptions{
 			Workers: 4, Shards: 2, Chains: 4, Stages: 2, FanOut: 2, N: 1024, Rounds: 2,

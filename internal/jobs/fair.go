@@ -42,6 +42,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"loopsched/internal/barrier"
 )
 
 // strideScale is the stride numerator: a tenant's pass advances by
@@ -117,8 +119,11 @@ type tenant struct {
 	pass   uint64
 	q      jobHeap
 
-	// Atomics.
-	depth          atomic.Int64
+	// Atomics. depth is the hot one: shard stealing moves it lock-free from
+	// worker goroutines (sharded.go) while submitters bump the metering
+	// counters below, so it gets its own cache line to keep a steal wave from
+	// ping-ponging the line the submit path writes.
+	depth          barrier.PaddedInt64
 	submitted      atomic.Int64
 	completed      atomic.Int64
 	iters          atomic.Int64
@@ -256,6 +261,39 @@ func (fq *fairQueue) push(j *Job) {
 	fq.mu.Unlock()
 }
 
+// pushBatch enqueues every non-degenerate job of a batch under ONE lock
+// acquisition — the fair-queue half of SubmitBatch's amortized intake.
+// Entries that are nil or degenerate (N <= 0: completed inline by the
+// submitter, never queued) are skipped, so the caller can hand over its
+// result slice as-is. When meter is set each queued job also bumps its
+// tenant's submitted counter here, folding the per-job account() round trip
+// of the single-submit path into the same critical section.
+func (fq *fairQueue) pushBatch(jobs []*Job, meter bool) {
+	fq.mu.Lock()
+	for _, j := range jobs {
+		if j == nil || j.req.N <= 0 {
+			continue
+		}
+		t := fq.accountLocked(j.tenant)
+		j.seq = fq.seq
+		fq.seq++
+		if fq.fifo {
+			fq.fifoQ = append(fq.fifoQ, j)
+		} else {
+			if t.q.Len() == 0 && t.pass < fq.clock {
+				t.pass = fq.clock
+			}
+			heap.Push(&t.q, j)
+		}
+		fq.size++
+		t.depth.Add(1)
+		if meter {
+			t.submitted.Add(1)
+		}
+	}
+	fq.mu.Unlock()
+}
+
 // headBetter reports whether tenant a's next job should be admitted before
 // tenant b's: priority class first; then, only when BOTH heads carry
 // deadlines, EDF — a deadline must order deadline work, never beat
@@ -374,24 +412,26 @@ func (fq *fairQueue) depthOf(name string) int64 {
 	return t.depth.Load()
 }
 
-// shares computes each active tenant's weighted share of p workers. Active
-// tenants are those with queued jobs plus the keys of running (the tenants
-// of currently running elastic jobs). Every share is at least 1: preemption
-// never asks a tenant to vanish, only to shrink toward its share.
-func (fq *fairQueue) shares(p int, running map[string]int) map[string]int {
+// shares computes each active tenant's weighted share of p workers into out
+// (cleared first; the caller owns and reuses it — the dispatcher calls this
+// every pressure round, so the scratch must not be reallocated per call).
+// Active tenants are those with queued jobs plus the keys of running (the
+// tenants of currently running elastic jobs). Every share is at least 1:
+// preemption never asks a tenant to vanish, only to shrink toward its share.
+func (fq *fairQueue) shares(p int, running, out map[string]int) {
 	fq.mu.Lock()
 	defer fq.mu.Unlock()
+	clear(out)
 	totalW := 0
-	active := make(map[string]int, len(running))
 	consider := func(t *tenant) {
-		if _, ok := active[t.name]; ok {
+		if _, ok := out[t.name]; ok {
 			return
 		}
 		w := t.weight
 		if w < 1 {
 			w = 1
 		}
-		active[t.name] = w
+		out[t.name] = w
 		totalW += w
 	}
 	for _, t := range fq.order {
@@ -402,15 +442,13 @@ func (fq *fairQueue) shares(p int, running map[string]int) map[string]int {
 	for name := range running {
 		consider(fq.accountLocked(name))
 	}
-	out := make(map[string]int, len(active))
-	for name, w := range active {
+	for name, w := range out {
 		share := p * w / totalW
 		if share < 1 {
 			share = 1
 		}
 		out[name] = share
 	}
-	return out
 }
 
 // tenantsSnapshot builds the per-tenant slice of a Stats snapshot; target is

@@ -79,6 +79,11 @@ var (
 	// already-submitted jobs, so every edge points backwards in submission
 	// time), but Submit verifies the upstream graph anyway.
 	ErrCycle = errors.New("jobs: dependency cycle")
+	// ErrReleased reports that a Job handle was used after Release returned
+	// its runtime objects to the scheduler's freelist. Wait detects the reuse
+	// through the job's generation counter; the result of a released job is
+	// gone by contract.
+	ErrReleased = errors.New("jobs: job handle released")
 )
 
 // State is the lifecycle state of a Job.
@@ -199,13 +204,32 @@ type paddedPartial struct {
 
 // Job is one submitted parallel loop. Its methods are safe for concurrent
 // use.
+//
+// Jobs are pooled: Submit draws them from the scheduler's freelist and an
+// explicit owner-side Release (optional — unreleased jobs are simply
+// garbage-collected) recycles them. The generation counter arbitrates
+// recycled handles: every field of a recycled job belongs to its new
+// generation, and a late Wait on a stale handle reports ErrReleased instead
+// of another job's result.
 type Job struct {
 	req   Request
 	state atomic.Int32
-	done  chan struct{}
 
-	// Written by the completing worker (or by Cancel) strictly before done is
-	// closed; read only after <-done.
+	// gen is bumped first thing at recycle; Wait/Trace snapshot it on entry
+	// and re-check after reading the terminal fields (a seqlock in miniature)
+	// so a handle held across Release can never observe the next
+	// generation's data as its own.
+	gen atomic.Uint64
+
+	// waitMu guards the terminal flag, the lazily created done channel and
+	// (by the publication order below) result/err: the completing worker (or
+	// Cancel) stores result/err strictly before raising terminal, and waiters
+	// read them strictly after observing it.
+	waitMu   sync.Mutex
+	waitCond sync.Cond
+	terminal bool
+	lazyDone chan struct{}
+
 	result float64
 	err    error
 
@@ -214,21 +238,35 @@ type Job struct {
 	workers atomic.Int32
 
 	// partials holds the per-sub-worker reduction views for rigid reducing
-	// jobs.
+	// jobs; the backing array is recycled with the job.
 	partials []paddedPartial
 
-	// Elastic execution state (nil/zero for rigid jobs).
+	// bar/barK cache the rigid join half-barrier across generations: a
+	// recycled job admitted on the same sub-team size reuses the barrier
+	// (episodes are epoch-numbered, so reuse needs no reset).
+	bar  barrier.HalfPair
+	barK int
+
+	// Elastic execution state (zero for rigid jobs).
 	elastic bool
 	// cursor hands out grain-sized chunks of [0, N); one atomic add per
-	// claim is the hot path's only shared-state operation.
+	// claim is the hot path's only shared-state operation. Padded: every
+	// participant hammers the claim cursor, and the fields after it (active,
+	// the slot stack) are written on the grow/peel/leave paths — false
+	// sharing here taxes every chunk claim.
 	cursor iterspace.Chunker
+	_      [104]byte
 	// active counts the participants currently executing chunks. Growth
 	// CASes it up from >= 1 only; the decrement to 0 completes the job, so a
-	// completed job can never be resurrected.
+	// completed job can never be resurrected. On its own line: grow/lend CAS
+	// storms must not invalidate the cursor's line.
 	active atomic.Int32
-	// slots holds the free dense sub-worker ids in [0, maxK); capacity maxK.
-	slots chan int
-	maxK  int
+	_      [124]byte
+	// slotMu guards freeSubs, the stack of free dense sub-worker ids in
+	// [0, maxK); the backing array is recycled with the job.
+	slotMu   sync.Mutex
+	freeSubs []int
+	maxK     int
 	// redMu guards acc, the shared accumulator elastic reducing jobs fold
 	// into at leave time (once per participant, not per chunk).
 	redMu sync.Mutex
@@ -288,15 +326,92 @@ func (j *Job) State() State {
 	return State(s)
 }
 
-// Done returns a channel closed when the job completes or is canceled.
-func (j *Job) Done() <-chan struct{} { return j.done }
+// Done returns a channel closed when the job completes or is canceled. The
+// channel is created on first call (Wait does not need it), so jobs that are
+// only ever Waited on stay allocation-free.
+func (j *Job) Done() <-chan struct{} {
+	j.waitMu.Lock()
+	defer j.waitMu.Unlock()
+	if j.lazyDone == nil {
+		j.lazyDone = make(chan struct{})
+		if j.terminal {
+			close(j.lazyDone)
+		}
+	}
+	return j.lazyDone
+}
+
+// finish publishes the terminal transition: result/err are already stored,
+// so raise the flag, close the lazily created done channel if anyone asked
+// for one, and wake the waiters.
+func (j *Job) finish() {
+	j.waitMu.Lock()
+	j.terminal = true
+	if j.lazyDone != nil {
+		close(j.lazyDone)
+	}
+	j.waitMu.Unlock()
+	j.waitCond.Broadcast()
+}
 
 // Wait blocks until the job completes and returns the reduction result (0
 // for non-reducing jobs) and any error (ErrCanceled if the job was canceled
-// before it started).
+// before it started, ErrReleased if the handle was Released concurrently).
 func (j *Job) Wait() (float64, error) {
-	<-j.done
-	return j.result, j.err
+	gen := j.gen.Load()
+	j.waitMu.Lock()
+	for !j.terminal {
+		if j.gen.Load() != gen {
+			j.waitMu.Unlock()
+			return 0, ErrReleased
+		}
+		j.waitCond.Wait()
+	}
+	result, err := j.result, j.err
+	j.waitMu.Unlock()
+	if j.gen.Load() != gen {
+		// The handle's owner Released (and possibly resubmitted) the job
+		// while this stale waiter was between the terminal check and the
+		// field reads: the values above may belong to the next generation.
+		return 0, ErrReleased
+	}
+	return result, err
+}
+
+// Release returns the job's runtime objects (the Job itself, its partials
+// and slot arrays, its cached barrier) to its home scheduler's freelist for
+// reuse by a later Submit. It is the owner side of the pooled-object
+// contract: call it only once, only after the job is terminal (Wait/Done
+// returned), and do not touch the handle — nor pass it to After — afterwards.
+// A non-terminal or repeated Release is a safe no-op; concurrent stale
+// Wait/Trace callers observe ErrReleased/nil via the generation counter
+// rather than another job's data. Releasing is optional: unreleased jobs are
+// garbage-collected as before.
+func (j *Job) Release() {
+	// Only completed jobs are recyclable. A job canceled from Pending is
+	// still referenced by the fair queue until the dispatcher (or a
+	// stealing sibling) pops it and drops it on the failed admission CAS;
+	// recycling it here would hand the freelist a job the heap still
+	// compares and the dispatcher could re-admit after the field reset.
+	// Canceled handles simply stay garbage-collected.
+	if State(j.state.Load()) != Done {
+		return
+	}
+	j.waitMu.Lock()
+	ok := j.terminal
+	if ok {
+		// Claim the release under waitMu so two racing Release calls cannot
+		// both recycle (terminal flips false for the next generation only
+		// inside freeJob, before the freelist push publishes the job).
+		j.terminal = false
+	}
+	j.waitMu.Unlock()
+	if !ok {
+		return
+	}
+	if home := j.home; home != nil {
+		home.freeJob(j)
+	}
 }
 
 // Cancel cancels the job if it has not been admitted yet and reports whether
@@ -321,7 +436,7 @@ func (j *Job) Cancel() bool {
 	deps := j.dependents
 	j.dependents = nil
 	j.depMu.Unlock()
-	close(j.done)
+	j.finish()
 	if blocked {
 		// Blocked jobs sit outside every queue: only the home scheduler's
 		// blocked gauge — never the queue depth — needs adjusting.
@@ -370,18 +485,60 @@ func (j *Job) Label() string { return j.req.Label }
 
 // initElastic prepares the elastic execution state for a job about to be
 // admitted on k initial workers, with the given chunk size and participant
-// cap. Called by the dispatcher strictly before the release wave.
+// cap. Called by the admitting goroutine strictly before the release wave.
+// The slot stack's backing array is reused across the job's generations.
 func (j *Job) initElastic(k, chunk, maxK int) {
 	j.elastic = true
 	j.cursor.Init(j.req.N, chunk)
 	j.maxK = maxK
-	j.slots = make(chan int, maxK)
-	for i := 0; i < maxK; i++ {
-		j.slots <- i
+	if cap(j.freeSubs) < maxK {
+		j.freeSubs = make([]int, maxK)
+	} else {
+		j.freeSubs = j.freeSubs[:maxK]
+	}
+	for i := range j.freeSubs {
+		// Stack order: the release wave pops dense ids 0, 1, 2, ... so rigid
+		// and elastic sub ids agree for the initial team.
+		j.freeSubs[i] = maxK - 1 - i
 	}
 	j.acc = j.req.Identity
 	j.active.Store(int32(k))
 	j.workers.Store(int32(k))
+}
+
+// popSlot takes a free dense sub-worker id, if one remains.
+func (j *Job) popSlot() (int, bool) {
+	j.slotMu.Lock()
+	n := len(j.freeSubs)
+	if n == 0 {
+		j.slotMu.Unlock()
+		return 0, false
+	}
+	sub := j.freeSubs[n-1]
+	j.freeSubs = j.freeSubs[:n-1]
+	j.slotMu.Unlock()
+	return sub, true
+}
+
+// pushSlot returns a dense sub-worker id to the free stack. The append never
+// grows the backing array: at most maxK ids exist and initElastic sized the
+// stack for all of them.
+func (j *Job) pushSlot(sub int) {
+	j.slotMu.Lock()
+	j.freeSubs = append(j.freeSubs, sub)
+	j.slotMu.Unlock()
+}
+
+// ensurePartials sizes the per-sub-worker reduction views for k workers,
+// reusing the backing array across the job's generations. Entries are not
+// zeroed: every view in [0, k) is unconditionally written before it is read
+// (rigid participants store their block's partial even for an empty block).
+func (j *Job) ensurePartials(k int) {
+	if cap(j.partials) < k {
+		j.partials = make([]paddedPartial, k)
+	} else {
+		j.partials = j.partials[:k]
+	}
 }
 
 // tryGrow attempts to reserve a participant slot on a running elastic job.
@@ -393,15 +550,14 @@ func (j *Job) tryGrow() (sub int, ok bool) {
 	if !j.elastic || j.cursor.Remaining() == 0 {
 		return 0, false
 	}
-	select {
-	case sub = <-j.slots:
-	default:
+	sub, ok = j.popSlot()
+	if !ok {
 		return 0, false // at the participant cap
 	}
 	for {
 		a := j.active.Load()
 		if a < 1 {
-			j.slots <- sub // completing or completed; hand the slot back
+			j.pushSlot(sub) // completing or completed; hand the slot back
 			return 0, false
 		}
 		if j.active.CompareAndSwap(a, a+1) {
@@ -487,14 +643,14 @@ func (j *Job) runElastic(home *Scheduler, sub int) {
 			// first so a grower can reuse it; the grow CAS requires
 			// active >= 1, so the decrement below still safely completes the
 			// job when this participant is the last.
-			j.slots <- sub
+			j.pushSlot(sub)
 			if j.active.Add(-1) == 0 {
 				j.complete()
 			}
 			return
 		}
 		if j.tryPeel() {
-			j.slots <- sub
+			j.pushSlot(sub)
 			if home != nil {
 				home.peeled.Add(1)
 				j.tr.Event(trace.EvPeeled, home.cfg.shard, int(j.active.Load()), "")
@@ -516,9 +672,10 @@ func (j *Job) underPressure(home *Scheduler) bool {
 	return home != j.s && j.s != nil && j.s.depth.Load() > 0
 }
 
-// assignment is the work descriptor the dispatcher hands to one worker: its
-// sub-team index and, for rigid jobs, the sub-team size and join
-// half-barrier.
+// assignment is the work descriptor handed to one worker: its sub-team index
+// and, for rigid jobs, the sub-team size and join half-barrier. Assignments
+// travel by value through the per-worker mailbox channels — the whole
+// descriptor is a few words, so handing one off allocates nothing.
 type assignment struct {
 	job *Job
 	sub int
@@ -600,11 +757,14 @@ func (j *Job) complete() {
 	if j.s != nil {
 		j.s.recordCompletion(j)
 	}
-	close(j.done)
-	// The join wave is complete and the result published: release the
+	// The join wave is complete and the result stored: release the
 	// dependents. A dependent can therefore never start before every
-	// iteration of this job has executed and folded.
+	// iteration of this job has executed and folded. The drain must happen
+	// before finish publishes to waiters — once a waiter wakes, the owner
+	// may legally Release the job, and the recycler's field reset would
+	// race with a late dependent drain.
 	j.finishDependents(nil)
+	j.finish()
 }
 
 // addDependent registers d as a dependent of j, or reports that j is already
@@ -694,7 +854,7 @@ func (j *Job) cancelBlocked(upErr error) {
 	deps := j.dependents
 	j.dependents = nil
 	j.depMu.Unlock()
-	close(j.done)
+	j.finish()
 	if j.home != nil {
 		j.home.canceled.Add(1)
 		j.home.depCanceled.Add(1)
@@ -733,7 +893,7 @@ func (j *Job) release() {
 		}
 		j.started = time.Now()
 		if j.req.RBody != nil {
-			j.partials = make([]paddedPartial, 1)
+			j.ensurePartials(1)
 			j.partials[0].v = j.req.Identity
 		}
 		if j.tr != nil {

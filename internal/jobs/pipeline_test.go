@@ -272,8 +272,8 @@ func TestSubmitRejectsBadAfter(t *testing.T) {
 	// A cycle cannot be built through the public API (After only accepts
 	// already-submitted jobs), so craft one directly and verify Submit's
 	// defensive DFS rejects any request whose upstream graph contains it.
-	a := &Job{done: make(chan struct{})}
-	b := &Job{done: make(chan struct{})}
+	a := &Job{}
+	b := &Job{}
 	a.after = []*Job{b}
 	b.after = []*Job{a}
 	a.state.Store(int32(Blocked))

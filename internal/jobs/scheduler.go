@@ -122,74 +122,99 @@ func (c *Config) normalize() {
 
 // Scheduler multiplexes parallel-loop jobs from many concurrent submitters
 // onto one persistent worker team. All methods are safe for concurrent use.
+//
+// The intake/dispatch spine is allocation-free and handoff-direct: jobs come
+// out of a per-scheduler freelist, submitters push them straight into the
+// weighted-fair queue (no intake channel), and when the pool is idle the
+// submitter bypasses the dispatcher entirely — it pops parked workers from
+// the shared idle stack and performs the release wave itself, so the handoff
+// is one mutex pop plus one buffered channel send per worker (the channel
+// send is the futex-style park/unpark: an idle worker is a goroutine parked
+// in a channel receive, and the sender's goready makes it runnable without a
+// context switch on the submitter). The dispatcher remains the arbiter
+// whenever work is queued: fairness, preemption, growth and cross-shard
+// stealing all run on its goroutine, woken by a buffered-signal channel and
+// a backed-off steal timer instead of polling.
 type Scheduler struct {
 	cfg  Config
 	p    int
 	team *pool.Team
 
-	// queue is the admission *intake*: submitters hand jobs to the
-	// dispatcher through it, and the dispatcher drains it into fq, the
-	// weighted-fair multi-queue that decides admission order. The bounded
-	// submitted-but-unadmitted population is enforced by the queuedHeld gate
-	// below, not by the channel capacity.
-	queue chan *Job
-	// fq is the admission policy: per-tenant accounts, weights, priorities,
-	// deadlines (see fair.go). Thread-safe — sibling shards steal from it
-	// directly.
+	// fq is the admission queue and policy: per-tenant accounts, weights,
+	// priorities, deadlines (see fair.go). Submitters push directly into it;
+	// sibling shards steal from it directly.
 	fq *fairQueue
-	// free carries the ids of workers returning to the dispatcher after
-	// finishing an assignment; the dispatcher is its only consumer while
-	// running (Close drains it at teardown).
-	free chan int
-	// assign carries at most one in-flight assignment per worker: the
-	// dispatcher's release wave is k buffered sends and never blocks.
-	assign []chan *assignment
+	// wakeC is the dispatcher's doorbell (buffered-signal pattern):
+	// submitters, releasers and parking workers ring it after publishing
+	// whatever the dispatcher should look at.
+	wakeC chan struct{}
+	// idleMu/idleIDs is the shared stack of parked workers. The dispatcher
+	// pops teams from it; so does the submit fast path when nothing is
+	// queued. idleCond signals Close, which waits for all P to park.
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+	idleIDs  []int
+	// assign carries at most one in-flight assignment per worker: a release
+	// wave is k buffered value sends and never blocks.
+	assign []chan assignment
+
+	// freeMu/freeJobs is the job freelist: Release pushes recycled jobs,
+	// Submit pops them. A plain bounded stack, not a sync.Pool, so a GC
+	// cycle cannot empty it mid-benchmark.
+	freeMu   sync.Mutex
+	freeJobs []*Job
 
 	submitMu sync.RWMutex
 	closed   bool
 	// releaseClosed closes the release window: set (under submitMu) only
 	// after the blocked gauge drained to zero during Close, strictly before
-	// the queue channel is closed. acceptReleased completes its enqueue
-	// under the read lock, so no release can ever race the channel close.
-	releaseClosed  bool
+	// intakeClosed. acceptReleased completes its enqueue under the read
+	// lock, so no release can ever race the intake close.
+	releaseClosed bool
+	// intakeClosed tells the dispatcher no further job can enter fq (set by
+	// Close after the submit and release windows shut); the dispatcher exits
+	// once it also finds fq empty.
+	intakeClosed   atomic.Bool
 	dispatcherDone chan struct{}
 	closeDone      chan struct{}
 
-	// overflow absorbs released dependents when the admission queue channel
-	// is momentarily full: the release path runs on completing workers and
-	// must never block on the queue (all P workers blocked on a full queue
-	// while the dispatcher waits for a free worker would deadlock). The
-	// list is bounded even so, because the blocked population feeding it is
-	// capped by QueueDepth at submission (the gate below). overflowC wakes
-	// the dispatcher with the usual buffered-signal pattern.
-	overflowMu sync.Mutex
-	overflow   []*Job
-	overflowC  chan struct{}
-
 	// gateMu/gateCond/blockedHeld apply QueueDepth backpressure to
-	// dependent submissions: a blocked job never enters the queue channel,
-	// so without this gate a pipeline fan-out could park unbounded memory
+	// dependent submissions: a blocked job never enters the fair queue, so
+	// without this gate a pipeline fan-out could park unbounded memory
 	// behind one upstream. blockedHeld mirrors the blocked gauge under a
 	// mutex so waiters can sleep on the condition. queuedHeld applies the
-	// same bound to the queued population now that the dispatcher drains
-	// the intake channel eagerly into the fair queue: every queued job
-	// holds one slot, reserved at Submit (blocking at the cap) and released
-	// when the job is admitted, canceled, or stolen away.
+	// same bound to the queued population: every queued job holds one slot,
+	// reserved at Submit (blocking at the cap) and released when the job is
+	// admitted, canceled, or stolen away.
 	gateMu      sync.Mutex
 	gateCond    *sync.Cond
 	blockedHeld int
 	queuedHeld  int
 
-	// growSet is the shared registry of running elastic jobs, maintained only
-	// when steal hooks are installed: sibling shards read it to find jobs
-	// worth lending workers to. The dispatcher's private growable map serves
-	// local growth; this set serves cross-shard lending.
+	// growSet is the registry of running elastic jobs: the dispatcher grows
+	// and preempts over it, and sibling shards read it to find jobs worth
+	// lending workers to. Lock order: growMu before fq.mu.
 	growMu  sync.Mutex
 	growSet map[*Job]struct{}
+	// growables mirrors len(growSet) (updated under growMu) so parkWorker
+	// can tell lock-free whether the dispatcher has running elastic jobs to
+	// grow a freed worker onto, or can stay parked.
+	growables atomic.Int32
+	// runningScratch/sharesScratch are preemptForWaiting's reusable maps
+	// (guarded by growMu), so steady queue pressure allocates nothing.
+	runningScratch map[string]int
+	sharesScratch  map[string]int
 
-	depth          atomic.Int64
-	running        atomic.Int64
-	busy           atomic.Int64
+	// Hot counters, padded per the false-sharing discipline of
+	// internal/barrier/pad.go: depth is read on every chunk claim (the peel
+	// check), busy is bumped twice per assignment by every worker, and both
+	// would otherwise share lines with each other and the colder counters
+	// below, so one worker's busy.Add would invalidate every other worker's
+	// depth load.
+	depth   barrier.PaddedInt64
+	busy    barrier.PaddedInt64
+	running barrier.PaddedInt64
+
 	submitted      atomic.Int64
 	completed      atomic.Int64
 	canceled       atomic.Int64
@@ -216,27 +241,141 @@ func New(cfg Config) *Scheduler {
 	s := &Scheduler{
 		cfg:            cfg,
 		p:              cfg.Workers,
-		queue:          make(chan *Job, cfg.QueueDepth),
-		free:           make(chan int, cfg.Workers),
-		assign:         make([]chan *assignment, cfg.Workers),
+		assign:         make([]chan assignment, cfg.Workers),
 		dispatcherDone: make(chan struct{}),
 		closeDone:      make(chan struct{}),
-		overflowC:      make(chan struct{}, 1),
+		wakeC:          make(chan struct{}, 1),
 		fq:             newFairQueue(cfg.DisableFair, cfg.TenantWeights),
+		growSet:        make(map[*Job]struct{}),
+		idleIDs:        make([]int, 0, cfg.Workers),
 	}
-	if cfg.hooks != nil {
-		s.growSet = make(map[*Job]struct{})
-	}
+	s.idleCond = sync.NewCond(&s.idleMu)
 	s.gateCond = sync.NewCond(&s.gateMu)
 	s.lat.init(cfg.LatencyWindow)
 	for w := 0; w < s.p; w++ {
-		s.assign[w] = make(chan *assignment, 1)
-		s.free <- w
+		s.assign[w] = make(chan assignment, 1)
+		s.idleIDs = append(s.idleIDs, w)
 	}
 	s.team = pool.New(pool.Config{Workers: s.p, LockOSThread: cfg.LockOSThread, Name: cfg.Name})
 	s.team.StartAll(s.worker)
 	go s.dispatch()
 	return s
+}
+
+// newJob pops a recycled job from the freelist (or allocates one) and readies
+// it for a fresh generation.
+func (s *Scheduler) newJob() *Job {
+	var j *Job
+	s.freeMu.Lock()
+	if n := len(s.freeJobs); n > 0 {
+		j = s.freeJobs[n-1]
+		s.freeJobs[n-1] = nil
+		s.freeJobs = s.freeJobs[:n-1]
+	}
+	s.freeMu.Unlock()
+	if j == nil {
+		j = &Job{}
+		j.waitCond.L = &j.waitMu
+	}
+	return j
+}
+
+// freeJob recycles a terminal job onto the freelist. The generation bump is
+// first and the broadcast wakes any stale waiter parked across the Release,
+// so late Wait callers observe ErrReleased instead of the next generation's
+// fields. The freelist is bounded: beyond QueueDepth parked jobs the recycle
+// is dropped and the garbage collector takes it, as before pooling.
+func (s *Scheduler) freeJob(j *Job) {
+	j.gen.Add(1)
+	j.waitMu.Lock()
+	j.lazyDone = nil
+	j.waitMu.Unlock()
+	j.waitCond.Broadcast()
+	// Field reset: everything generation-specific, keeping the recyclable
+	// capacity (partials, freeSubs, the cached barrier, the cond wiring).
+	j.req = Request{}
+	j.state.Store(int32(Pending))
+	j.result, j.err = 0, nil
+	j.workers.Store(0)
+	j.elastic = false
+	j.active.Store(0)
+	j.maxK = 0
+	j.acc = 0
+	j.tenant, j.prio, j.seq = "", 0, 0
+	j.deadline = time.Time{}
+	j.shrinkTo.Store(0)
+	j.submitted, j.started = time.Time{}, time.Time{}
+	j.s, j.home, j.pool = nil, nil, nil
+	j.after, j.acyclic = nil, false
+	j.tr = nil
+	j.waits.Store(0)
+	j.dependents, j.depErr = nil, nil
+	s.freeMu.Lock()
+	if len(s.freeJobs) < s.cfg.QueueDepth {
+		s.freeJobs = append(s.freeJobs, j)
+	}
+	s.freeMu.Unlock()
+}
+
+// wake rings the dispatcher's doorbell (never blocks; a pending signal
+// coalesces).
+func (s *Scheduler) wake() {
+	select {
+	case s.wakeC <- struct{}{}:
+	default:
+	}
+}
+
+// parkWorker pushes a finished worker onto the idle stack, signals any Close
+// waiting for the team to quiesce, and wakes the dispatcher — but only when
+// the dispatcher has something to do with the freed worker: local tenants
+// queued (depth), a running elastic job to grow back onto (growables), or
+// sibling shards to scan for steals and lends (hooks; the steal timer is
+// only armed while the dispatcher knows idle workers exist, so the wake must
+// not be skipped). In the single-shard idle steady state every completion
+// would otherwise pay a full empty dispatch scan.
+func (s *Scheduler) parkWorker(id int) {
+	s.idleMu.Lock()
+	s.idleIDs = append(s.idleIDs, id)
+	s.idleMu.Unlock()
+	s.idleCond.Signal()
+	if s.depth.Load() > 0 || s.growables.Load() > 0 || s.cfg.hooks != nil {
+		s.wake()
+	}
+}
+
+// grabIdle pops up to max parked workers into dst (reusing its capacity).
+func (s *Scheduler) grabIdle(dst []int, max int) []int {
+	s.idleMu.Lock()
+	n := len(s.idleIDs)
+	if n > max {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, s.idleIDs[len(s.idleIDs)-1])
+		s.idleIDs = s.idleIDs[:len(s.idleIDs)-1]
+	}
+	s.idleMu.Unlock()
+	return dst
+}
+
+// putIdle returns unused workers to the idle stack.
+func (s *Scheduler) putIdle(ids []int) {
+	if len(ids) == 0 {
+		return
+	}
+	s.idleMu.Lock()
+	s.idleIDs = append(s.idleIDs, ids...)
+	s.idleMu.Unlock()
+	s.idleCond.Signal()
+}
+
+// idleCount returns the number of parked workers.
+func (s *Scheduler) idleCount() int {
+	s.idleMu.Lock()
+	n := len(s.idleIDs)
+	s.idleMu.Unlock()
+	return n
 }
 
 // P returns the team size.
@@ -279,8 +418,12 @@ func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 			return nil, err
 		}
 	}
-	j := &Job{req: req, done: make(chan struct{}), s: s, home: s, submitted: time.Now(), acyclic: true,
-		tenant: tenantName(req.Tenant), prio: req.Priority, deadline: req.Deadline}
+	j := s.newJob()
+	j.req = req
+	j.s, j.home = s, s
+	j.submitted = time.Now()
+	j.acyclic = true
+	j.tenant, j.prio, j.deadline = tenantName(req.Tenant), req.Priority, req.Deadline
 	if s.cfg.Tracer != nil {
 		j.tr = s.cfg.Tracer.Begin(j.tenant, req.Label, req.Priority)
 		j.tr.Event(trace.EvSubmitted, s.cfg.shard, 0, "")
@@ -302,6 +445,7 @@ func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 		if s.closed {
 			s.submitMu.RUnlock()
 			s.signalBlockedFreed()
+			s.freeJob(j)
 			return nil, ErrClosed
 		}
 		s.submitted.Add(1)
@@ -320,6 +464,7 @@ func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 		s.submitMu.RLock()
 		defer s.submitMu.RUnlock()
 		if s.closed {
+			s.freeJob(j)
 			return nil, ErrClosed
 		}
 		s.submitted.Add(1)
@@ -330,7 +475,7 @@ func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 		j.state.Store(int32(Running))
 		j.started = j.submitted
 		if req.RBody != nil {
-			j.partials = make([]paddedPartial, 1)
+			j.ensurePartials(1)
 			j.partials[0].v = req.Identity
 		}
 		if j.tr != nil {
@@ -340,26 +485,282 @@ func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 		j.complete()
 		return j, nil
 	}
-	// QueueDepth backpressure on the queued population: the dispatcher
-	// drains the intake channel eagerly into the fair queue, so the channel
-	// capacity no longer bounds the submitted-but-unadmitted jobs — this
-	// slot gate does. A held lock would block Close, so the wait happens
-	// before the read lock.
+	// Fast path — direct handoff. With nothing queued anywhere, hand the job
+	// straight to parked workers from the submitter's own goroutine: no
+	// queue-slot reservation, no fair-queue push, no dispatcher round trip.
+	// Fairness is safe to bypass exactly when the queue is empty (arbitration
+	// orders *waiting* jobs; an empty queue has nothing to order).
+	s.submitMu.RLock()
+	if !s.closed && s.tryDirectAdmit(j) {
+		s.submitMu.RUnlock()
+		return j, nil
+	}
+	s.submitMu.RUnlock()
+	// Queued path. QueueDepth backpressure on the queued population: every
+	// queued job holds one slot. A held lock would block Close, so the wait
+	// happens before the read lock.
 	s.reserveQueueSlot()
 	s.submitMu.RLock()
 	defer s.submitMu.RUnlock()
 	if s.closed {
 		s.releaseQueueSlot()
+		s.freeJob(j)
 		return nil, ErrClosed
 	}
 	s.submitted.Add(1)
 	s.fq.account(j.tenant).submitted.Add(1)
 	s.depth.Add(1)
-	// Admitted to the intake before the channel send, so the event is always
+	// Admitted to the intake before the queue push, so the event is always
 	// published before the dispatcher can emit the job's dispatched event.
 	j.tr.Event(trace.EvAdmitted, s.cfg.shard, 0, "")
-	s.queue <- j
+	s.fq.push(j)
+	s.wake()
 	return j, nil
+}
+
+// directTeamMax caps how many workers a fast-path submit hands off inline
+// (the pop buffer lives on the submitter's stack). Elastic jobs wake the
+// dispatcher to grow past it; rigid jobs wanting more take the queued path.
+const directTeamMax = 8
+
+// tryDirectAdmit is the submit fast path: when nothing is queued and workers
+// are parked, mold a sub-team and perform the release wave on the
+// submitter's goroutine. Caller holds submitMu.RLock with closed == false.
+// Returns false (job untouched) when the path does not apply; the caller
+// then queues normally.
+func (s *Scheduler) tryDirectAdmit(j *Job) bool {
+	if s.depth.Load() != 0 {
+		return false
+	}
+	elastic := s.elasticFor(j)
+	var chunk, maxK, want int
+	if elastic {
+		chunk = s.chunkFor(j)
+		maxK = s.maxTeam(j, chunk)
+		want = maxK
+		if want > s.p {
+			want = s.p
+		}
+	} else {
+		grain := j.req.Grain
+		if grain <= 0 {
+			grain = 1
+		}
+		want = s.capTeam(j, grain)
+	}
+	if want > directTeamMax {
+		if !elastic {
+			// A rigid sub-team is molded once; do not silently cap it at the
+			// buffer size when the dispatcher would assemble a larger one.
+			return false
+		}
+		want = directTeamMax
+	}
+	var buf [directTeamMax]int
+	s.idleMu.Lock()
+	n := len(s.idleIDs)
+	if n == 0 {
+		s.idleMu.Unlock()
+		return false
+	}
+	if n > want {
+		n = want
+	}
+	for i := 0; i < n; i++ {
+		buf[i] = s.idleIDs[len(s.idleIDs)-1]
+		s.idleIDs = s.idleIDs[:len(s.idleIDs)-1]
+	}
+	s.idleMu.Unlock()
+	s.submitted.Add(1)
+	s.fq.account(j.tenant).submitted.Add(1)
+	if j.tr != nil {
+		j.tr.Event(trace.EvAdmitted, s.cfg.shard, 0, "direct")
+	}
+	// The job is not yet published (Submit has not returned), so no Cancel
+	// can race this transition: a plain store suffices where the dispatcher's
+	// admit needs a CAS.
+	j.state.Store(int32(Running))
+	s.releaseWave(j, buf[:n], elastic, chunk, maxK)
+	if elastic && n < maxK {
+		// Under-provisioned: let the dispatcher top the team up (grow) once
+		// more workers park. A full team (n == maxK) needs no wake — growth
+		// is capped at maxK, and a participant that later peels re-rings
+		// the doorbell from parkWorker via the growables gauge.
+		s.wake()
+	}
+	return true
+}
+
+// releaseWave moves a job (already accounted, not in any queue) to Running
+// on the given workers and performs the fork-side release wave: one buffered
+// value send per worker, never waiting for the sub-team to assemble. Shared
+// by the dispatcher's admit and the submit fast path.
+func (s *Scheduler) releaseWave(j *Job, ids []int, elastic bool, chunk, maxK int) {
+	k := len(ids)
+	var bar barrier.HalfPair
+	if elastic {
+		j.initElastic(k, chunk, maxK)
+	} else {
+		j.workers.Store(int32(k))
+		if j.req.RBody != nil {
+			j.ensurePartials(k)
+		}
+		if k > 1 {
+			if j.bar == nil || j.barK != k {
+				j.bar = barrier.NewCentralized(k)
+				j.barK = k
+			}
+			bar = j.bar
+		}
+	}
+	j.started = time.Now()
+	s.running.Add(1)
+	j.tr.Event(trace.EvDispatched, s.cfg.shard, k, "")
+	for sub := 0; sub < k; sub++ {
+		a := assignment{job: j, sub: sub, elastic: elastic}
+		if elastic {
+			if slot, ok := j.popSlot(); ok {
+				a.sub = slot
+			}
+		} else {
+			a.k, a.bar = k, bar
+		}
+		s.assign[ids[sub]] <- a
+	}
+	// Publish the job for growth and cross-shard lending only after the
+	// release wave: growers drain the slot stack concurrently, and
+	// advertising the job earlier could take the initial team's slots.
+	if elastic {
+		s.growMu.Lock()
+		s.growSet[j] = struct{}{}
+		s.growables.Store(int32(len(s.growSet)))
+		s.growMu.Unlock()
+	}
+}
+
+// SubmitBatch submits up to len(reqs) independent jobs under one queue-lock
+// acquisition, filling out[i] with the job for reqs[i]. It is the amortized
+// intake path: one submitMu read-section, one depth update and one fair-queue
+// lock admit the whole batch, against one of each per job for Submit. The
+// requests must not carry dependencies (After) — batched admission is for
+// independent fan-out; use Submit for graph edges. Degenerate requests
+// (N <= 0) complete inline as in Submit. out must have at least len(reqs)
+// entries; it is the caller's storage, so steady-state batches allocate
+// nothing. On error, out[i] is non-nil for exactly the requests that were
+// submitted (an invalid request fails the whole batch before any submission;
+// ErrClosed can split a batch mid-way only when Close overlaps the call).
+func (s *Scheduler) SubmitBatch(reqs []Request, out []*Job) error {
+	if len(out) < len(reqs) {
+		return errors.New("jobs: SubmitBatch needs len(out) >= len(reqs)")
+	}
+	for i := range reqs {
+		req := &reqs[i]
+		switch {
+		case req.Body == nil && req.RBody == nil:
+			return errors.New("jobs: request needs a Body or an RBody")
+		case req.Body != nil && req.RBody != nil:
+			return errors.New("jobs: request must set exactly one of Body and RBody")
+		case req.RBody != nil && req.Combine == nil:
+			return errors.New("jobs: reducing request needs a Combine")
+		case len(req.After) > 0:
+			return errors.New("jobs: SubmitBatch requests cannot carry After; use Submit for dependencies")
+		}
+	}
+	// Chunk by QueueDepth so the slot reservation below can always be
+	// satisfied in one piece.
+	for start := 0; start < len(reqs); start += s.cfg.QueueDepth {
+		end := start + s.cfg.QueueDepth
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		if err := s.submitBatchChunk(reqs[start:end], out[start:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// submitBatchChunk admits one QueueDepth-bounded slice of a batch.
+func (s *Scheduler) submitBatchChunk(reqs []Request, out []*Job) error {
+	queued := 0
+	for i := range reqs {
+		if reqs[i].N > 0 {
+			queued++
+		}
+	}
+	if queued > 0 {
+		s.reserveQueueSlots(queued)
+	}
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
+	if s.closed {
+		if queued > 0 {
+			s.releaseQueueSlots(queued)
+		}
+		return ErrClosed
+	}
+	now := time.Now()
+	for i := range reqs {
+		req := reqs[i]
+		j := s.newJob()
+		j.req = req
+		j.s, j.home = s, s
+		j.submitted = now
+		j.acyclic = true
+		j.tenant, j.prio, j.deadline = tenantName(req.Tenant), req.Priority, req.Deadline
+		if s.cfg.Tracer != nil {
+			j.tr = s.cfg.Tracer.Begin(j.tenant, req.Label, req.Priority)
+			j.tr.Event(trace.EvSubmitted, s.cfg.shard, 0, "")
+		}
+		if req.N <= 0 {
+			// Degenerate loop: complete inline, never queued (see submit).
+			s.submitted.Add(1)
+			s.fq.account(j.tenant).submitted.Add(1)
+			j.state.Store(int32(Running))
+			j.started = now
+			if req.RBody != nil {
+				j.ensurePartials(1)
+				j.partials[0].v = req.Identity
+			}
+			if j.tr != nil {
+				j.tr.Event(trace.EvAdmitted, s.cfg.shard, 0, "")
+				j.tr.Event(trace.EvDispatched, s.cfg.shard, 0, "degenerate")
+			}
+			j.complete()
+			out[i] = j
+			continue
+		}
+		if j.tr != nil {
+			j.tr.Event(trace.EvAdmitted, s.cfg.shard, 0, "batch")
+		}
+		out[i] = j
+	}
+	if queued > 0 {
+		s.submitted.Add(int64(queued))
+		s.depth.Add(int64(queued))
+		s.fq.pushBatch(out, true)
+		s.wake()
+	}
+	return nil
+}
+
+// reserveQueueSlots blocks until n queued slots are available and reserves
+// them (n must not exceed QueueDepth; SubmitBatch chunks accordingly).
+func (s *Scheduler) reserveQueueSlots(n int) {
+	s.gateMu.Lock()
+	for s.queuedHeld+n > s.cfg.QueueDepth {
+		s.gateCond.Wait()
+	}
+	s.queuedHeld += n
+	s.gateMu.Unlock()
+}
+
+// releaseQueueSlots returns n queued slots at once.
+func (s *Scheduler) releaseQueueSlots(n int) {
+	s.gateMu.Lock()
+	s.queuedHeld -= n
+	s.gateCond.Broadcast()
+	s.gateMu.Unlock()
 }
 
 // acceptReleased admits a blocked job whose dependencies all completed into
@@ -403,20 +804,11 @@ func (s *Scheduler) acceptReleased(j *Job) bool {
 		j.tr.Event(trace.EvReleased, s.cfg.shard, 0, "")
 		j.tr.Event(trace.EvAdmitted, s.cfg.shard, 0, "")
 	}
-	select {
-	case s.queue <- j:
-	default:
-		// Queue channel full: park the job on the overflow list the
-		// dispatcher drains alongside the queue (bounded by the blocked
-		// gate at submission).
-		s.overflowMu.Lock()
-		s.overflow = append(s.overflow, j)
-		s.overflowMu.Unlock()
-		select {
-		case s.overflowC <- struct{}{}:
-		default:
-		}
-	}
+	// The fair queue's push is a bounded mutex section, so the release path
+	// (running on the completing upstream's worker) never blocks — the old
+	// intake channel's full-queue overflow list is gone with the channel.
+	s.fq.push(j)
+	s.wake()
 	home.blocked.Add(-1)
 	home.released.Add(1)
 	home.signalBlockedFreed()
@@ -476,15 +868,6 @@ func (s *Scheduler) releaseQueueSlot() {
 	s.queuedHeld--
 	s.gateCond.Broadcast()
 	s.gateMu.Unlock()
-}
-
-// takeOverflow drains the released-job overflow list.
-func (s *Scheduler) takeOverflow() []*Job {
-	s.overflowMu.Lock()
-	jobs := s.overflow
-	s.overflow = nil
-	s.overflowMu.Unlock()
-	return jobs
 }
 
 // teamSize picks the sub-team size a job is admitted on: bounded by the
@@ -573,30 +956,26 @@ func (s *Scheduler) elasticFor(j *Job) bool {
 	return j.req.RBody == nil || j.req.Commutative
 }
 
-// dispatch is the admission loop: a single event loop over two channels (the
-// intake queue and returning workers) that drains submissions into the fair
-// queue, admits jobs in policy order (priority class, then weighted-fair
-// stride arbitration between tenants, EDF within a class), performs each
-// fork-side release wave (one buffered channel send per chosen worker; like
-// the paper's release half-barrier, the dispatcher never waits for a
-// sub-team), posts chunk-granular preemption targets on running jobs when
-// tenants wait with no idle worker, and — when no tenant is waiting —
-// re-molds idle workers onto running elastic jobs that still have unclaimed
-// chunks. With steal hooks installed, a dispatcher whose shard has gone
-// fully idle pulls whole queued jobs from sibling shards and lends leftover
-// workers to their running elastic jobs, waking every hooks.interval to
-// re-scan.
+// dispatch is the arbitration loop. It no longer sits on an intake channel —
+// submitters push into the fair queue themselves (or bypass it entirely on
+// the direct-handoff fast path) and ring wakeC. Each round the dispatcher:
+// prunes the grow registry; admits jobs in policy order (priority class, then
+// weighted-fair stride arbitration between tenants, EDF within a class) onto
+// parked workers, performing each fork-side release wave (one buffered value
+// send per chosen worker; like the paper's release half-barrier, it never
+// waits for a sub-team); posts chunk-granular preemption targets on running
+// jobs when tenants wait with no idle worker; and — when no tenant is
+// waiting — re-molds idle workers onto running elastic jobs that still have
+// unclaimed chunks. With steal hooks installed, a dispatcher whose shard has
+// gone fully idle pulls whole queued jobs from sibling shards and lends idle
+// workers to their running elastic jobs, re-scanning on a timer whose period
+// backs off exponentially (up to 64x) while scans come up empty, so an idle
+// pool costs timer wakeups, not polling.
 func (s *Scheduler) dispatch() {
 	defer close(s.dispatcherDone)
-	var idle []int                      // workers held by the dispatcher
-	growable := make(map[*Job]struct{}) // running elastic jobs
-	queue := s.queue
+	var ws []int // admission scratch: workers popped this round
 	var stealTimer *time.Timer
 	var stealC <-chan time.Time
-	// emptyScans backs the re-scan period off exponentially (up to 64x the
-	// configured interval) while consecutive sibling scans find nothing, so
-	// a pool idling at rest does not busy-wake every shard 5000 times a
-	// second; any local traffic or successful steal resets it.
 	emptyScans := 0
 	if s.cfg.hooks != nil {
 		// go.mod declares go >= 1.23, so the timer channel is synchronous:
@@ -607,123 +986,86 @@ func (s *Scheduler) dispatch() {
 		defer stealTimer.Stop()
 	}
 	for {
-		// Opportunistically collect every worker that has already returned
-		// and drain the intake channel and released-dependent overflow into
-		// the fair queue, so admission sees the largest possible idle set
-		// and the full policy picture. The queued population stays bounded
-		// by the queuedHeld slot gate at submission.
-		qc := queue
-		for collecting := true; collecting; {
-			select {
-			case id := <-s.free:
-				idle = append(idle, id)
-			case j, ok := <-qc:
-				if !ok {
-					queue, qc = nil, nil
-					continue
+		s.pruneGrowSet()
+		// Admit in policy order while both queued work and parked workers
+		// remain. Workers are popped before the queue pop so a job is never
+		// taken out of the fair queue without a team to put it on.
+		ws = ws[:0]
+		for {
+			if len(ws) == 0 {
+				ws = s.grabIdle(ws, s.p)
+				if len(ws) == 0 {
+					break
 				}
-				s.fq.push(j)
-			case <-s.overflowC:
-				for _, j := range s.takeOverflow() {
-					s.fq.push(j)
-				}
-			default:
-				collecting = false
 			}
-		}
-		for j := range growable {
-			if j.State() != Running || j.cursor.Remaining() == 0 {
-				delete(growable, j)
-			}
-		}
-		for len(idle) > 0 {
 			j := s.fq.pop()
 			if j == nil {
 				break
 			}
-			idle = s.admit(j, idle, growable)
+			ws = s.admit(j, ws)
 		}
+		s.putIdle(ws)
+		ws = ws[:0]
 		if s.fq.len() > 0 {
 			// Tenants are waiting and every worker is busy (the admit loop
 			// above drained one or the other): post chunk-granular
 			// preemption targets on over-share or out-prioritized running
 			// elastic jobs, so workers peel between chunks instead of the
 			// waiting jobs sitting out whole completions.
-			s.preemptForWaiting(growable)
+			s.preemptForWaiting()
 		} else if s.depth.Load() == 0 {
 			// No tenant waits anywhere: lift the preemption constraints so
 			// running jobs can use the whole team again.
-			for j := range growable {
-				j.shrinkTo.Store(0)
-			}
+			s.clearShrinkTargets()
 		}
 		// The depth guard closes the race with a tenant that was submitted
-		// (depth is incremented before the queue send) but not yet
-		// received: a worker that just peeled for that tenant must not be
+		// (depth is incremented before the fair-queue push) but not yet
+		// pushed: a worker that just peeled for that tenant must not be
 		// grown straight back onto the job it left.
-		if s.fq.len() == 0 && len(idle) > 0 && s.depth.Load() == 0 {
-			idle = s.grow(idle, growable)
+		if s.fq.len() == 0 && s.depth.Load() == 0 && s.idleCount() > 0 {
+			ws = s.grabIdle(ws[:0], s.p)
+			ws = s.grow(ws)
+			// Cross-shard work conservation: with local admission, growth
+			// and the queue all exhausted but workers still idle, pull work
+			// from sibling shards — first a whole queued job (admitted
+			// exactly like a local one), else lend the idle workers to a
+			// running under-provisioned elastic job over there.
+			if s.cfg.hooks != nil && !s.intakeClosed.Load() && len(ws) > 0 && s.depth.Load() == 0 {
+				if j := s.cfg.hooks.steal(s); j != nil {
+					s.stolen.Add(1)
+					emptyScans = 0
+					s.fq.push(j)
+					s.putIdle(ws)
+					continue // restart: admit the stolen job
+				}
+				if lj := s.cfg.hooks.lend(s); lj != nil {
+					emptyScans = 0
+					ws = s.lendTo(lj, ws)
+				} else if emptyScans < 6 {
+					emptyScans++
+				}
+			}
+			s.putIdle(ws)
+			ws = ws[:0]
 		}
-		// Cross-shard work conservation: with local admission, growth and the
-		// queue all exhausted but workers still idle, pull work from sibling
-		// shards — first a whole queued job (admitted exactly like a local
-		// one), else lend the idle workers to a running under-provisioned
-		// elastic job over there.
-		if s.cfg.hooks != nil && queue != nil && s.fq.len() == 0 && len(idle) > 0 && s.depth.Load() == 0 {
-			if j := s.cfg.hooks.steal(s); j != nil {
-				s.stolen.Add(1)
-				emptyScans = 0
-				s.fq.push(j)
-				continue // restart: collect, then admit the stolen job
-			}
-			if lj := s.cfg.hooks.lend(s); lj != nil {
-				emptyScans = 0
-				idle = s.lendTo(lj, idle)
-			} else if emptyScans < 6 {
-				emptyScans++
-			}
+		// Exit once the intake has closed (Close shut the submit and release
+		// windows first, so nothing can enter fq anymore) and the queue is
+		// drained.
+		if s.intakeClosed.Load() && s.fq.len() == 0 {
+			break
 		}
-		// The exit condition must be re-checked here, not only where the
-		// closure is observed: admit can empty the fair queue after the
-		// queue was seen closed (a canceled job is popped without consuming
-		// a worker), and blocking below with both channels dead would hang
-		// Close. Released dependents parked on the overflow list count as
-		// pending work; no new ones can appear once the queue has closed
-		// (the release window shuts strictly first).
-		if queue == nil && s.fq.len() == 0 {
-			for _, j := range s.takeOverflow() {
-				s.fq.push(j)
-			}
-			if s.fq.len() == 0 {
-				break
-			}
-			continue
-		}
-		qc = queue
-		// With idle workers and siblings to steal from, wake periodically to
-		// re-scan instead of blocking until local traffic arrives, at the
-		// current backed-off period.
+		// Park. wakeC coalesces all wake reasons (submits, releases, parking
+		// workers, Close); with idle workers and siblings to steal from, the
+		// timer re-scans at the current backed-off period.
 		stealC = nil
-		if stealTimer != nil && queue != nil && len(idle) > 0 {
+		if stealTimer != nil && !s.intakeClosed.Load() && s.idleCount() > 0 {
 			stealTimer.Reset(s.cfg.hooks.interval << emptyScans)
 			stealC = stealTimer.C
 		}
 		fired := false
 		select {
-		case j, ok := <-qc:
-			if !ok {
-				queue = nil
-			} else {
-				s.fq.push(j)
-				emptyScans = 0 // local traffic: scan siblings promptly again
-			}
-		case id := <-s.free:
-			idle = append(idle, id)
-		case <-s.overflowC:
-			for _, j := range s.takeOverflow() {
-				s.fq.push(j)
-			}
-			emptyScans = 0 // released dependents are local traffic too
+		case <-s.wakeC:
+			emptyScans = 0 // local traffic: scan siblings promptly again
 		case <-stealC:
 			fired = true
 		}
@@ -733,10 +1075,28 @@ func (s *Scheduler) dispatch() {
 			stealTimer.Stop()
 		}
 	}
-	// Hand the held workers back so Close can collect the full team.
-	for _, id := range idle {
-		s.free <- id
+}
+
+// pruneGrowSet drops registry entries whose jobs completed or drained their
+// cursors (growth lazily discovers both).
+func (s *Scheduler) pruneGrowSet() {
+	s.growMu.Lock()
+	for j := range s.growSet {
+		if j.State() != Running || j.cursor.Remaining() == 0 {
+			delete(s.growSet, j)
+		}
 	}
+	s.growables.Store(int32(len(s.growSet)))
+	s.growMu.Unlock()
+}
+
+// clearShrinkTargets lifts every posted preemption constraint.
+func (s *Scheduler) clearShrinkTargets() {
+	s.growMu.Lock()
+	for j := range s.growSet {
+		j.shrinkTo.Store(0)
+	}
+	s.growMu.Unlock()
 }
 
 // preemptForWaiting implements the preemption policy: with jobs waiting and
@@ -748,8 +1108,13 @@ func (s *Scheduler) dispatch() {
 // admits within chunks rather than whole job completions. Participants
 // observe the target between chunks (see Job.runElastic) and peel — never
 // below one participant, so the victim always completes its join wave.
-func (s *Scheduler) preemptForWaiting(growable map[*Job]struct{}) {
-	if len(growable) == 0 || s.cfg.DisableFair {
+func (s *Scheduler) preemptForWaiting() {
+	if s.cfg.DisableFair {
+		return
+	}
+	s.growMu.Lock()
+	defer s.growMu.Unlock()
+	if len(s.growSet) == 0 {
 		return
 	}
 	head := s.fq.peek()
@@ -757,12 +1122,17 @@ func (s *Scheduler) preemptForWaiting(growable map[*Job]struct{}) {
 		return
 	}
 	risk := s.deadlineRisk(head)
-	runningJobs := make(map[string]int, len(growable))
-	for j := range growable {
+	if s.runningScratch == nil {
+		s.runningScratch = make(map[string]int)
+		s.sharesScratch = make(map[string]int)
+	}
+	runningJobs, shares := s.runningScratch, s.sharesScratch
+	clear(runningJobs)
+	for j := range s.growSet {
 		runningJobs[j.tenant]++
 	}
-	shares := s.fq.shares(s.p, runningJobs)
-	for j := range growable {
+	s.fq.shares(s.p, runningJobs, shares)
+	for j := range s.growSet {
 		allowed := shares[j.tenant] / runningJobs[j.tenant]
 		if allowed < 1 {
 			allowed = 1
@@ -809,10 +1179,10 @@ func (s *Scheduler) SetTenantWeight(name string, weight int) {
 	s.fq.setWeight(name, weight)
 }
 
-// admit molds a sub-team for one popped job from the dispatcher's idle
-// workers and performs the release wave. It returns the remaining idle set
-// (unchanged when the job was canceled while queued).
-func (s *Scheduler) admit(j *Job, idle []int, growable map[*Job]struct{}) []int {
+// admit molds a sub-team for one popped job from the popped idle workers and
+// performs the release wave. It returns the remaining idle set (unchanged
+// when the job was canceled while queued).
+func (s *Scheduler) admit(j *Job, idle []int) []int {
 	if !j.state.CompareAndSwap(int32(Pending), int32(Running)) {
 		return idle // canceled while queued; Cancel already adjusted depth
 	}
@@ -824,57 +1194,27 @@ func (s *Scheduler) admit(j *Job, idle []int, growable map[*Job]struct{}) []int 
 		k = want
 	}
 	elastic := s.elasticFor(j)
-	var bar barrier.HalfPair
+	var chunk, maxK int
 	if elastic {
-		chunk := s.chunkFor(j)
-		maxK := s.maxTeam(j, chunk)
+		chunk = s.chunkFor(j)
+		maxK = s.maxTeam(j, chunk)
 		if k > maxK {
 			k = maxK
 		}
-		j.initElastic(k, chunk, maxK)
-		growable[j] = struct{}{}
-	} else {
-		j.workers.Store(int32(k))
-		if j.req.RBody != nil {
-			j.partials = make([]paddedPartial, k)
-		}
-		if k > 1 {
-			bar = barrier.NewCentralized(k)
-		}
 	}
-	j.started = time.Now()
-	s.running.Add(1)
-	j.tr.Event(trace.EvDispatched, s.cfg.shard, k, "")
-	for sub := 0; sub < k; sub++ {
-		id := idle[len(idle)-1]
-		idle = idle[:len(idle)-1]
-		a := &assignment{job: j, sub: sub, elastic: elastic}
-		if elastic {
-			a.sub = <-j.slots
-		} else {
-			a.k, a.bar = k, bar
-		}
-		s.assign[id] <- a
-	}
-	// Publish the job for cross-shard lending only after the release wave:
-	// a sibling's lendTo drains j.slots concurrently, and advertising the
-	// job earlier could starve the blocking slot receives above, stalling
-	// this dispatcher mid-admission.
-	if elastic && s.growSet != nil {
-		s.growMu.Lock()
-		s.growSet[j] = struct{}{}
-		s.growMu.Unlock()
-	}
-	return idle
+	s.releaseWave(j, idle[len(idle)-k:], elastic, chunk, maxK)
+	return idle[:len(idle)-k]
 }
 
 // grow distributes idle workers round-robin over the running elastic jobs
 // that can still use them. Called only when no tenant waits for admission,
 // so growth never starves a queued job.
-func (s *Scheduler) grow(idle []int, growable map[*Job]struct{}) []int {
-	for len(idle) > 0 && len(growable) > 0 {
+func (s *Scheduler) grow(idle []int) []int {
+	s.growMu.Lock()
+	defer s.growMu.Unlock()
+	for len(idle) > 0 && len(s.growSet) > 0 {
 		progressed := false
-		for j := range growable {
+		for j := range s.growSet {
 			if len(idle) == 0 {
 				break
 			}
@@ -886,7 +1226,7 @@ func (s *Scheduler) grow(idle []int, growable map[*Job]struct{}) []int {
 			idle = idle[:len(idle)-1]
 			s.grown.Add(1)
 			j.tr.Event(trace.EvGrown, s.cfg.shard, int(j.active.Load()), "")
-			s.assign[id] <- &assignment{job: j, sub: sub, elastic: true}
+			s.assign[id] <- assignment{job: j, sub: sub, elastic: true}
 			progressed = true
 		}
 		if !progressed {
@@ -910,7 +1250,7 @@ func (s *Scheduler) lendTo(j *Job, idle []int) []int {
 		idle = idle[:len(idle)-1]
 		s.lent.Add(1)
 		j.tr.Event(trace.EvLent, s.cfg.shard, int(j.active.Load()), "")
-		s.assign[id] <- &assignment{job: j, sub: sub, elastic: true}
+		s.assign[id] <- assignment{job: j, sub: sub, elastic: true}
 	}
 	return idle
 }
@@ -933,14 +1273,12 @@ func (s *Scheduler) stealQueued() *Job {
 // for a sibling shard to lend workers to, or nil. Entries that completed or
 // drained their cursor are dropped lazily.
 func (s *Scheduler) lendableJob() *Job {
-	if s.growSet == nil {
-		return nil
-	}
 	s.growMu.Lock()
 	defer s.growMu.Unlock()
 	for j := range s.growSet {
 		if j.State() != Running || j.cursor.Remaining() == 0 {
 			delete(s.growSet, j)
+			s.growables.Store(int32(len(s.growSet)))
 			continue
 		}
 		return j
@@ -948,14 +1286,17 @@ func (s *Scheduler) lendableJob() *Job {
 	return nil
 }
 
-// worker is the body of every team member: execute one assignment, return to
-// the dispatcher, repeat until the scheduler closes.
+// worker is the body of every team member: park in the mailbox receive until
+// someone (the dispatcher or a fast-path submitter) hands over an
+// assignment, execute it, park again. The channel receive is the futex-style
+// semaphore: a parked worker is a goroutine in gopark, and the hand-off send
+// goreadies it directly.
 func (s *Scheduler) worker(id int) {
 	for a := range s.assign[id] {
 		s.busy.Add(1)
 		a.run(s)
 		s.busy.Add(-1)
-		s.free <- id
+		s.parkWorker(id)
 	}
 }
 
@@ -963,9 +1304,10 @@ func (s *Scheduler) worker(id int) {
 // completing worker exactly once per job.
 func (s *Scheduler) recordCompletion(j *Job) {
 	now := time.Now()
-	if s.growSet != nil && j.elastic {
+	if j.elastic {
 		s.growMu.Lock()
 		delete(s.growSet, j)
+		s.growables.Store(int32(len(s.growSet)))
 		s.growMu.Unlock()
 	}
 	s.completed.Add(1)
@@ -1048,13 +1390,18 @@ func (s *Scheduler) Close() {
 	s.submitMu.Lock()
 	s.releaseClosed = true
 	s.submitMu.Unlock()
-	close(s.queue)
+	// Both intake windows are shut: tell the dispatcher to drain and exit.
+	s.intakeClosed.Store(true)
+	s.wake()
 	<-s.dispatcherDone
-	// Collect every worker from the idle pool: once all P are held, no
-	// assignment is in flight and the team can be released.
-	for i := 0; i < s.p; i++ {
-		<-s.free
+	// Wait for the whole team to park: once all P are on the idle stack, no
+	// assignment is in flight and the mailboxes can close.
+	s.idleMu.Lock()
+	for len(s.idleIDs) < s.p {
+		s.idleCond.Wait()
 	}
+	s.idleIDs = s.idleIDs[:0]
+	s.idleMu.Unlock()
 	for _, ch := range s.assign {
 		close(ch)
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"loopsched/internal/barrier"
 	"loopsched/internal/stats"
 	"loopsched/internal/topology"
 	"loopsched/internal/trace"
@@ -82,16 +83,20 @@ type Sharded struct {
 	// stealOff disables cross-shard traffic during teardown, so a stolen job
 	// can never land on a shard that is already closing.
 	stealOff atomic.Bool
-	rr       atomic.Uint64
+	// rr is bumped by every submit (routeFor) AND by every idle dispatcher's
+	// steal/lend scan; padded so the submit hot path never shares a cache
+	// line with the migration seqlock below.
+	rr barrier.PaddedUint64
 
 	// migrateBegin/migrateEnd bracket every cross-shard counter migration:
 	// a steal (a queued job's depth moves between shards) and a dependency
 	// release (a job leaves one shard's blocked gauge for another shard's
 	// queue depth). Stats uses them as a seqlock: a snapshot taken while
 	// begin != end, or during which begin advanced, may be torn — counting
-	// a migrating job on two shards or on neither — and is retried.
-	migrateBegin atomic.Uint64
-	migrateEnd   atomic.Uint64
+	// a migrating job on two shards or on neither — and is retried. Each is
+	// padded: Stats readers spin on them while stealers write them.
+	migrateBegin barrier.PaddedUint64
+	migrateEnd   barrier.PaddedUint64
 
 	closeMu sync.Mutex
 	closed  bool
@@ -196,6 +201,20 @@ func shardLoad(s *Scheduler) float64 {
 // number of goroutines.
 func (p *Sharded) Submit(req Request) (*Job, error) {
 	return p.routeFor(req.Tenant).Submit(req)
+}
+
+// SubmitBatch admits len(reqs) independent jobs in one call, filling out[i]
+// with the job for reqs[i]. The whole batch is routed to ONE shard — chosen
+// by the routing policy for the first request's tenant — so a single
+// fair-queue lock acquisition admits all of it; sibling shards rebalance by
+// stealing whole jobs as usual if the batch outruns the shard. See
+// (*Scheduler).SubmitBatch for the request restrictions (no After edges) and
+// the partial-failure contract.
+func (p *Sharded) SubmitBatch(reqs []Request, out []*Job) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	return p.routeFor(tenantName(reqs[0].Tenant)).SubmitBatch(reqs, out)
 }
 
 // SetTenantWeight registers (or re-weights) a tenant's fair-share weight on

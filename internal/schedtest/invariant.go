@@ -40,6 +40,14 @@ type JobRunner interface {
 	Submit(jobs.Request) (*jobs.Job, error)
 }
 
+// BatchRunner is the batched-admission surface; runners that implement it
+// (both jobs.Scheduler and jobs.Sharded do) get SubmitBatch ops mixed into
+// the invariant stream, racing batches against single submissions, cancels
+// and handle recycling.
+type BatchRunner interface {
+	SubmitBatch(reqs []jobs.Request, out []*jobs.Job) error
+}
+
 // InvariantOptions parameterizes the op stream.
 type InvariantOptions struct {
 	// Seed seeds the op stream; the same seed replays the same stream
@@ -178,6 +186,14 @@ func runOneOp(t *testing.T, runner JobRunner, rng *rand.Rand, opt InvariantOptio
 		runDepOp(t, runner, rng, opt, tnt, op, n)
 		return
 	}
+	// The draw happens for every runner so the stream stays a pure function
+	// of the seed; only runners with batched admission act on it.
+	if rng.Intn(5) == 0 {
+		if br, ok := runner.(BatchRunner); ok {
+			runBatchOp(t, br, rng, opt, tnt, op)
+			return
+		}
+	}
 	kind := rng.Intn(3)
 	grain := 0
 	if rng.Intn(2) == 0 {
@@ -264,6 +280,84 @@ func runOneOp(t *testing.T, runner JobRunner, rng *rand.Rand, opt InvariantOptio
 		if v != want {
 			t.Errorf("tenant %d op %d (seed %d): ordered 'last' fold over %d = %v, want %v (join-wave order violated)",
 				tnt, op, opt.Seed, n, v, want)
+		}
+	}
+}
+
+// runBatchOp admits several pseudo-random jobs through one SubmitBatch call
+// and checks the same invariants the single-submit ops do: every index of
+// every completed job marked exactly once, canceled jobs never run, and
+// degenerate (N=0) members complete inline without disturbing their
+// siblings. Released handles feed the runtime's freelist, so the stream also
+// races recycling against late Waits.
+func runBatchOp(t *testing.T, runner BatchRunner, rng *rand.Rand, opt InvariantOptions, tnt, op int) {
+	t.Helper()
+	k := 2 + rng.Intn(7)
+	reqs := make([]jobs.Request, k)
+	marks := make([][]int32, k)
+	for i := range reqs {
+		n := rng.Intn(opt.MaxN + 1)
+		if rng.Intn(8) == 0 {
+			n = 0 // degenerate member: completes inline during admission
+		}
+		m := make([]int32, n)
+		marks[i] = m
+		reqs[i] = jobs.Request{N: n, Body: func(w, lo, hi int) {
+			for idx := lo; idx < hi; idx++ {
+				atomic.AddInt32(&m[idx], 1)
+			}
+		}}
+		if rng.Intn(2) == 0 {
+			reqs[i].Grain = 1 + rng.Intn(64)
+		}
+		if rng.Intn(3) == 0 {
+			reqs[i].MaxWorkers = 1 + rng.Intn(4)
+		}
+		policyFields(rng, &reqs[i])
+	}
+	cancelIdx := -1
+	if rng.Intn(100) < opt.CancelPercent {
+		cancelIdx = rng.Intn(k)
+	}
+	release := rng.Intn(2) == 0
+
+	out := make([]*jobs.Job, k)
+	if err := runner.SubmitBatch(reqs, out); err != nil {
+		t.Errorf("tenant %d op %d (seed %d): batch submit: %v", tnt, op, opt.Seed, err)
+		return
+	}
+	if cancelIdx >= 0 {
+		out[cancelIdx].Cancel() // races admission and stealing on purpose
+	}
+	for i, j := range out {
+		if j == nil {
+			t.Errorf("tenant %d op %d (seed %d): batch member %d has no handle", tnt, op, opt.Seed, i)
+			continue
+		}
+		_, err := waitDeadline(j, opt.Deadline)
+		switch {
+		case errors.Is(err, jobs.ErrCanceled):
+			for idx, m := range marks[i] {
+				if m != 0 {
+					t.Errorf("tenant %d op %d (seed %d): canceled batch member %d ran iteration %d",
+						tnt, op, opt.Seed, i, idx)
+					break
+				}
+			}
+		case err != nil:
+			t.Errorf("tenant %d op %d (seed %d): batch member %d wait: %v", tnt, op, opt.Seed, i, err)
+			continue // not terminal: do not release
+		default:
+			for idx, m := range marks[i] {
+				if m != 1 {
+					t.Errorf("tenant %d op %d (seed %d): batch member %d iteration %d executed %d times, want 1",
+						tnt, op, opt.Seed, i, idx, m)
+					break
+				}
+			}
+		}
+		if release {
+			j.Release()
 		}
 	}
 }

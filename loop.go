@@ -155,7 +155,25 @@ type Pool struct {
 	// tenantWeights collects Pool.Tenant registrations made before the
 	// async runtime is instantiated, applied at creation.
 	tenantWeights map[string]int
+
+	// handleMu/handleFree recycle public Job handles returned through
+	// Job.Release, mirroring the runtime's internal job freelist so a
+	// steady-state Submit/Wait/Release cycle allocates nothing at this layer
+	// either. Bounded; overflow falls to the garbage collector.
+	handleMu   sync.Mutex
+	handleFree []*Job
+
+	// batchMu/batchReqs/batchJobs are SubmitBatch's reusable translation
+	// scratch (public requests -> runtime requests -> runtime handles).
+	// Serializing concurrent batches on one scratch is deliberate: the batch
+	// API amortizes locking, it is not a latency path.
+	batchMu   sync.Mutex
+	batchReqs []jobs.Request
+	batchJobs []*jobs.Job
 }
+
+// maxFreeHandles bounds the public handle freelist.
+const maxFreeHandles = 1024
 
 // New creates a pool. Call Close to release its workers.
 func New(cfg Config) *Pool {
@@ -446,6 +464,10 @@ var (
 	// handles of already-submitted jobs), but submission verifies the graph
 	// anyway.
 	ErrCycle = jobs.ErrCycle
+	// ErrReleased is returned by Wait/Result callers that raced a Release:
+	// the handle's job was already recycled. It marks a use-after-release
+	// bug in the caller, not a scheduler failure.
+	ErrReleased = jobs.ErrReleased
 )
 
 // Job is a handle to an asynchronously submitted parallel loop. Many jobs
@@ -504,9 +526,54 @@ func (j *Job) Trace() *JobTrace {
 	return j.inner.Trace()
 }
 
+// Release recycles the handle (and its runtime job) for reuse by later
+// submissions, making steady-state submission allocation-free. Call it only
+// after the job is terminal — Wait/Result returned, or Cancel succeeded —
+// and only when no other goroutine still uses this handle: any later method
+// call on a released handle is a use-after-release bug (a stale Wait that
+// raced the Release reports ErrReleased; a call after the handle is recycled
+// observes an unrelated job). Release on a failed-submission handle or a nil
+// handle is a no-op beyond recycling. Jobs never released are simply
+// garbage-collected, as before pooling.
+func (j *Job) Release() {
+	if j == nil {
+		return
+	}
+	p, inner := j.pool, j.inner
+	j.inner, j.pool, j.err = nil, nil, nil
+	if inner != nil {
+		inner.Release()
+	}
+	if p == nil {
+		return
+	}
+	p.handleMu.Lock()
+	if len(p.handleFree) < maxFreeHandles {
+		p.handleFree = append(p.handleFree, j)
+	}
+	p.handleMu.Unlock()
+}
+
+// handle pops a recycled public Job handle (or allocates one) and binds it.
+func (p *Pool) handle(inner *jobs.Job, err error) *Job {
+	var j *Job
+	p.handleMu.Lock()
+	if n := len(p.handleFree); n > 0 {
+		j = p.handleFree[n-1]
+		p.handleFree[n-1] = nil
+		p.handleFree = p.handleFree[:n-1]
+	}
+	p.handleMu.Unlock()
+	if j == nil {
+		j = &Job{}
+	}
+	j.inner, j.pool, j.err = inner, p, err
+	return j
+}
+
 // failedJob wraps a submission error as an already-completed Job so call
 // sites can chain Submit(...).Wait() without a separate error path.
-func (p *Pool) failedJob(err error) *Job { return &Job{pool: p, err: err} }
+func (p *Pool) failedJob(err error) *Job { return p.handle(nil, err) }
 
 // submit routes a request to the async runtime: to the least-loaded shard,
 // or to the pinned shard when the options name one (1-based; 0 routes).
@@ -547,7 +614,76 @@ func (p *Pool) submit(shard int, after []*Job, req jobs.Request) *Job {
 	if err != nil {
 		return p.failedJob(err)
 	}
-	return &Job{inner: j, pool: p}
+	return p.handle(j, nil)
+}
+
+// BatchRequest describes one job of a SubmitBatch call, in the SubmitFor
+// shape (the body receives the sub-team worker index and chunk bounds —
+// the only shape that needs no per-job closure, keeping batches
+// allocation-free).
+type BatchRequest struct {
+	// N is the job's iteration count (<= 0 completes immediately).
+	N int
+	// Body is the chunked loop body (the SubmitFor contract).
+	Body func(worker, low, high int)
+	// Opts tunes the job. Opts.After and Opts.Shard are not supported in
+	// batches (use Submit for dependency edges and pinning) and fail the
+	// whole batch.
+	Opts JobOptions
+}
+
+// SubmitBatch submits len(reqs) independent jobs in one call, filling out[i]
+// with the handle for reqs[i]: the whole batch is routed to one shard and
+// admitted under a single fair-queue lock acquisition, so the per-job
+// submission cost is amortized N-fold. out is the caller's storage and must
+// hold at least len(reqs) entries. An invalid request fails the whole batch
+// before anything is submitted; ErrClosed can split a batch only when Close
+// overlaps the call, in which case out[i] is non-nil for exactly the jobs
+// that were admitted. Safe from any number of goroutines (concurrent batches
+// serialize on the translation scratch).
+func (p *Pool) SubmitBatch(reqs []BatchRequest, out []*Job) error {
+	if len(out) < len(reqs) {
+		return fmt.Errorf("loopsched: SubmitBatch needs len(out) >= len(reqs)")
+	}
+	if len(reqs) == 0 {
+		return nil
+	}
+	for i := range reqs {
+		if len(reqs[i].Opts.After) > 0 {
+			return fmt.Errorf("loopsched: SubmitBatch request %d carries After; use Submit for dependencies", i)
+		}
+		if reqs[i].Opts.Shard != 0 {
+			return fmt.Errorf("loopsched: SubmitBatch request %d pins a shard; use SubmitForOpts to pin", i)
+		}
+	}
+	rt := p.jobs()
+	if rt == nil {
+		return ErrClosed
+	}
+	p.batchMu.Lock()
+	defer p.batchMu.Unlock()
+	p.batchReqs = p.batchReqs[:0]
+	p.batchJobs = p.batchJobs[:0]
+	for i := range reqs {
+		r := &reqs[i]
+		o := &r.Opts
+		p.batchReqs = append(p.batchReqs, jobs.Request{
+			N: r.N, Body: r.Body, MaxWorkers: o.MaxWorkers, Grain: o.Grain,
+			Tenant: o.Tenant, Priority: o.Priority, Deadline: o.Deadline, Label: o.Label,
+		})
+		p.batchJobs = append(p.batchJobs, nil)
+	}
+	err := rt.SubmitBatch(p.batchReqs, p.batchJobs)
+	for i, inner := range p.batchJobs {
+		if inner != nil {
+			out[i] = p.handle(inner, nil)
+		}
+		p.batchJobs[i] = nil
+	}
+	// Drop the body references so a retained scratch never pins caller
+	// closures past the call.
+	clear(p.batchReqs)
+	return err
 }
 
 // JobOptions tunes one asynchronously submitted job. The zero value selects

@@ -719,3 +719,138 @@ func TestPoolUntracedHasNoTracer(t *testing.T) {
 		t.Fatal("failed job has a trace")
 	}
 }
+
+func TestSubmitBatch(t *testing.T) {
+	pool := testPool(t, Config{Workers: 2})
+	const batch = 8
+	var sum atomic.Int64
+	reqs := make([]BatchRequest, batch)
+	out := make([]*Job, batch)
+	for i := range reqs {
+		reqs[i] = BatchRequest{N: 100, Body: func(w, lo, hi int) {
+			sum.Add(int64(hi - lo))
+		}}
+	}
+	for round := 0; round < 20; round++ {
+		sum.Store(0)
+		if err := pool.SubmitBatch(reqs, out); err != nil {
+			t.Fatal(err)
+		}
+		for i, j := range out {
+			if err := j.Wait(); err != nil {
+				t.Fatalf("job %d: %v", i, err)
+			}
+			j.Release()
+			out[i] = nil
+		}
+		if got := sum.Load(); got != batch*100 {
+			t.Fatalf("round %d: iterations = %d, want %d", round, got, batch*100)
+		}
+	}
+}
+
+func TestSubmitBatchRejectsAfterAndShard(t *testing.T) {
+	pool := testPool(t, Config{Workers: 2})
+	up := pool.Submit(8, func(i int) {})
+	defer up.Wait()
+	body := func(w, lo, hi int) {}
+	out := make([]*Job, 1)
+	if err := pool.SubmitBatch([]BatchRequest{{N: 8, Body: body, Opts: JobOptions{After: []*Job{up}}}}, out); err == nil {
+		t.Error("After accepted in a batch")
+	}
+	if err := pool.SubmitBatch([]BatchRequest{{N: 8, Body: body, Opts: JobOptions{Shard: 1}}}, out); err == nil {
+		t.Error("Shard pin accepted in a batch")
+	}
+	if err := pool.SubmitBatch([]BatchRequest{{N: 8, Body: body}}, nil); err == nil {
+		t.Error("short out slice accepted")
+	}
+}
+
+func TestJobReleaseRecyclesHandle(t *testing.T) {
+	pool := testPool(t, Config{Workers: 2})
+	j := pool.SubmitFor(64, func(w, lo, hi int) {})
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	j.Release()
+	// The released handle must come back for the next submission, rebound to
+	// a fresh job that behaves normally.
+	j2 := pool.SubmitFor(64, func(w, lo, hi int) {})
+	if j2 != j {
+		t.Log("handle not recycled (another goroutine may have taken it); still must work")
+	}
+	if err := j2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	j2.Release()
+	// Release on failed and nil handles is a no-op.
+	pool.failedJob(ErrClosed).Release()
+	var nilJob *Job
+	nilJob.Release()
+}
+
+// TestPublicSubmitAllocs pins the public layer's share of the tentpole: a
+// steady-state SubmitFor/Wait/Release cycle through Pool, the handle
+// freelist, the Sharded router and the runtime performs zero heap
+// allocations. SubmitFor passes the body through without wrapping, so the
+// cycle is closure-free; Submit/ForEach shapes wrap the body and pay one
+// closure allocation by design.
+func TestPublicSubmitAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under -race")
+	}
+	pool := testPool(t, Config{Workers: 2})
+	body := func(w, lo, hi int) {}
+	for i := 0; i < 128; i++ {
+		j := pool.SubmitFor(64, body)
+		if err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		j.Release()
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		j := pool.SubmitFor(64, body)
+		if err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		j.Release()
+	})
+	if avg != 0 {
+		t.Errorf("SubmitFor/Wait/Release cycle: %v allocs/op, want 0", avg)
+	}
+}
+
+// TestPublicSubmitBatchAllocs pins the batched public path at zero
+// allocations per submitted job in steady state.
+func TestPublicSubmitBatchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under -race")
+	}
+	pool := testPool(t, Config{Workers: 2})
+	const batch = 16
+	body := func(w, lo, hi int) {}
+	reqs := make([]BatchRequest, batch)
+	out := make([]*Job, batch)
+	for i := range reqs {
+		reqs[i] = BatchRequest{N: 64, Body: body}
+	}
+	cycle := func() {
+		if err := pool.SubmitBatch(reqs, out); err != nil {
+			t.Fatal(err)
+		}
+		for i, j := range out {
+			if err := j.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			j.Release()
+			out[i] = nil
+		}
+	}
+	for i := 0; i < 16; i++ {
+		cycle()
+	}
+	avg := testing.AllocsPerRun(100, cycle)
+	if got := avg / batch; got != 0 {
+		t.Errorf("SubmitBatch cycle: %v allocs per submitted job, want 0", got)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package loopsched
+
+// raceEnabled reports whether the test binary was built with -race; the
+// allocation-regression tests skip under it (the race runtime's
+// instrumentation allocates on paths the production build does not).
+const raceEnabled = false
