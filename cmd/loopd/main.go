@@ -16,7 +16,10 @@
 //	                                        the strict admission priority and
 //	                                        &deadline_ms=d the completion
 //	                                        deadline used for EDF ordering
-//	                                        and deadline-risk preemption)
+//	                                        and deadline-risk preemption;
+//	                                        &nowait=1 fails fast with 503 +
+//	                                        Retry-After instead of blocking
+//	                                        when the admission queue is full)
 //	POST /run?pipeline=spin:4096,sum:1024:4,sum:512
 //	                                        submit a pipeline of named
 //	                                        workload stages (workload[:n[:width]]
@@ -102,6 +105,10 @@ func main() {
 	traceBuffer := flag.Int("trace-buffer", 4096, "default per-subscriber /events buffer (slow subscribers drop, never block)")
 	traceCap := flag.Int("trace-capacity", 0, "finished job traces retained for /trace/{job} (0 = default 1024)")
 	sloTarget := flag.Float64("slo-target", 0, "per-tenant deadline-hit objective for burn rates (0 = default 0.99)")
+	maxWait := flag.Duration("max-wait", 0, "bound on blocking for an admission queue slot before rejecting with 503 + Retry-After (0 = block indefinitely)")
+	shed := flag.Bool("shed", false, "reject deadline jobs whose deadline cannot be met at the measured service rate (503 + Retry-After) instead of admitting them to miss")
+	breakerBurn := flag.Float64("breaker-burn", 0, "per-tenant circuit breaker SLO burn-rate limit: at/above it a queue-crowding tenant is shed with 429 + Retry-After (0 = breakers off)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open breaker sheds before probing for recovery (0 = default 250ms)")
 	debugHandlers := flag.Bool("debug", false, "serve the net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
@@ -126,6 +133,10 @@ func main() {
 		TraceBuffer:      *traceBuffer,
 		TraceCapacity:    *traceCap,
 		SLOTarget:        *sloTarget,
+		MaxWait:          *maxWait,
+		ShedInfeasible:   *shed,
+		BreakerBurnRate:  *breakerBurn,
+		BreakerCooldown:  *breakerCooldown,
 		Debug:            *debugHandlers,
 	})
 	defer srv.Close()

@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -71,6 +73,22 @@ type serverConfig struct {
 	// SLOTarget is the per-tenant deadline-hit objective burn rates are
 	// measured against; outside (0, 1) selects the default (0.99).
 	SLOTarget float64
+	// MaxWait bounds how long a submission may block for an admission queue
+	// slot before the request is rejected with 503 and a Retry-After hint;
+	// <= 0 keeps the default unbounded block.
+	MaxWait time.Duration
+	// ShedInfeasible rejects (503 + Retry-After) deadline jobs whose
+	// deadline could not be met even if the queue drained at the measured
+	// service rate, instead of admitting them only to miss.
+	ShedInfeasible bool
+	// BreakerBurnRate arms per-tenant circuit breakers: a tenant burning its
+	// SLO at or above this rate while crowding the queue is shed at intake
+	// (429 + Retry-After) until a cooldown and a successful probe; <= 0
+	// disables the breakers.
+	BreakerBurnRate float64
+	// BreakerCooldown is how long an open breaker sheds before probing;
+	// <= 0 selects the default (250ms).
+	BreakerCooldown time.Duration
 	// Debug registers the net/http/pprof handlers under /debug/pprof/.
 	Debug bool
 }
@@ -84,6 +102,7 @@ type server struct {
 	rt          *jobs.Sharded
 	tracer      *trace.Tracer // nil unless serverConfig.Trace
 	traceBuffer int
+	sloTarget   float64 // normalized configured SLO target, for /metrics
 	started     time.Time
 	statsSeq    atomic.Uint64 // monotonic /stats snapshot sequence
 	mux         *http.ServeMux
@@ -98,6 +117,12 @@ func newServer(cfg serverConfig) *server {
 	if traceBuffer <= 0 {
 		traceBuffer = 4096
 	}
+	// Normalize the SLO target once, mirroring the runtime's defaulting, so
+	// /metrics can expose the objective before any completion samples exist.
+	sloTarget := cfg.SLOTarget
+	if !(sloTarget > 0 && sloTarget < 1) {
+		sloTarget = 0.99
+	}
 	s := &server{
 		rt: jobs.NewSharded(jobs.ShardedConfig{
 			Config: jobs.Config{
@@ -111,6 +136,10 @@ func newServer(cfg serverConfig) *server {
 				LockOSThread:     cfg.LockOSThread,
 				Tracer:           tracer,
 				SLOTarget:        cfg.SLOTarget,
+				MaxWait:          cfg.MaxWait,
+				ShedInfeasible:   cfg.ShedInfeasible,
+				BreakerBurnRate:  cfg.BreakerBurnRate,
+				BreakerCooldown:  cfg.BreakerCooldown,
 				Name:             "loopd",
 			},
 			Shards:          cfg.Shards,
@@ -119,6 +148,7 @@ func newServer(cfg serverConfig) *server {
 		}),
 		tracer:      tracer,
 		traceBuffer: traceBuffer,
+		sloTarget:   sloTarget,
 		started:     time.Now(),
 		mux:         http.NewServeMux(),
 	}
@@ -271,6 +301,7 @@ type jobPolicy struct {
 	tenant   string
 	prio     int
 	deadline time.Time
+	noWait   bool
 }
 
 // apply stamps the policy onto a built workload request.
@@ -278,9 +309,11 @@ func (p jobPolicy) apply(req *jobs.Request) {
 	req.Tenant = p.tenant
 	req.Priority = p.prio
 	req.Deadline = p.deadline
+	req.NoWait = p.noWait
 }
 
-// parsePolicy parses the &tenant=, &prio= and &deadline_ms= parameters.
+// parsePolicy parses the &tenant=, &prio=, &deadline_ms= and &nowait=
+// parameters.
 func parsePolicy(r *http.Request) (jobPolicy, error) {
 	var pol jobPolicy
 	pol.tenant = r.FormValue("tenant")
@@ -299,7 +332,41 @@ func parsePolicy(r *http.Request) (jobPolicy, error) {
 	if deadlineMs > 0 {
 		pol.deadline = time.Now().Add(time.Duration(deadlineMs) * time.Millisecond)
 	}
+	noWait, err := intParam(r, "nowait", 0, 0, 1)
+	if err != nil {
+		return pol, err
+	}
+	pol.noWait = noWait != 0
 	return pol, nil
+}
+
+// overloadStatus maps an admission-shedding error to its HTTP status:
+// 429 Too Many Requests for a tenant's open circuit breaker (the caller is
+// being told to back off), 503 Service Unavailable for backlog and
+// infeasible-deadline rejections (the service as a whole is saturated).
+// ok is false for errors that are not overload rejections.
+func overloadStatus(err error) (code int, ok bool) {
+	switch {
+	case errors.Is(err, jobs.ErrBreakerOpen):
+		return http.StatusTooManyRequests, true
+	case errors.Is(err, jobs.ErrBacklogged), errors.Is(err, jobs.ErrInfeasible):
+		return http.StatusServiceUnavailable, true
+	}
+	return 0, false
+}
+
+// writeOverload rejects the request with the overload status and a
+// Retry-After header derived from the runtime's suggested retry delay
+// (rounded up to whole seconds, at least 1, per RFC 9110).
+func writeOverload(w http.ResponseWriter, err error, code int) {
+	if d, ok := jobs.SuggestedRetry(err); ok {
+		secs := int64(math.Ceil(d.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	http.Error(w, err.Error(), code)
 }
 
 // validTenant bounds tenant names so they can label Prometheus series
@@ -402,6 +469,13 @@ func (s *server) runPipeline(w http.ResponseWriter, stages []pipelineStage, iter
 				j, err = s.rt.Submit(req)
 			}
 			if err != nil {
+				// An overload rejection before anything was admitted fails
+				// the whole request with the backpressure status; once jobs
+				// are in flight the per-job error field reports it instead.
+				if code, ok := overloadStatus(err); ok && len(all) == 0 {
+					writeOverload(w, err, code)
+					return
+				}
 				st.Results[i].Error = err.Error()
 				continue
 			}
@@ -480,6 +554,19 @@ func (s *server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, i
 		} else {
 			err = s.rt.SubmitBatch(reqs, out)
 		}
+		if err != nil {
+			admitted := false
+			for _, j := range out {
+				if j != nil {
+					admitted = true
+					break
+				}
+			}
+			if code, ok := overloadStatus(err); ok && !admitted {
+				writeOverload(w, err, code)
+				return
+			}
+		}
 		for i, j := range out {
 			if j == nil {
 				if err != nil {
@@ -498,6 +585,13 @@ func (s *server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, i
 				j, err = s.rt.Submit(req)
 			}
 			if err != nil {
+				// Same contract as the pipeline path: shed before anything
+				// was admitted → reject the whole request with 429/503 and
+				// Retry-After; partial fan-outs report per-job errors.
+				if code, ok := overloadStatus(err); ok && i == 0 {
+					writeOverload(w, err, code)
+					return
+				}
 				resp.Results[i].Error = err.Error()
 				continue
 			}
@@ -703,6 +797,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("loopd_workers_lent_total", "workers lent to a sibling shard's running elastic job", float64(tot.Lent))
 	counter("loopd_jobs_preempted_total", "preemption targets posted against running jobs to serve waiting tenants", float64(tot.Preempted))
 	counter("loopd_jobs_deadline_missed_total", "jobs completed after their requested deadline", float64(tot.DeadlineMissed))
+	counter("loopd_jobs_shed_total", "submissions rejected by admission control (infeasible deadline, full backlog or open breaker)", float64(tot.ShedTotal))
+	counter("loopd_jobs_infeasible_total", "submissions rejected because the deadline could not be met at the measured service rate", float64(tot.InfeasibleTotal))
+	counter("loopd_jobs_backlogged_total", "submissions rejected because the admission queue stayed full past the wait bound", float64(tot.BackloggedTotal))
 	gauge("loopd_uptime_seconds", "seconds since the daemon started", time.Since(s.started).Seconds())
 
 	// Build identity as the conventional constant-1 info gauge.
@@ -761,6 +858,31 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		func(t jobs.TenantStats) float64 { return t.RunSumSeconds })
 	tenantMetric("loopd_tenant_deadline_jobs_total", "counter", "tenant jobs ever completed that carried a deadline (hits plus misses; loopd_tenant_deadline_missed_total counts the misses)",
 		func(t jobs.TenantStats) float64 { return float64(t.DeadlineJobsTotal) })
+	tenantMetric("loopd_tenant_shed_total", "counter", "tenant submissions rejected by admission control",
+		func(t jobs.TenantStats) float64 { return float64(t.ShedTotal) })
+
+	// Breaker state, numeric so it can be alerted on: 0 closed, 1 half-open
+	// (probing for recovery), 2 open (shedding). Emitted only when the
+	// breakers are armed — an absent series means "breakers disabled".
+	breakerNames := make([]string, 0, len(tenantNames))
+	for _, tn := range tenantNames {
+		if tot.Tenants[tn].BreakerState != "" {
+			breakerNames = append(breakerNames, tn)
+		}
+	}
+	if len(breakerNames) > 0 {
+		fmt.Fprintf(w, "# HELP loopd_tenant_breaker_state circuit breaker state of the tenant (0 closed, 1 half-open, 2 open)\n# TYPE loopd_tenant_breaker_state gauge\n")
+		for _, tn := range breakerNames {
+			v := 0.0
+			switch tot.Tenants[tn].BreakerState {
+			case "half-open":
+				v = 1
+			case "open":
+				v = 2
+			}
+			fmt.Fprintf(w, "loopd_tenant_breaker_state{tenant=%q} %g\n", tn, v)
+		}
+	}
 
 	// SLO series, derived from each tenant's rolling completion window (the
 	// slo block of /stats). Tenants whose window is still empty are skipped:
@@ -780,9 +902,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "%s{tenant=%q} %g\n", name, tn, field(tot.Tenants[tn].SLO))
 		}
 	}
-	if len(sloNames) > 0 {
-		gauge("loopd_slo_target", "deadline-hit objective burn rates are measured against", tot.Tenants[sloNames[0]].SLO.Target)
-	}
+	// The configured objective, not sampled from any tenant's window: it is
+	// a property of the daemon, present from the first scrape (before any
+	// completion) and independent of which tenants happen to have samples.
+	gauge("loopd_slo_target", "deadline-hit objective burn rates are measured against", s.sloTarget)
 	sloMetric("loopd_slo_window_jobs", "gauge", "completions in the tenant's rolling SLO window",
 		func(s *jobs.TenantSLO) float64 { return float64(s.WindowJobs) })
 	sloMetric("loopd_slo_deadline_hit_ratio", "gauge", "windowed deadline-hit ratio of the tenant (1 when the window has no deadline jobs)",

@@ -12,7 +12,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"loopsched/internal/jobs"
 	"loopsched/internal/spin"
 )
 
@@ -769,6 +771,127 @@ func TestWriteJSONPooledIdentical(t *testing.T) {
 		}
 		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
 			t.Fatalf("call %d: Content-Type = %q", i, ct)
+		}
+	}
+}
+
+// TestSLOTargetGaugeAlwaysPresent pins the satellite fix: loopd_slo_target is
+// the daemon's configured objective, so it must be scrapeable before any job
+// has completed (previously it only appeared once some tenant had a non-empty
+// SLO window, and then echoed that tenant's target).
+func TestSLOTargetGaugeAlwaysPresent(t *testing.T) {
+	for _, tc := range []struct {
+		target float64
+		want   string
+	}{
+		{0, "loopd_slo_target 0.99"},    // default
+		{0.95, "loopd_slo_target 0.95"}, // configured
+	} {
+		srv := newServer(serverConfig{Workers: 2, SLOTarget: tc.target})
+		ts := httptest.NewServer(srv)
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		ts.Close()
+		srv.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(body), tc.want+"\n") {
+			t.Errorf("SLOTarget=%v: fresh /metrics missing %q", tc.target, tc.want)
+		}
+	}
+}
+
+// TestNoWaitBackpressure rejects a &nowait=1 submission with 503 and a
+// Retry-After hint when the admission queue is full, instead of blocking the
+// handler. The queue is filled deterministically: a blocker job occupies
+// every worker and a second job holds the single queue slot.
+func TestNoWaitBackpressure(t *testing.T) {
+	srv := newServer(serverConfig{Workers: 2, Shards: 1, QueueDepth: 1})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	release := make(chan struct{})
+	block := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			<-release
+		}
+	}
+	blocker, err := srv.rt.Submit(jobs.Request{N: 2, Grain: 1, Body: block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the blocker to hold the workers so the next job queues.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.rt.Stats().Total.Running < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	queued, err := srv.rt.Submit(jobs.Request{N: 1, Body: block, NoWait: true})
+	if err != nil {
+		t.Fatalf("queued job rejected with the slot free: %v", err)
+	}
+	for srv.rt.Stats().Total.QueueDepth < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second job never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Post(ts.URL+"/run?workload=sum&n=64&nowait=1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("nowait submit with a full queue: status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 response missing Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want a positive integral number of seconds", ra)
+	}
+	st := srv.rt.Stats().Total
+	if st.ShedTotal < 1 || st.BackloggedTotal < 1 {
+		t.Errorf("shed/backlogged totals = %d/%d, want >= 1", st.ShedTotal, st.BackloggedTotal)
+	}
+	// Drain: three receives release the blocker's two iterations and the
+	// queued job's one.
+	close(release)
+	if _, err := blocker.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := queued.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverloadStatusMapping pins the HTTP error taxonomy: breaker sheds are
+// the caller's fault (429), backlog and infeasible sheds are the service's
+// (503), and other submission errors are not overload rejections.
+func TestOverloadStatusMapping(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		code int
+		ok   bool
+	}{
+		{jobs.ErrBreakerOpen, http.StatusTooManyRequests, true},
+		{jobs.ErrBacklogged, http.StatusServiceUnavailable, true},
+		{jobs.ErrInfeasible, http.StatusServiceUnavailable, true},
+		{&jobs.OverloadError{Err: jobs.ErrBreakerOpen, RetryAfter: time.Second}, http.StatusTooManyRequests, true},
+		{jobs.ErrClosed, 0, false},
+	} {
+		code, ok := overloadStatus(tc.err)
+		if code != tc.code || ok != tc.ok {
+			t.Errorf("overloadStatus(%v) = (%d, %v), want (%d, %v)", tc.err, code, ok, tc.code, tc.ok)
 		}
 	}
 }

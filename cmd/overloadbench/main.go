@@ -1,0 +1,67 @@
+// Command overloadbench runs the overload-protection scenario (closed-loop
+// deadline streams at capacity and at twice capacity with bounded-wait
+// admission and feasibility shedding armed, then a well-behaved tenant
+// sharing the scheduler with an abusive deadline spammer under per-tenant
+// circuit breakers) and emits both a human-readable table and the
+// machine-readable BENCH_overload.json artifact used to track the overload
+// trajectory across PRs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"loopsched/internal/bench"
+)
+
+func main() {
+	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS-2, clamped to [2,16])")
+	streams := flag.Int("streams", 0, "closed-loop submitters at single capacity; overload doubles it (0 = workers)")
+	window := flag.Int("window", 0, "in-flight jobs per submitter (0 = 4)")
+	n := flag.Int("n", 0, "iterations per job (0 = 2048)")
+	iterNs := flag.Float64("iterns", 0, "target ns per iteration (0 = 150)")
+	duration := flag.Duration("duration", 0, "measurement window per phase (0 = 500ms)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+	maxWait := flag.Duration("max-wait", 0, "admission slot wait bound (0 = 10ms)")
+	deadline := flag.Duration("deadline", 0, "well-behaved streams' per-job deadline budget (0 = 50ms)")
+	breakerBurn := flag.Float64("breaker-burn", 0, "breaker SLO burn-rate limit for the isolation phase (0 = 2.0)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown (0 = 100ms)")
+	noLock := flag.Bool("no-lock", false, "do not pin workers to OS threads")
+	jsonPath := flag.String("json", "BENCH_overload.json", "write the machine-readable report here ('' = skip)")
+	flag.Parse()
+
+	if *noLock {
+		bench.LockThreads = false
+	}
+	opt := bench.OverloadOptions{
+		Workers:         *workers,
+		Streams:         *streams,
+		Window:          *window,
+		N:               *n,
+		IterNs:          *iterNs,
+		Duration:        *duration,
+		QueueDepth:      *queue,
+		MaxWait:         *maxWait,
+		Deadline:        *deadline,
+		BreakerBurnRate: *breakerBurn,
+		BreakerCooldown: *breakerCooldown,
+	}
+	start := time.Now()
+	rep, err := bench.RunOverload(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bench.WriteOverload(os.Stdout, rep); err != nil {
+		log.Fatal(err)
+	}
+	if *jsonPath != "" {
+		if err := bench.WriteOverloadJSON(*jsonPath, rep); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	fmt.Printf("total %s\n", bench.Elapsed(start))
+}

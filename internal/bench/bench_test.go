@@ -375,10 +375,10 @@ func TestJobWorkloadRegistry(t *testing.T) {
 
 func TestScenarioRegistry(t *testing.T) {
 	names := ScenarioNames()
-	if len(names) != 12 {
+	if len(names) != 13 {
 		t.Fatalf("scenario registry: %v", names)
 	}
-	for _, want := range []string{"table1", "mpdata", "linreg", "ablation", "multitenant", "burst", "skew", "shardburst", "pipeline", "fairshare", "traceoverhead", "submitpath"} {
+	for _, want := range []string{"table1", "mpdata", "linreg", "ablation", "multitenant", "burst", "skew", "shardburst", "pipeline", "fairshare", "traceoverhead", "submitpath", "overload"} {
 		if _, ok := scenarios[want]; !ok {
 			t.Errorf("scenario %q not registered", want)
 		}

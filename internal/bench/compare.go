@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -67,6 +66,12 @@ type Comparison struct {
 	// but never counted as a regression.
 	Base, Head float64
 	Missing    bool
+	// ZeroBase is set when the base value is zero but the head value is not:
+	// the relative delta would be a division by zero (rendered as NaN/Inf in
+	// the step summary), so the metric is reported as new/zero-base and never
+	// classified — a metric that only just started moving has no trend to
+	// regress against.
+	ZeroBase bool
 	// Delta is the relative change head vs base, as a fraction of base
 	// (0.10 = +10%). Oriented so that positive is always an improvement and
 	// negative a degradation, whatever the metric's direction.
@@ -136,13 +141,12 @@ func CompareReports(base, head map[string]float64, specs []MetricSpec, threshold
 				c.Delta = -c.Delta
 			}
 		case h != 0:
-			// Zero baseline: the relative delta is undefined, but the
-			// direction is not — a value appearing where lower is better is
-			// a degradation that must not slip through as "+0.0% ok".
-			c.Delta = math.Inf(1)
-			if !spec.HigherIsBetter {
-				c.Delta = math.Inf(-1)
-			}
+			// Zero baseline: the relative delta is a division by zero. An
+			// Inf/NaN here used to leak straight into the markdown table (and
+			// flip the regression gate on metrics that merely started being
+			// measured), so the comparison is marked ZeroBase and left out of
+			// the classification instead.
+			c.ZeroBase = true
 		}
 		if c.Delta < -threshold {
 			c.Regression = true
@@ -224,6 +228,10 @@ func WriteComparison(w io.Writer, title string, cs []Comparison, threshold float
 	for _, c := range cs {
 		if c.Missing {
 			fmt.Fprintf(w, "| `%s` | — | — | — | missing in base or head (new benchmark?) — not a regression |\n", c.Metric)
+			continue
+		}
+		if c.ZeroBase {
+			fmt.Fprintf(w, "| `%s` | %.4g | %.4g | — | new/zero-base metric — not compared |\n", c.Metric, c.Base, c.Head)
 			continue
 		}
 		verdict := "ok"

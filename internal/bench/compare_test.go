@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -212,22 +213,38 @@ func TestCompareTraceOnlyRegressionsAreSeparate(t *testing.T) {
 	}
 }
 
-func TestCompareZeroBaselineDegradationIsFlagged(t *testing.T) {
-	// A metric appearing where the base had 0 must not slip through as
-	// "no change": with a :lower spec it is a regression.
+func TestCompareZeroBaseIsGuarded(t *testing.T) {
+	// A zero base value makes the relative delta a division by zero; the
+	// comparison must come back marked ZeroBase with a finite Delta and no
+	// regression verdict, instead of leaking NaN/Inf into the step summary.
 	base := map[string]float64{"p99": 0}
 	head := map[string]float64{"p99": 0.5}
 	specs := []MetricSpec{{Path: "p99", HigherIsBetter: false}}
 	cs, regressed := CompareReports(base, head, specs, 0.25)
-	if !regressed || !cs[0].Regression {
-		t.Errorf("0 -> 0.5 on a lower-is-better metric not flagged: %+v", cs[0])
+	if regressed || cs[0].Regression {
+		t.Errorf("0 -> 0.5 classified as a regression despite the zero base: %+v", cs[0])
 	}
-	// The same jump on a higher-is-better metric is an improvement.
-	if _, regressed := CompareReports(base, head, []MetricSpec{{Path: "p99", HigherIsBetter: true}}, 0.25); regressed {
-		t.Error("0 -> 0.5 on a higher-is-better metric flagged as regression")
+	if !cs[0].ZeroBase {
+		t.Errorf("ZeroBase not set on a 0 -> 0.5 comparison: %+v", cs[0])
 	}
-	// Zero to zero is no change either way.
-	if cs, regressed := CompareReports(base, map[string]float64{"p99": 0}, specs, 0.25); regressed || cs[0].Delta != 0 {
+	if math.IsNaN(cs[0].Delta) || math.IsInf(cs[0].Delta, 0) {
+		t.Errorf("Delta = %v, want finite on a zero base", cs[0].Delta)
+	}
+
+	// The step summary renders it as new/zero-base, never as a percentage.
+	var sb strings.Builder
+	if err := WriteComparison(&sb, "zero base", cs, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "new/zero-base metric") {
+		t.Errorf("zero-base row not rendered as new/zero-base metric:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "Inf") || strings.Contains(sb.String(), "NaN") {
+		t.Errorf("Inf/NaN leaked into the rendered table:\n%s", sb.String())
+	}
+
+	// Zero to zero is genuinely no change: not ZeroBase, delta 0, ok.
+	if cs, regressed := CompareReports(base, map[string]float64{"p99": 0}, specs, 0.25); regressed || cs[0].Delta != 0 || cs[0].ZeroBase {
 		t.Errorf("0 -> 0 flagged: %+v", cs[0])
 	}
 }

@@ -155,6 +155,15 @@ var scenarios = map[string]Scenario{
 		}
 		return WriteFairShare(w, rep)
 	},
+	"overload": func(w io.Writer) error {
+		rep, err := RunOverload(OverloadOptions{
+			Workers: 4, Duration: 200 * time.Millisecond, N: 1024,
+		})
+		if err != nil {
+			return err
+		}
+		return WriteOverload(w, rep)
+	},
 	"traceoverhead": func(w io.Writer) error {
 		rep, err := RunTraceOverhead(quickTraceOverheadOptions())
 		if err != nil {

@@ -1,0 +1,422 @@
+package jobs
+
+// admission.go is the overload-protection layer in front of the fair queue:
+// it decides, per submission, whether the scheduler should accept the job at
+// all — before any queue slot, fair-queue push or worker is spent on it.
+// Three mechanisms compose, each individually opt-in through Config:
+//
+//  1. Deadline feasibility (Config.ShedInfeasible): at submit the scheduler
+//     estimates when the job could start (queue depth times the measured
+//     per-job service time from the lastRunNanos EWMA, divided across the
+//     team) and how long it would run; a job whose estimated completion
+//     already overshoots its deadline is rejected with ErrInfeasible and a
+//     suggested retry delay instead of being admitted-to-miss. A cold
+//     scheduler (no completions yet) admits everything — shedding needs a
+//     measured service rate, not a guess.
+//
+//  2. Bounded-wait admission (Config.MaxWait, Request.NoWait): the
+//     QueueDepth gate, previously an unbounded condition-variable wait,
+//     rejects with ErrBacklogged once the configured wait expires (or
+//     immediately under NoWait). The uncontended reserve stays the same two
+//     mutex operations; the timer exists only on the contended path.
+//
+//  3. Per-tenant circuit breakers (Config.BreakerBurnRate): each tenant's
+//     deadline outcomes feed a miss-fraction EWMA; when the implied SLO burn
+//     rate crosses the limit while the tenant holds a meaningful share of
+//     the queue, the tenant's breaker opens and its submissions are shed at
+//     intake with ErrBreakerOpen — in a Sharded pool before cross-shard
+//     routing. After a cooldown the breaker half-opens and admits one probe
+//     per probe interval; a probe that hits its deadline closes the breaker,
+//     a miss re-opens it. The queue-share guard keeps a tenant that misses
+//     deadlines through no fault of the queue (tiny deadlines on an idle
+//     pool) from being locked out: breakers open only when the tenant is
+//     actually crowding the pool.
+//
+// All rejections carry an *OverloadError wrapping the sentinel, so callers
+// branch with errors.Is and read the suggested retry via SuggestedRetry.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors returned by the admission layer. Each arrives wrapped in an
+// *OverloadError carrying a suggested retry delay.
+var (
+	// ErrInfeasible reports that the job's deadline could not be met even if
+	// everything queued ahead of it drained at the measured service rate, so
+	// admitting it would only manufacture a deadline miss.
+	ErrInfeasible = errors.New("jobs: deadline infeasible at admission")
+	// ErrBacklogged reports that the admission queue stayed full past the
+	// configured MaxWait (or was full on a NoWait submission).
+	ErrBacklogged = errors.New("jobs: admission queue backlogged")
+	// ErrBreakerOpen reports that the tenant's circuit breaker is open: the
+	// tenant's recent deadline outcomes burned its SLO budget faster than the
+	// configured limit while it held a meaningful share of the queue.
+	ErrBreakerOpen = errors.New("jobs: tenant circuit breaker open")
+)
+
+// OverloadError wraps an admission rejection with the delay after which a
+// retry has a realistic chance: the estimated queue drain for ErrInfeasible
+// and ErrBacklogged, the remaining cooldown for ErrBreakerOpen. errors.Is
+// matches the wrapped sentinel.
+type OverloadError struct {
+	Err        error
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", e.Err, e.RetryAfter)
+}
+
+// Unwrap exposes the sentinel to errors.Is.
+func (e *OverloadError) Unwrap() error { return e.Err }
+
+// SuggestedRetry extracts the suggested retry delay from an admission
+// rejection. It reports false for errors that did not come from the
+// admission layer.
+func SuggestedRetry(err error) (time.Duration, bool) {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter, true
+	}
+	return 0, false
+}
+
+// Breaker states, in escalation order. The zero value is closed, so a fresh
+// tenant admits.
+const (
+	breakerClosed int32 = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breakerStateName maps a breaker state to its stable /stats string.
+func breakerStateName(state int32) string {
+	switch state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerEWMAShift is the miss-fraction EWMA weight: new = old + (x-old)/16.
+// Sixteen samples of history smooths single misses without making recovery
+// detection sluggish.
+const breakerEWMAShift = 16
+
+// tenantAdmission is one tenant's admission-layer account: breaker state
+// plus the shed counters. Everything is atomic — allow runs on the submit
+// path and recordOutcome on completing workers, with no lock between them.
+type tenantAdmission struct {
+	// state is the breaker state (breakerClosed/Open/HalfOpen).
+	state atomic.Int32
+	// until is a unixnano timestamp doing double duty: while open it is the
+	// cooldown expiry (when the breaker may half-open); while half-open it is
+	// the earliest time the next probe may be admitted. The half-open probe
+	// is claimed by CAS on this field, so exactly one submission per probe
+	// interval gets through regardless of submitter concurrency.
+	until atomic.Int64
+	// missBits is the deadline-miss-fraction EWMA as float64 bits.
+	missBits atomic.Uint64
+
+	shed       atomic.Int64 // breaker rejections
+	infeasible atomic.Int64 // feasibility rejections
+	backlogged atomic.Int64 // bounded-wait rejections
+}
+
+func (t *tenantAdmission) missFraction() float64 {
+	return math.Float64frombits(t.missBits.Load())
+}
+
+// observe folds one deadline outcome into the miss EWMA and returns the new
+// value.
+func (t *tenantAdmission) observe(missed bool) float64 {
+	x := 0.0
+	if missed {
+		x = 1.0
+	}
+	for {
+		old := t.missBits.Load()
+		v := math.Float64frombits(old)
+		nv := v + (x-v)/breakerEWMAShift
+		if t.missBits.CompareAndSwap(old, math.Float64bits(nv)) {
+			return nv
+		}
+	}
+}
+
+// admissionState is the admission-control state shared by every intake front
+// of one pool: all shards of a Sharded pool hold the same instance (installed
+// through the unexported Config.admission field, like the steal hooks), so a
+// tenant's breaker opens and closes pool-wide, not per shard.
+type admissionState struct {
+	// burnLimit is Config.BreakerBurnRate; <= 0 disables the breakers (allow
+	// admits unconditionally without touching the tenant map).
+	burnLimit float64
+	// minShare is the queue-share guard: a breaker opens only while the
+	// tenant holds at least this fraction of the queued jobs.
+	minShare float64
+	// cooldown is the open duration before the breaker half-opens; probes are
+	// paced at a quarter of it.
+	cooldown time.Duration
+	// target is the normalized SLOTarget the burn rate is measured against.
+	target float64
+	// share reports the named tenant's current fraction of the pool's queued
+	// jobs (0 on an empty queue). Set once at construction by whoever owns
+	// the pool view (Sharded sums its shards; a standalone scheduler reads
+	// its own queue).
+	share func(tenant string) float64
+
+	mu      sync.RWMutex
+	tenants map[string]*tenantAdmission
+
+	// breakerShed counts breaker rejections pool-wide. In a Sharded pool the
+	// check runs before routing, so these sheds belong to no shard and are
+	// added to the merged totals directly.
+	breakerShed atomic.Int64
+}
+
+// newAdmissionState builds the admission state for one pool from its
+// normalized config. The share closure is wired by the caller afterwards.
+func newAdmissionState(cfg Config) *admissionState {
+	return &admissionState{
+		burnLimit: cfg.BreakerBurnRate,
+		minShare:  cfg.BreakerMinShare,
+		cooldown:  cfg.BreakerCooldown,
+		target:    cfg.SLOTarget,
+		tenants:   make(map[string]*tenantAdmission),
+	}
+}
+
+// breakersOn reports whether the breaker checks are armed at all; the submit
+// path uses it to skip the time.Now call when they are not.
+func (a *admissionState) breakersOn() bool { return a != nil && a.burnLimit > 0 }
+
+// get returns the tenant's account or nil; name must be normalized.
+func (a *admissionState) get(name string) *tenantAdmission {
+	a.mu.RLock()
+	t := a.tenants[name]
+	a.mu.RUnlock()
+	return t
+}
+
+// getOrCreate returns (creating if needed) the tenant's account; name must be
+// normalized.
+func (a *admissionState) getOrCreate(name string) *tenantAdmission {
+	if t := a.get(name); t != nil {
+		return t
+	}
+	a.mu.Lock()
+	t, ok := a.tenants[name]
+	if !ok {
+		t = &tenantAdmission{}
+		a.tenants[name] = t
+	}
+	a.mu.Unlock()
+	return t
+}
+
+// probeInterval is the half-open probe pacing: a quarter of the cooldown,
+// floored at a millisecond.
+func (a *admissionState) probeInterval() time.Duration {
+	iv := a.cooldown / 4
+	if iv < time.Millisecond {
+		iv = time.Millisecond
+	}
+	return iv
+}
+
+// allow runs the breaker check for one submission. It reports true to admit;
+// false means the submission must be shed with ErrBreakerOpen after the
+// returned retry delay. A half-open breaker admits exactly one probe per
+// probe interval (claimed by CAS on the pacing timestamp, so concurrent
+// submitters cannot leak extra probes) and sheds the rest.
+func (a *admissionState) allow(tenant string, now time.Time) (time.Duration, bool) {
+	if !a.breakersOn() {
+		return 0, true
+	}
+	t := a.get(tenant)
+	if t == nil {
+		return 0, true // no deadline history: nothing to break on
+	}
+	nowN := now.UnixNano()
+	for {
+		switch t.state.Load() {
+		case breakerClosed:
+			return 0, true
+		case breakerOpen:
+			until := t.until.Load()
+			if nowN < until {
+				t.shed.Add(1)
+				a.breakerShed.Add(1)
+				return time.Duration(until - nowN), false
+			}
+			// Cooldown expired: half-open and fall through to the probe
+			// pacing below (the loser of the CAS re-reads the new state).
+			t.state.CompareAndSwap(breakerOpen, breakerHalfOpen)
+		case breakerHalfOpen:
+			next := t.until.Load()
+			if nowN < next {
+				t.shed.Add(1)
+				a.breakerShed.Add(1)
+				return time.Duration(next - nowN), false
+			}
+			if t.until.CompareAndSwap(next, nowN+int64(a.probeInterval())) {
+				return 0, true // this submission is the probe
+			}
+		}
+	}
+}
+
+// recordOutcome feeds one completed deadline job's outcome into the tenant's
+// breaker. Called from the completion path (recordCompletion), so it must be
+// cheap: one EWMA CAS plus a state check; the queue-share closure runs only
+// at the moment a closed breaker's burn rate crosses the limit.
+func (a *admissionState) recordOutcome(tenant string, missed bool, now time.Time) {
+	if !a.breakersOn() {
+		return
+	}
+	t := a.getOrCreate(tenant)
+	ewma := t.observe(missed)
+	switch t.state.Load() {
+	case breakerClosed:
+		budget := 1 - a.target
+		if budget <= 0 {
+			return
+		}
+		if ewma/budget < a.burnLimit {
+			return
+		}
+		if a.share != nil && a.share(tenant) < a.minShare {
+			// The tenant misses deadlines but is not crowding the queue:
+			// shedding it would not help anyone else. Leave the breaker
+			// closed (the feasibility check handles hopeless deadlines).
+			return
+		}
+		// until is published before the state flip so an allow that observes
+		// the open state never reads a stale cooldown.
+		t.until.Store(now.Add(a.cooldown).UnixNano())
+		t.state.CompareAndSwap(breakerClosed, breakerOpen)
+	case breakerHalfOpen:
+		// Outcome during the probe window: a hit closes the breaker (and
+		// resets the EWMA so the old miss history cannot re-open it on the
+		// next sample); a miss re-opens for another cooldown.
+		if missed {
+			t.until.Store(now.Add(a.cooldown).UnixNano())
+			t.state.Store(breakerOpen)
+		} else {
+			t.missBits.Store(0)
+			t.state.Store(breakerClosed)
+		}
+	}
+}
+
+// noteInfeasible charges one feasibility rejection to the tenant.
+func (a *admissionState) noteInfeasible(tenant string) {
+	if a == nil {
+		return
+	}
+	a.getOrCreate(tenant).infeasible.Add(1)
+}
+
+// noteBacklogged charges one bounded-wait rejection to the tenant.
+func (a *admissionState) noteBacklogged(tenant string) {
+	if a == nil {
+		return
+	}
+	a.getOrCreate(tenant).backlogged.Add(1)
+}
+
+// breakerStateOf returns the tenant's breaker state string, or "" when the
+// breakers are disabled or the tenant has no admission history.
+func (a *admissionState) breakerStateOf(tenant string) string {
+	if !a.breakersOn() {
+		return ""
+	}
+	t := a.get(tenant)
+	if t == nil {
+		return ""
+	}
+	return breakerStateName(t.state.Load())
+}
+
+// fillTenantStats merges the admission-layer per-tenant counters and breaker
+// states into a Stats snapshot's tenant map, creating entries for tenants the
+// fair queue has never accounted (every submission shed at intake). Called
+// only on top-level snapshots — a Sharded pool's merged totals, or a
+// standalone scheduler's Stats — never per shard, so pool-wide counters are
+// not multiplied by the shard count.
+func (a *admissionState) fillTenantStats(tenants map[string]TenantStats) map[string]TenantStats {
+	if a == nil {
+		return tenants
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for name, t := range a.tenants {
+		shed := t.shed.Load() + t.infeasible.Load() + t.backlogged.Load()
+		state := ""
+		if a.burnLimit > 0 {
+			state = breakerStateName(t.state.Load())
+		}
+		if shed == 0 && state == "" {
+			continue
+		}
+		if tenants == nil {
+			tenants = make(map[string]TenantStats)
+		}
+		ts := tenants[name]
+		ts.ShedTotal = shed
+		ts.InfeasibleTotal = t.infeasible.Load()
+		ts.BackloggedTotal = t.backlogged.Load()
+		ts.BreakerState = state
+		tenants[name] = ts
+	}
+	return tenants
+}
+
+// infeasibleDelay is the feasibility estimator: with the queue's current
+// depth draining at the measured per-job service time (the lastRunNanos
+// EWMA) across the team, could a job submitted now still meet its deadline?
+// It returns the suggested retry delay and true when it could not. A cold
+// scheduler (estRun == 0) admits unconditionally: shedding needs a measured
+// rate.
+func (s *Scheduler) infeasibleDelay(deadline, now time.Time) (time.Duration, bool) {
+	estRun := s.lastRunNanos.Load()
+	if estRun <= 0 {
+		return 0, false
+	}
+	estStart := time.Duration(estRun * s.depth.Load() / int64(s.p))
+	if !now.Add(estStart + time.Duration(estRun)).After(deadline) {
+		return 0, false
+	}
+	retry := estStart
+	if retry < time.Millisecond {
+		retry = time.Millisecond
+	}
+	return retry, true
+}
+
+// retryHint estimates how long until one queue slot frees: the measured
+// per-job service time divided across the team, floored at a millisecond.
+// Used as the suggested retry of ErrBacklogged.
+func (s *Scheduler) retryHint() time.Duration {
+	hint := time.Duration(s.lastRunNanos.Load() / int64(s.p))
+	if hint < time.Millisecond {
+		hint = time.Millisecond
+	}
+	return hint
+}
+
+// backloggedError builds the bounded-wait rejection.
+func (s *Scheduler) backloggedError() error {
+	return &OverloadError{Err: ErrBacklogged, RetryAfter: s.retryHint()}
+}

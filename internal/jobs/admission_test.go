@@ -1,0 +1,290 @@
+package jobs_test
+
+// Admission-layer tests: deadline-feasibility shedding, bounded-wait
+// admission (MaxWait / NoWait), the per-tenant circuit breaker lifecycle
+// (closed -> open -> half-open probe -> closed) and the OverloadError
+// plumbing callers use to branch on rejections.
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"loopsched/internal/jobs"
+)
+
+// poll spins on a condition with a 5s deadline.
+func poll(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// occupyWorkers submits one single-chunk job per worker, each blocking until
+// the returned release func (idempotent, also registered with t.Cleanup so a
+// Fatal while parked cannot hang the deferred Close) is called, and waits
+// until they all run — so everything submitted afterwards must queue.
+func occupyWorkers(t *testing.T, s *jobs.Scheduler, workers int) (release func(), blockers []*jobs.Job) {
+	t.Helper()
+	ch := make(chan struct{})
+	var once sync.Once
+	release = func() { once.Do(func() { close(ch) }) }
+	t.Cleanup(release)
+	for i := 0; i < workers; i++ {
+		j, err := s.Submit(jobs.Request{N: 1, Tenant: "blocker", Body: func(w, lo, hi int) { <-ch }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blockers = append(blockers, j)
+	}
+	poll(t, "blockers running", func() bool { return s.Stats().Running == workers })
+	return release, blockers
+}
+
+func TestInfeasibleDeadlineShedAtSubmit(t *testing.T) {
+	s := jobs.New(jobs.Config{Workers: 1, ShedInfeasible: true})
+	defer s.Close()
+
+	// Cold scheduler: no measured service rate, so even a hopeless deadline
+	// must be admitted (shedding may not guess).
+	runBatch(t, s, "acme", 1, -time.Hour)
+
+	// Warm: the EWMA now holds a real per-job run time, so a deadline in the
+	// past is provably unmeetable at submit.
+	runBatch(t, s, "acme", 3, time.Hour)
+	_, err := s.Submit(jobs.Request{
+		N: 64, Tenant: "acme", Deadline: time.Now().Add(time.Nanosecond),
+		Body: func(w, lo, hi int) { t.Error("infeasible job body ran") },
+	})
+	if !errors.Is(err, jobs.ErrInfeasible) {
+		t.Fatalf("Submit = %v, want ErrInfeasible", err)
+	}
+	if d, ok := jobs.SuggestedRetry(err); !ok || d <= 0 {
+		t.Fatalf("SuggestedRetry = %v, %v, want a positive delay", d, ok)
+	}
+
+	st := s.Stats()
+	if st.InfeasibleTotal != 1 || st.ShedTotal != 1 {
+		t.Fatalf("InfeasibleTotal/ShedTotal = %d/%d, want 1/1", st.InfeasibleTotal, st.ShedTotal)
+	}
+	ts := st.Tenants["acme"]
+	if ts.InfeasibleTotal != 1 || ts.ShedTotal != 1 {
+		t.Fatalf("tenant InfeasibleTotal/ShedTotal = %d/%d, want 1/1", ts.InfeasibleTotal, ts.ShedTotal)
+	}
+	// The shed job must not have been admitted: exactly the 4 earlier jobs
+	// completed, and only the cold-start one missed.
+	if ts.Completed != 4 || ts.DeadlineMissed != 1 {
+		t.Fatalf("Completed/DeadlineMissed = %d/%d, want 4/1", ts.Completed, ts.DeadlineMissed)
+	}
+}
+
+func TestBoundedWaitBackloggedAndNoWait(t *testing.T) {
+	const maxWait = 15 * time.Millisecond
+	s := jobs.New(jobs.Config{Workers: 1, QueueDepth: 1, MaxWait: maxWait})
+	defer s.Close()
+
+	release, blockers := occupyWorkers(t, s, 1)
+	filler, err := s.Submit(jobs.Request{N: 64, Tenant: "acme", Body: func(w, lo, hi int) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poll(t, "filler holding the queue slot", func() bool { return s.Stats().QueueDepth == 1 })
+
+	// Queue full: the third submission must block at most MaxWait and then
+	// come back with ErrBacklogged instead of parking forever.
+	start := time.Now()
+	_, err = s.Submit(jobs.Request{N: 64, Tenant: "acme", Body: func(w, lo, hi int) { t.Error("backlogged job body ran") }})
+	waited := time.Since(start)
+	if !errors.Is(err, jobs.ErrBacklogged) {
+		t.Fatalf("Submit = %v, want ErrBacklogged", err)
+	}
+	if waited < maxWait-time.Millisecond {
+		t.Errorf("Submit returned after %v, want the full MaxWait (%v) wait", waited, maxWait)
+	}
+	if d, ok := jobs.SuggestedRetry(err); !ok || d <= 0 {
+		t.Fatalf("SuggestedRetry = %v, %v, want a positive delay", d, ok)
+	}
+
+	// NoWait skips the wait entirely.
+	_, err = s.Submit(jobs.Request{N: 64, Tenant: "acme", NoWait: true, Body: func(w, lo, hi int) { t.Error("NoWait job body ran") }})
+	if !errors.Is(err, jobs.ErrBacklogged) {
+		t.Fatalf("NoWait Submit = %v, want ErrBacklogged", err)
+	}
+
+	release()
+	for _, j := range blockers {
+		if _, err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := filler.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.BackloggedTotal != 2 || st.ShedTotal != 2 {
+		t.Fatalf("BackloggedTotal/ShedTotal = %d/%d, want 2/2", st.BackloggedTotal, st.ShedTotal)
+	}
+	if ts := st.Tenants["acme"]; ts.BackloggedTotal != 2 {
+		t.Fatalf("tenant BackloggedTotal = %d, want 2", ts.BackloggedTotal)
+	}
+
+	// Both rejections returned their queue slots: with the pool drained a
+	// full queue's worth of submissions must admit cleanly.
+	runBatch(t, s, "acme", 4, 0)
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	const cooldown = 150 * time.Millisecond
+	// SLOTarget 0.5 -> error budget 0.5; burn limit 1 means the breaker
+	// opens once the miss EWMA crosses 0.5, which a run of consecutive
+	// misses reaches after ~11 samples.
+	s := jobs.New(jobs.Config{
+		Workers: 1, SLOTarget: 0.5,
+		BreakerBurnRate: 1, BreakerCooldown: cooldown,
+	})
+	defer s.Close()
+
+	// Park the worker, then pile up already-missed deadline jobs so the
+	// spammer holds the whole queue while its misses are recorded — the
+	// queue-share guard must see the tenant actually crowding the pool.
+	release, blockers := occupyWorkers(t, s, 1)
+	var spam []*jobs.Job
+	for i := 0; i < 24; i++ {
+		j, err := s.Submit(jobs.Request{
+			N: 64, Tenant: "spam", Deadline: time.Now().Add(-time.Hour),
+			Body: func(w, lo, hi int) {},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spam = append(spam, j)
+	}
+	release()
+	for _, j := range append(blockers, spam...) {
+		if _, err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	poll(t, "breaker to open", func() bool {
+		return s.Stats().Tenants["spam"].BreakerState == "open"
+	})
+
+	// Open: the spammer is shed at intake with a retry hint, even with a
+	// perfectly good deadline...
+	_, err := s.Submit(jobs.Request{
+		N: 64, Tenant: "spam", Deadline: time.Now().Add(time.Hour),
+		Body: func(w, lo, hi int) { t.Error("shed job body ran") },
+	})
+	if !errors.Is(err, jobs.ErrBreakerOpen) {
+		t.Fatalf("Submit = %v, want ErrBreakerOpen", err)
+	}
+	if d, ok := jobs.SuggestedRetry(err); !ok || d <= 0 {
+		t.Fatalf("SuggestedRetry = %v, %v, want a positive delay", d, ok)
+	}
+	if ts := s.Stats().Tenants["spam"]; ts.ShedTotal <= 0 {
+		t.Fatalf("tenant ShedTotal = %d, want > 0", ts.ShedTotal)
+	}
+	// ...while other tenants sail through.
+	runBatch(t, s, "calm", 2, time.Hour)
+
+	// After the cooldown the next spam submission is the half-open probe; it
+	// hits its (generous) deadline, which must close the breaker again.
+	time.Sleep(cooldown + 10*time.Millisecond)
+	probe, err := s.Submit(jobs.Request{
+		N: 64, Tenant: "spam", Deadline: time.Now().Add(time.Hour),
+		Body: func(w, lo, hi int) {},
+	})
+	if err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	if _, err := probe.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	poll(t, "breaker to close after probe hit", func() bool {
+		return s.Stats().Tenants["spam"].BreakerState == "closed"
+	})
+	// Recovered: ordinary submissions admit again.
+	runBatch(t, s, "spam", 2, time.Hour)
+}
+
+func TestCanceledBeforeRunningLeavesSLOUntouched(t *testing.T) {
+	// A deadline job canceled while still queued never ran, so it must not
+	// count as a deadline miss, must not deposit an SLO sample, and must not
+	// feed the breaker EWMA: shedding or alerting on jobs the caller
+	// withdrew would charge tenants for load they took back.
+	s := jobs.New(jobs.Config{Workers: 1, SLOTarget: 0.9, BreakerBurnRate: 1})
+	defer s.Close()
+
+	release, blockers := occupyWorkers(t, s, 1)
+	var ran atomic.Bool
+	victim, err := s.Submit(jobs.Request{
+		N: 64, Tenant: "acme", Deadline: time.Now().Add(-time.Hour),
+		Body: func(w, lo, hi int) { ran.Store(true) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !victim.Cancel() {
+		t.Fatal("Cancel of a queued job reported false")
+	}
+	release()
+	for _, j := range blockers {
+		if _, err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := victim.Wait(); !errors.Is(err, jobs.ErrCanceled) {
+		t.Fatalf("victim.Wait = %v, want ErrCanceled", err)
+	}
+	if ran.Load() {
+		t.Fatal("canceled job body ran")
+	}
+
+	st := s.Stats()
+	if st.Canceled != 1 {
+		t.Fatalf("Canceled = %d, want 1", st.Canceled)
+	}
+	if st.DeadlineMissed != 0 {
+		t.Fatalf("DeadlineMissed = %d, want 0 for a canceled-before-running job", st.DeadlineMissed)
+	}
+	if ts, ok := st.Tenants["acme"]; ok {
+		if ts.Completed != 0 || ts.DeadlineJobsTotal != 0 || ts.DeadlineMissed != 0 {
+			t.Fatalf("tenant Completed/DeadlineJobsTotal/DeadlineMissed = %d/%d/%d, want 0/0/0",
+				ts.Completed, ts.DeadlineJobsTotal, ts.DeadlineMissed)
+		}
+		if ts.SLO != nil && ts.SLO.WindowJobs != 0 {
+			t.Fatalf("SLO WindowJobs = %d, want 0: the canceled job deposited a sample", ts.SLO.WindowJobs)
+		}
+		if ts.BreakerState == "open" || ts.BreakerState == "half-open" {
+			t.Fatalf("BreakerState = %q after a canceled job, want closed or unset", ts.BreakerState)
+		}
+	}
+}
+
+func TestOverloadErrorPlumbing(t *testing.T) {
+	e := &jobs.OverloadError{Err: jobs.ErrBacklogged, RetryAfter: 5 * time.Millisecond}
+	if !errors.Is(e, jobs.ErrBacklogged) {
+		t.Error("errors.Is does not match the wrapped sentinel")
+	}
+	if !strings.Contains(e.Error(), "retry after") {
+		t.Errorf("Error() = %q, want the retry hint in the message", e.Error())
+	}
+	if d, ok := jobs.SuggestedRetry(e); !ok || d != 5*time.Millisecond {
+		t.Errorf("SuggestedRetry = %v, %v, want 5ms, true", d, ok)
+	}
+	if _, ok := jobs.SuggestedRetry(errors.New("unrelated")); ok {
+		t.Error("SuggestedRetry matched a non-admission error")
+	}
+	if _, ok := jobs.SuggestedRetry(nil); ok {
+		t.Error("SuggestedRetry matched nil")
+	}
+}

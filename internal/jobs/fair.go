@@ -96,6 +96,18 @@ type TenantStats struct {
 	// DeadlineMissed of them finished late, the rest hit. Cumulative, so the
 	// SLO window's hit ratio reconciles against these totals.
 	DeadlineJobsTotal int64 `json:"deadline_jobs_total"`
+	// ShedTotal counts the tenant's submissions rejected by admission
+	// control: InfeasibleTotal (deadline unmeetable at submit) plus
+	// BackloggedTotal (bounded queue wait expired) plus breaker rejections.
+	// BreakerState is the tenant's circuit-breaker state ("closed", "open",
+	// "half-open"); empty when breakers are disabled or the tenant has no
+	// admission history. All four are filled only on top-level snapshots (a
+	// standalone scheduler's Stats, a Sharded pool's merged totals) — the
+	// admission state is pool-wide, not per shard.
+	ShedTotal       int64  `json:"shed_total,omitempty"`
+	InfeasibleTotal int64  `json:"infeasible_total,omitempty"`
+	BackloggedTotal int64  `json:"backlogged_total,omitempty"`
+	BreakerState    string `json:"breaker_state,omitempty"`
 	// SLO is the tenant's rolling-window SLO snapshot (see slo.go): deadline
 	// hit ratio, burn rate, and wait/run quantiles over the recent window.
 	// Nil until the tenant's first completion.

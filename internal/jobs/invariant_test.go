@@ -144,6 +144,52 @@ func TestInvariantNoStarvation(t *testing.T) {
 	schedtest.RunNoStarvationInvariant(t, p, schedtest.FairnessOptions{})
 }
 
+func TestInvariantOverloadScheduler(t *testing.T) {
+	// The admission-control stream against a deliberately tiny queue with
+	// bounded waits, feasibility shedding and breakers armed: shed jobs never
+	// run, rejections are typed with retry hints, shed accounting balances,
+	// no queue slot leaks, and the abuser's breaker re-closes after recovery.
+	s := jobs.New(jobs.Config{
+		Workers: 2, QueueDepth: 6, MaxWait: 2 * time.Millisecond,
+		ShedInfeasible: true, SLOTarget: 0.5,
+		BreakerBurnRate: 1, BreakerCooldown: 200 * time.Millisecond,
+	})
+	defer s.Close()
+	schedtest.RunOverloadInvariants(t, s,
+		schedtest.OverloadInvariantOptions{Seed: seed + 11, QueueDepth: 6, Workers: 2},
+		schedulerDrain(s),
+		func() schedtest.ShedTotals {
+			st := s.Stats()
+			return schedtest.ShedTotals{Shed: st.ShedTotal, Infeasible: st.InfeasibleTotal, Backlogged: st.BackloggedTotal}
+		},
+		func(tenant string) string { return s.Stats().Tenants[tenant].BreakerState })
+}
+
+func TestInvariantOverloadSharded(t *testing.T) {
+	// The same admission-control stream across a sharded pool: the breaker
+	// check runs before cross-shard routing and the shed/slot accounting
+	// must balance on the merged totals. Stealing is disabled so the
+	// slot-leak probe's exact queue-fill count is deterministic.
+	p := jobs.NewSharded(jobs.ShardedConfig{
+		Config: jobs.Config{
+			Workers: 4, QueueDepth: 8, MaxWait: 2 * time.Millisecond,
+			ShedInfeasible: true, SLOTarget: 0.5,
+			BreakerBurnRate: 1, BreakerCooldown: 200 * time.Millisecond,
+		},
+		Shards:          2,
+		DisableStealing: true,
+	})
+	defer p.Close()
+	schedtest.RunOverloadInvariants(t, p,
+		schedtest.OverloadInvariantOptions{Seed: seed + 12, QueueDepth: 8, Workers: 4},
+		shardedDrain(p),
+		func() schedtest.ShedTotals {
+			st := p.Stats().Total
+			return schedtest.ShedTotals{Shed: st.ShedTotal, Infeasible: st.InfeasibleTotal, Backlogged: st.BackloggedTotal}
+		},
+		func(tenant string) string { return p.Stats().Total.Tenants[tenant].BreakerState })
+}
+
 func TestInvariantShardedRigid(t *testing.T) {
 	p := jobs.NewSharded(jobs.ShardedConfig{
 		Config: jobs.Config{Workers: 4, DisableElastic: true},

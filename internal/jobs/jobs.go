@@ -192,6 +192,12 @@ type Request struct {
 	// must be non-nil, and the edges must stay acyclic (Submit returns
 	// ErrCycle otherwise).
 	After []*Job
+	// NoWait makes Submit fail fast with ErrBacklogged when the admission
+	// queue is full instead of blocking for a slot (see admission.go): the
+	// per-request analogue of Config.MaxWait with a zero wait. It only
+	// affects the slot wait; SubmitBatch ignores it (batches are bounded by
+	// Config.MaxWait as a whole).
+	NoWait bool
 	// Label tags the job in statistics (for example the workload name).
 	Label string
 }

@@ -63,6 +63,33 @@ type Config struct {
 	// windowed miss fraction divided by the budget (1 - SLOTarget). Outside
 	// (0, 1) selects 0.99.
 	SLOTarget float64
+	// MaxWait bounds how long Submit may block for a queue (or blocked) slot
+	// once QueueDepth is reached: past it the submission is rejected with
+	// ErrBacklogged instead of waiting forever. <= 0 keeps the original
+	// unbounded block. Individual requests can skip the wait entirely with
+	// Request.NoWait.
+	MaxWait time.Duration
+	// ShedInfeasible enables the deadline-feasibility check at submit: a job
+	// whose deadline cannot be met even if the queue drains at the measured
+	// service rate is rejected with ErrInfeasible (carrying a suggested retry
+	// delay) instead of being admitted only to miss. Jobs without deadlines,
+	// dependent jobs (After) and batches are never shed by this check.
+	ShedInfeasible bool
+	// BreakerBurnRate arms the per-tenant circuit breakers (see
+	// admission.go): when a tenant's deadline-miss EWMA implies an SLO burn
+	// rate at or above this limit while the tenant holds at least
+	// BreakerMinShare of the queue, its submissions are shed at intake with
+	// ErrBreakerOpen until a cooldown and a successful half-open probe.
+	// <= 0 (the default) disables the breakers.
+	BreakerBurnRate float64
+	// BreakerMinShare is the queue-share guard of the breakers: the minimum
+	// fraction of the pool's queued jobs a tenant must hold for its breaker
+	// to open (a tenant that misses deadlines without crowding the queue is
+	// not shed). <= 0 selects 0.25.
+	BreakerMinShare float64
+	// BreakerCooldown is how long an open breaker sheds before half-opening
+	// to probe for recovery. <= 0 selects 250ms.
+	BreakerCooldown time.Duration
 	// Name is used in diagnostics.
 	Name string
 
@@ -81,6 +108,12 @@ type Config struct {
 	// at release time instead of the shard that happened to take the
 	// submission. Nil for standalone schedulers.
 	pool *Sharded
+
+	// admission is the overload-protection state (see admission.go). Every
+	// shard of a Sharded pool shares the pool's instance — a tenant's breaker
+	// opens pool-wide — the same way hooks and pool are installed; New fills
+	// it for standalone schedulers.
+	admission *admissionState
 }
 
 // stealHooks is the cross-shard cooperation contract a Sharded pool installs
@@ -114,6 +147,12 @@ func (c *Config) normalize() {
 	}
 	if c.SLOTarget <= 0 || c.SLOTarget >= 1 {
 		c.SLOTarget = 0.99
+	}
+	if c.BreakerMinShare <= 0 {
+		c.BreakerMinShare = 0.25
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 250 * time.Millisecond
 	}
 	if c.Name == "" {
 		c.Name = "jobs"
@@ -228,6 +267,12 @@ type Scheduler struct {
 	depCanceled    atomic.Int64
 	preempted      atomic.Int64
 	deadlineMissed atomic.Int64
+	// Admission-control rejections at this scheduler (see admission.go):
+	// infeasible-deadline and bounded-wait sheds. Breaker sheds are counted
+	// on the shared admission state instead — in a Sharded pool they happen
+	// before routing and belong to no shard.
+	infeasible atomic.Int64
+	backlogged atomic.Int64
 	// lastRunNanos is an EWMA of recent job run times, feeding the
 	// deadline-risk horizon of the preemption policy.
 	lastRunNanos atomic.Int64
@@ -238,6 +283,9 @@ type Scheduler struct {
 // New creates and starts a jobs scheduler.
 func New(cfg Config) *Scheduler {
 	cfg.normalize()
+	if cfg.admission == nil {
+		cfg.admission = newAdmissionState(cfg)
+	}
 	s := &Scheduler{
 		cfg:            cfg,
 		p:              cfg.Workers,
@@ -251,6 +299,17 @@ func New(cfg Config) *Scheduler {
 	}
 	s.idleCond = sync.NewCond(&s.idleMu)
 	s.gateCond = sync.NewCond(&s.gateMu)
+	if s.cfg.admission.share == nil && s.cfg.pool == nil {
+		// Standalone pool view for the breakers' queue-share guard; Sharded
+		// installs a pool-wide closure before constructing its shards.
+		s.cfg.admission.share = func(tenant string) float64 {
+			total := s.depth.Load()
+			if total <= 0 {
+				return 0
+			}
+			return float64(s.fq.depthOf(tenant)) / float64(total)
+		}
+	}
 	s.lat.init(cfg.LatencyWindow)
 	for w := 0; w < s.p; w++ {
 		s.assign[w] = make(chan assignment, 1)
@@ -418,6 +477,29 @@ func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 			return nil, err
 		}
 	}
+	// Admission control (see admission.go), before any allocation: the
+	// breaker check for standalone schedulers (a Sharded pool already ran it
+	// before routing), then the deadline-feasibility estimate. Both are
+	// opt-in, so the default submit path pays two nil-ish branch checks.
+	if s.cfg.pool == nil && s.cfg.admission.breakersOn() {
+		tenant := tenantName(req.Tenant)
+		if retry, ok := s.cfg.admission.allow(tenant, time.Now()); !ok {
+			// allow already counted the shed on the shared admission state
+			// (the pool-wide ledger breaker sheds live on, whichever intake
+			// front rejected them).
+			s.traceShed(&req, tenant, "breaker")
+			return nil, &OverloadError{Err: ErrBreakerOpen, RetryAfter: retry}
+		}
+	}
+	if s.cfg.ShedInfeasible && req.N > 0 && len(req.After) == 0 && !req.Deadline.IsZero() {
+		if retry, bad := s.infeasibleDelay(req.Deadline, time.Now()); bad {
+			tenant := tenantName(req.Tenant)
+			s.infeasible.Add(1)
+			s.cfg.admission.noteInfeasible(tenant)
+			s.traceShed(&req, tenant, "infeasible")
+			return nil, &OverloadError{Err: ErrInfeasible, RetryAfter: retry}
+		}
+	}
 	j := s.newJob()
 	j.req = req
 	j.s, j.home = s, s
@@ -438,9 +520,18 @@ func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 		j.pool = pool
 		// The same QueueDepth backpressure Submit applies through the queue
 		// channel, applied to the blocked population: sleeps until a slot
-		// frees (an earlier dependent released or canceled). Held locks
-		// would block Close, so the wait happens before the read lock.
-		s.reserveBlockedSlot()
+		// frees (an earlier dependent released or canceled), bounded by
+		// MaxWait/NoWait like the queued gate. Held locks would block Close,
+		// so the wait happens before the read lock.
+		if err := s.reserveBlockedSlot(s.cfg.MaxWait, req.NoWait); err != nil {
+			s.backlogged.Add(1)
+			s.cfg.admission.noteBacklogged(j.tenant)
+			if j.tr != nil {
+				j.tr.Event(trace.EvShed, s.cfg.shard, 0, "backlogged")
+			}
+			s.freeJob(j)
+			return nil, err
+		}
 		s.submitMu.RLock()
 		if s.closed {
 			s.submitMu.RUnlock()
@@ -497,9 +588,18 @@ func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 	}
 	s.submitMu.RUnlock()
 	// Queued path. QueueDepth backpressure on the queued population: every
-	// queued job holds one slot. A held lock would block Close, so the wait
-	// happens before the read lock.
-	s.reserveQueueSlot()
+	// queued job holds one slot, reserved within MaxWait (or not at all
+	// under NoWait). A held lock would block Close, so the wait happens
+	// before the read lock.
+	if err := s.reserveQueueSlot(s.cfg.MaxWait, req.NoWait); err != nil {
+		s.backlogged.Add(1)
+		s.cfg.admission.noteBacklogged(j.tenant)
+		if j.tr != nil {
+			j.tr.Event(trace.EvShed, s.cfg.shard, 0, "backlogged")
+		}
+		s.freeJob(j)
+		return nil, err
+	}
 	s.submitMu.RLock()
 	defer s.submitMu.RUnlock()
 	if s.closed {
@@ -516,6 +616,17 @@ func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 	s.fq.push(j)
 	s.wake()
 	return j, nil
+}
+
+// traceShed records the lifecycle of a submission rejected before a Job was
+// ever allocated: submitted then shed, a complete (terminal) trace.
+func (s *Scheduler) traceShed(req *Request, tenant, detail string) {
+	if s.cfg.Tracer == nil {
+		return
+	}
+	tr := s.cfg.Tracer.Begin(tenant, req.Label, req.Priority)
+	tr.Event(trace.EvSubmitted, s.cfg.shard, 0, "")
+	tr.Event(trace.EvShed, s.cfg.shard, 0, detail)
 }
 
 // directTeamMax caps how many workers a fast-path submit hands off inline
@@ -648,7 +759,10 @@ func (s *Scheduler) releaseWave(j *Job, ids []int, elastic bool, chunk, maxK int
 // entries; it is the caller's storage, so steady-state batches allocate
 // nothing. On error, out[i] is non-nil for exactly the requests that were
 // submitted (an invalid request fails the whole batch before any submission;
-// ErrClosed can split a batch mid-way only when Close overlaps the call).
+// ErrClosed or ErrBacklogged can split a batch mid-way — the latter only
+// with Config.MaxWait set and a chunk's slot reservation expiring). Batches
+// bypass the feasibility and breaker checks (bulk intake; Submit is the
+// admission-controlled path), but the bounded slot wait still applies.
 func (s *Scheduler) SubmitBatch(reqs []Request, out []*Job) error {
 	if len(out) < len(reqs) {
 		return errors.New("jobs: SubmitBatch needs len(out) >= len(reqs)")
@@ -689,7 +803,17 @@ func (s *Scheduler) submitBatchChunk(reqs []Request, out []*Job) error {
 		}
 	}
 	if queued > 0 {
-		s.reserveQueueSlots(queued)
+		if err := s.reserveQueueSlots(queued, s.cfg.MaxWait); err != nil {
+			// The whole chunk is rejected before any job was created; each
+			// rejected request counts as one shed.
+			s.backlogged.Add(int64(queued))
+			for i := range reqs {
+				if reqs[i].N > 0 {
+					s.cfg.admission.noteBacklogged(tenantName(reqs[i].Tenant))
+				}
+			}
+			return err
+		}
 	}
 	s.submitMu.RLock()
 	defer s.submitMu.RUnlock()
@@ -745,14 +869,48 @@ func (s *Scheduler) submitBatchChunk(reqs []Request, out []*Job) error {
 }
 
 // reserveQueueSlots blocks until n queued slots are available and reserves
-// them (n must not exceed QueueDepth; SubmitBatch chunks accordingly).
-func (s *Scheduler) reserveQueueSlots(n int) {
+// them (n must not exceed QueueDepth; SubmitBatch chunks accordingly),
+// bounded by maxWait (<= 0 waits forever, the pre-admission-control
+// behavior).
+func (s *Scheduler) reserveQueueSlots(n int, maxWait time.Duration) error {
 	s.gateMu.Lock()
+	if s.queuedHeld+n <= s.cfg.QueueDepth {
+		s.queuedHeld += n
+		s.gateMu.Unlock()
+		return nil
+	}
+	deadline, timer := s.armGateTimeout(maxWait)
+	if timer != nil {
+		defer timer.Stop()
+	}
 	for s.queuedHeld+n > s.cfg.QueueDepth {
+		if timer != nil && !time.Now().Before(deadline) {
+			s.gateMu.Unlock()
+			return s.backloggedError()
+		}
 		s.gateCond.Wait()
 	}
 	s.queuedHeld += n
 	s.gateMu.Unlock()
+	return nil
+}
+
+// armGateTimeout starts the gate-wait expiry for one bounded reservation: an
+// AfterFunc that broadcasts the gate condition so the waiter (re)checks its
+// deadline. Returns a nil timer for maxWait <= 0 (unbounded). The timer
+// allocates, but only on the contended path — an uncontended reserve never
+// reaches it, keeping the submit fast path allocation-free. The callback
+// only broadcasts (it never touches the counts), so a stray late firing is
+// harmless, and Stop after the gate wait settles is merely an optimization.
+func (s *Scheduler) armGateTimeout(maxWait time.Duration) (time.Time, *time.Timer) {
+	if maxWait <= 0 {
+		return time.Time{}, nil
+	}
+	return time.Now().Add(maxWait), time.AfterFunc(maxWait, func() {
+		s.gateMu.Lock()
+		s.gateCond.Broadcast()
+		s.gateMu.Unlock()
+	})
 }
 
 // releaseQueueSlots returns n queued slots at once.
@@ -816,15 +974,34 @@ func (s *Scheduler) acceptReleased(j *Job) bool {
 }
 
 // reserveBlockedSlot blocks until the blocked population is below
-// QueueDepth and reserves one slot. Slots drain as upstreams complete (or
-// cancel), which never depends on the caller, so the wait always ends.
-func (s *Scheduler) reserveBlockedSlot() {
+// QueueDepth and reserves one slot, within maxWait (or not at all under
+// noWait). Slots drain as upstreams complete (or cancel), which never
+// depends on the caller, so an unbounded wait (maxWait <= 0) always ends.
+func (s *Scheduler) reserveBlockedSlot(maxWait time.Duration, noWait bool) error {
 	s.gateMu.Lock()
+	if s.blockedHeld < s.cfg.QueueDepth {
+		s.blockedHeld++
+		s.gateMu.Unlock()
+		return nil
+	}
+	if noWait {
+		s.gateMu.Unlock()
+		return s.backloggedError()
+	}
+	deadline, timer := s.armGateTimeout(maxWait)
+	if timer != nil {
+		defer timer.Stop()
+	}
 	for s.blockedHeld >= s.cfg.QueueDepth {
+		if timer != nil && !time.Now().Before(deadline) {
+			s.gateMu.Unlock()
+			return s.backloggedError()
+		}
 		s.gateCond.Wait()
 	}
 	s.blockedHeld++
 	s.gateMu.Unlock()
+	return nil
 }
 
 // signalBlockedFreed returns a blocked slot (the job released, canceled, or
@@ -839,16 +1016,34 @@ func (s *Scheduler) signalBlockedFreed() {
 }
 
 // reserveQueueSlot blocks until the queued population is below QueueDepth
-// and reserves one slot. Slots drain as the dispatcher admits jobs (or as
-// they are canceled), which never depends on the caller, so the wait always
-// ends.
-func (s *Scheduler) reserveQueueSlot() {
+// and reserves one slot, within maxWait (or not at all under noWait). Slots
+// drain as the dispatcher admits jobs (or as they are canceled), which never
+// depends on the caller, so an unbounded wait (maxWait <= 0) always ends.
+func (s *Scheduler) reserveQueueSlot(maxWait time.Duration, noWait bool) error {
 	s.gateMu.Lock()
+	if s.queuedHeld < s.cfg.QueueDepth {
+		s.queuedHeld++
+		s.gateMu.Unlock()
+		return nil
+	}
+	if noWait {
+		s.gateMu.Unlock()
+		return s.backloggedError()
+	}
+	deadline, timer := s.armGateTimeout(maxWait)
+	if timer != nil {
+		defer timer.Stop()
+	}
 	for s.queuedHeld >= s.cfg.QueueDepth {
+		if timer != nil && !time.Now().Before(deadline) {
+			s.gateMu.Unlock()
+			return s.backloggedError()
+		}
 		s.gateCond.Wait()
 	}
 	s.queuedHeld++
 	s.gateMu.Unlock()
+	return nil
 }
 
 // forceQueueSlot takes a queued slot without waiting, for paths that must
@@ -1165,11 +1360,19 @@ func (s *Scheduler) deadlineRisk(j *Job) bool {
 	if j.deadline.IsZero() {
 		return false
 	}
+	now := time.Now()
+	if !j.deadline.After(now) {
+		// Already missed: no amount of preemption can save it, so shrinking
+		// well-behaved tenants' running jobs for it would be pure harm — a
+		// deadline-spamming tenant must not preempt its way through the
+		// team with deadlines that were hopeless at submission.
+		return false
+	}
 	horizon := 2 * time.Duration(s.lastRunNanos.Load())
 	if horizon < time.Millisecond {
 		horizon = time.Millisecond
 	}
-	return !j.deadline.After(time.Now().Add(horizon))
+	return !j.deadline.After(now.Add(horizon))
 }
 
 // SetTenantWeight registers (or re-weights) a tenant's fair-share weight;
@@ -1348,6 +1551,11 @@ func (s *Scheduler) recordCompletion(j *Job) {
 		}
 	}
 	acct.slo.add(wait.Seconds(), run.Seconds(), dl)
+	if hadDeadline {
+		// Feed the tenant's circuit breaker (no-op unless armed): the miss
+		// EWMA drives open/half-open/close transitions (see admission.go).
+		s.cfg.admission.recordOutcome(j.tenant, missed, now)
+	}
 	if j.tr != nil {
 		detail := ""
 		if missed {
@@ -1448,6 +1656,15 @@ type Stats struct {
 	// deadline.
 	Preempted      int64 `json:"preempted_total"`
 	DeadlineMissed int64 `json:"deadline_missed_total"`
+	// ShedTotal counts submissions rejected by admission control (see
+	// admission.go): the sum of InfeasibleTotal (deadline unmeetable at
+	// submit), BackloggedTotal (queue-slot wait expired or NoWait on a full
+	// queue) and breaker rejections. On a Sharded pool's merged totals the
+	// breaker sheds — which happen before routing and belong to no shard —
+	// are included here and absent from the per-shard snapshots.
+	ShedTotal       int64 `json:"shed_total"`
+	InfeasibleTotal int64 `json:"infeasible_total"`
+	BackloggedTotal int64 `json:"backlogged_total"`
 	// Tenants is the per-tenant accounting: weights, queued depth, served
 	// jobs/iterations, preemptions, deadline misses and cumulative
 	// admission-wait time, keyed by tenant name (jobs submitted without a
@@ -1475,6 +1692,14 @@ type Stats struct {
 // percentiles.
 func (s *Scheduler) Stats() Stats {
 	st, _, _ := s.statsWindows()
+	if s.cfg.pool == nil {
+		// Standalone: this scheduler IS the pool, so merge the admission
+		// layer's per-tenant shed counters and breaker states here. Shards
+		// of a Sharded pool leave it to the pool-wide snapshot — the state
+		// is shared and would otherwise be counted once per shard.
+		st.Tenants = s.cfg.admission.fillTenantStats(st.Tenants)
+		st.ShedTotal += s.cfg.admission.breakerShed.Load()
+	}
 	return st
 }
 
@@ -1483,24 +1708,27 @@ func (s *Scheduler) Stats() Stats {
 // very same instant instead of re-snapshotting the rings.
 func (s *Scheduler) statsWindows() (Stats, []float64, []float64) {
 	st := Stats{
-		Workers:        s.p,
-		BusyWorkers:    int(s.busy.Load()),
-		QueueDepth:     int(s.depth.Load()),
-		Running:        int(s.running.Load()),
-		Submitted:      s.submitted.Load(),
-		Completed:      s.completed.Load(),
-		Canceled:       s.canceled.Load(),
-		IterationsDone: s.itersDone.Load(),
-		Grown:          s.grown.Load(),
-		Peeled:         s.peeled.Load(),
-		Stolen:         s.stolen.Load(),
-		Lent:           s.lent.Load(),
-		BlockedDepth:   s.blocked.Load(),
-		Released:       s.released.Load(),
-		DepCanceled:    s.depCanceled.Load(),
-		Preempted:      s.preempted.Load(),
-		DeadlineMissed: s.deadlineMissed.Load(),
-		Tenants:        s.fq.tenantsSnapshot(s.cfg.SLOTarget),
+		Workers:         s.p,
+		BusyWorkers:     int(s.busy.Load()),
+		QueueDepth:      int(s.depth.Load()),
+		Running:         int(s.running.Load()),
+		Submitted:       s.submitted.Load(),
+		Completed:       s.completed.Load(),
+		Canceled:        s.canceled.Load(),
+		IterationsDone:  s.itersDone.Load(),
+		Grown:           s.grown.Load(),
+		Peeled:          s.peeled.Load(),
+		Stolen:          s.stolen.Load(),
+		Lent:            s.lent.Load(),
+		BlockedDepth:    s.blocked.Load(),
+		Released:        s.released.Load(),
+		DepCanceled:     s.depCanceled.Load(),
+		Preempted:       s.preempted.Load(),
+		DeadlineMissed:  s.deadlineMissed.Load(),
+		ShedTotal:       s.infeasible.Load() + s.backlogged.Load(),
+		InfeasibleTotal: s.infeasible.Load(),
+		BackloggedTotal: s.backlogged.Load(),
+		Tenants:         s.fq.tenantsSnapshot(s.cfg.SLOTarget),
 	}
 	tot, run, totSum, runSum := s.lat.snapshot()
 	st.LatencySamples = len(tot)

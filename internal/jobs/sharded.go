@@ -77,6 +77,13 @@ type Sharded struct {
 	topo   topology.Topology
 	shards []*Scheduler
 
+	// adm is the pool-wide admission-control state (see admission.go),
+	// shared by every shard through the unexported Config.admission field:
+	// a tenant's circuit breaker opens and closes for the whole pool, and
+	// the breaker check runs here — before cross-shard routing — so a shed
+	// submission costs no routing scan.
+	adm *admissionState
+
 	// ready gates the steal hooks until every shard exists: shard 0's
 	// dispatcher starts before shard 1 is constructed.
 	ready atomic.Bool
@@ -118,12 +125,27 @@ func NewSharded(cfg ShardedConfig) *Sharded {
 	if perQueue < 1 {
 		perQueue = 1
 	}
+	// One admission state for the whole pool: breakers trip on pool-wide
+	// deadline outcomes and the queue-share guard sees all shards.
+	p.adm = newAdmissionState(cfg.Config)
+	p.adm.share = func(tenant string) float64 {
+		var own, total int64
+		for _, s := range p.shards {
+			own += s.fq.depthOf(tenant)
+			total += s.depth.Load()
+		}
+		if total <= 0 {
+			return 0
+		}
+		return float64(own) / float64(total)
+	}
 	for g := 0; g < p.topo.NumGroups; g++ {
 		sc := cfg.Config
 		sc.Workers = len(p.topo.GroupMembers(g))
 		sc.QueueDepth = perQueue
 		sc.Name = fmt.Sprintf("%s-shard%d", cfg.Name, g)
 		sc.pool = p
+		sc.admission = p.adm
 		// Every shard shares the pool's tracer (inherited through the Config
 		// copy) and stamps its own index on the events it emits.
 		sc.shard = g
@@ -197,10 +219,35 @@ func shardLoad(s *Scheduler) float64 {
 }
 
 // Submit enqueues a job on the least-loaded shard and returns immediately.
-// It blocks only when that shard's admission queue is full. Safe from any
+// It blocks only when that shard's admission queue is full, bounded by
+// Config.MaxWait/Request.NoWait; with the breakers armed an open tenant
+// breaker sheds the submission here, before any routing work. Safe from any
 // number of goroutines.
 func (p *Sharded) Submit(req Request) (*Job, error) {
+	if err := p.shedAtIntake(&req); err != nil {
+		return nil, err
+	}
 	return p.routeFor(req.Tenant).Submit(req)
+}
+
+// shedAtIntake runs the pool-level breaker check for one submission: the
+// cheap pre-routing half of admission control (the feasibility and
+// bounded-wait checks need a shard's queue view and run after routing).
+func (p *Sharded) shedAtIntake(req *Request) error {
+	if !p.adm.breakersOn() {
+		return nil
+	}
+	tenant := tenantName(req.Tenant)
+	retry, ok := p.adm.allow(tenant, time.Now())
+	if ok {
+		return nil
+	}
+	if p.cfg.Tracer != nil {
+		tr := p.cfg.Tracer.Begin(tenant, req.Label, req.Priority)
+		tr.Event(trace.EvSubmitted, 0, 0, "")
+		tr.Event(trace.EvShed, 0, 0, "breaker")
+	}
+	return &OverloadError{Err: ErrBreakerOpen, RetryAfter: retry}
 }
 
 // SubmitBatch admits len(reqs) independent jobs in one call, filling out[i]
@@ -233,6 +280,9 @@ func (p *Sharded) SetTenantWeight(name string, weight int) {
 func (p *Sharded) SubmitTo(shard int, req Request) (*Job, error) {
 	if shard < 0 || shard >= len(p.shards) {
 		return nil, fmt.Errorf("jobs: shard %d out of range [0,%d)", shard, len(p.shards))
+	}
+	if err := p.shedAtIntake(&req); err != nil {
+		return nil, err
 	}
 	return p.shards[shard].submitPinned(req)
 }
@@ -379,6 +429,9 @@ func (p *Sharded) statsSnapshot() ShardedStats {
 		out.Total.DepCanceled += st.DepCanceled
 		out.Total.Preempted += st.Preempted
 		out.Total.DeadlineMissed += st.DeadlineMissed
+		out.Total.ShedTotal += st.ShedTotal
+		out.Total.InfeasibleTotal += st.InfeasibleTotal
+		out.Total.BackloggedTotal += st.BackloggedTotal
 		// Per-tenant accounting merges across shards: counters sum (a job
 		// stolen mid-queue is submitted on one shard and completes on
 		// another, so only the pool-wide sums reconcile); the weight is the
@@ -424,5 +477,10 @@ func (p *Sharded) statsSnapshot() ShardedStats {
 		agg.SLO = buildTenantSLO(p.cfg.SLOTarget, agg.sloWait, agg.sloRun, agg.sloHits, agg.sloMisses)
 		out.Total.Tenants[name] = agg
 	}
+	// The admission layer's ledger merges only into the totals: breaker
+	// sheds happen before routing (no shard owns them), and the per-tenant
+	// shed counters and breaker states are pool-wide by construction.
+	out.Total.ShedTotal += p.adm.breakerShed.Load()
+	out.Total.Tenants = p.adm.fillTenantStats(out.Total.Tenants)
 	return out
 }

@@ -43,6 +43,11 @@ const (
 	EvStolen
 	EvJoined
 	EvCanceled
+	// EvShed is terminal like joined/canceled: the submission was rejected
+	// by admission control (deadline infeasible, queue backlogged past the
+	// bounded wait, or the tenant's circuit breaker open — the Detail names
+	// which) and the job never entered a queue.
+	EvShed
 
 	numEventTypes
 )
@@ -60,6 +65,7 @@ var eventTypeNames = [numEventTypes]string{
 	EvStolen:     "stolen",
 	EvJoined:     "joined",
 	EvCanceled:   "canceled",
+	EvShed:       "shed",
 }
 
 // String implements fmt.Stringer.
@@ -176,7 +182,7 @@ func (jt *JobTrace) Event(typ EventType, shard, workers int, detail string) {
 	} else {
 		jt.truncated++
 	}
-	finish := (typ == EvJoined || typ == EvCanceled) && !jt.finished
+	finish := (typ == EvJoined || typ == EvCanceled || typ == EvShed) && !jt.finished
 	if finish {
 		jt.finished = true
 	}

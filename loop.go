@@ -129,6 +129,26 @@ type Config struct {
 	// measured against in the async runtime's SLO snapshots; outside (0, 1)
 	// selects the default (0.99).
 	SLOTarget float64
+	// MaxWait bounds how long an async submission may block for an admission
+	// queue slot once the queue is full: past it the submission is rejected
+	// with ErrBacklogged carrying a suggested retry delay. <= 0 keeps the
+	// default unbounded block. See also JobOptions.NoWait.
+	MaxWait time.Duration
+	// ShedInfeasible makes the async runtime reject, with ErrInfeasible and
+	// a suggested retry delay, deadline jobs whose deadline could not be met
+	// even if the queue drained at the measured service rate — instead of
+	// admitting them only to miss.
+	ShedInfeasible bool
+	// BreakerBurnRate arms per-tenant circuit breakers on the async runtime:
+	// a tenant whose recent deadline outcomes imply an SLO burn rate at or
+	// above this limit, while it holds a meaningful share of the queue, is
+	// shed at intake with ErrBreakerOpen until a cooldown and a successful
+	// probe. <= 0 (the default) disables the breakers.
+	BreakerBurnRate float64
+	// BreakerCooldown is how long an open breaker sheds before probing for
+	// recovery; <= 0 selects the default (250ms). Ignored unless
+	// BreakerBurnRate is set.
+	BreakerCooldown time.Duration
 }
 
 // Pool is a team of persistent workers executing parallel loops. The
@@ -147,6 +167,10 @@ type Pool struct {
 	asyncShards        int
 	asyncStealInterval time.Duration
 	asyncSLOTarget     float64
+	asyncMaxWait       time.Duration
+	asyncShed          bool
+	asyncBreakerBurn   float64
+	asyncBreakerCool   time.Duration
 	tracer             *trace.Tracer
 
 	jobsMu     sync.Mutex
@@ -201,6 +225,10 @@ func New(cfg Config) *Pool {
 		asyncShards:        cfg.AsyncShards,
 		asyncStealInterval: cfg.AsyncStealInterval,
 		asyncSLOTarget:     cfg.SLOTarget,
+		asyncMaxWait:       cfg.MaxWait,
+		asyncShed:          cfg.ShedInfeasible,
+		asyncBreakerBurn:   cfg.BreakerBurnRate,
+		asyncBreakerCool:   cfg.BreakerCooldown,
 	}
 	if cfg.Trace {
 		p.tracer = trace.NewTracer(cfg.TraceCapacity)
@@ -245,13 +273,17 @@ func (p *Pool) jobs() *jobs.Sharded {
 		}
 		p.jobsRT = jobs.NewSharded(jobs.ShardedConfig{
 			Config: jobs.Config{
-				Workers:        p.s.P(),
-				DefaultGrain:   p.asyncGrain,
-				DisableElastic: p.asyncRigid,
-				TenantWeights:  weights,
-				Tracer:         p.tracer,
-				SLOTarget:      p.asyncSLOTarget,
-				Name:           "async-" + p.s.Name(),
+				Workers:         p.s.P(),
+				DefaultGrain:    p.asyncGrain,
+				DisableElastic:  p.asyncRigid,
+				TenantWeights:   weights,
+				Tracer:          p.tracer,
+				SLOTarget:       p.asyncSLOTarget,
+				MaxWait:         p.asyncMaxWait,
+				ShedInfeasible:  p.asyncShed,
+				BreakerBurnRate: p.asyncBreakerBurn,
+				BreakerCooldown: p.asyncBreakerCool,
+				Name:            "async-" + p.s.Name(),
 			},
 			Shards:        shards,
 			StealInterval: p.asyncStealInterval,
@@ -468,7 +500,29 @@ var (
 	// the handle's job was already recycled. It marks a use-after-release
 	// bug in the caller, not a scheduler failure.
 	ErrReleased = jobs.ErrReleased
+	// ErrInfeasible is returned at submission (wrapped in an overload error
+	// carrying a retry hint — see SuggestedRetry) when ShedInfeasible is set
+	// and the job's deadline could not be met even if the queue drained at
+	// the measured service rate.
+	ErrInfeasible = jobs.ErrInfeasible
+	// ErrBacklogged is returned at submission when the admission queue is
+	// full and either JobOptions.NoWait was set or Config.MaxWait elapsed
+	// before a slot freed. Carries a retry hint — see SuggestedRetry.
+	ErrBacklogged = jobs.ErrBacklogged
+	// ErrBreakerOpen is returned at submission when the job's tenant has an
+	// open circuit breaker (Config.BreakerBurnRate): the tenant is burning
+	// its SLO while crowding the queue, and is shed until a cooldown and a
+	// successful probe. Carries a retry hint — see SuggestedRetry.
+	ErrBreakerOpen = jobs.ErrBreakerOpen
 )
+
+// SuggestedRetry extracts the retry-after hint from an overload rejection
+// (ErrInfeasible, ErrBacklogged or ErrBreakerOpen): the delay after which
+// the submission is next expected to be admittable. ok is false when err
+// carries no hint.
+func SuggestedRetry(err error) (d time.Duration, ok bool) {
+	return jobs.SuggestedRetry(err)
+}
 
 // Job is a handle to an asynchronously submitted parallel loop. Many jobs
 // run concurrently on the pool's async team: each is molded onto a sub-team
@@ -736,6 +790,11 @@ type JobOptions struct {
 	// ErrCanceled that wraps the upstream's. See also Job.Then,
 	// Job.ThenReduce and Pool.SubmitPipeline.
 	After []*Job
+	// NoWait makes the submission fail fast with an error matching
+	// ErrBacklogged (instead of blocking for up to Config.MaxWait, or
+	// indefinitely) when the admission queue is full. The returned Job
+	// surfaces the error from Wait; SuggestedRetry extracts the hint.
+	NoWait bool
 	// Label tags the job in the runtime's statistics.
 	Label string
 }
@@ -754,7 +813,7 @@ func (p *Pool) SubmitOpts(n int, o JobOptions, body func(i int)) *Job {
 		for i := low; i < high; i++ {
 			body(i)
 		}
-	}, MaxWorkers: o.MaxWorkers, Grain: o.Grain, Tenant: o.Tenant, Priority: o.Priority, Deadline: o.Deadline, Label: o.Label})
+	}, MaxWorkers: o.MaxWorkers, Grain: o.Grain, Tenant: o.Tenant, Priority: o.Priority, Deadline: o.Deadline, NoWait: o.NoWait, Label: o.Label})
 }
 
 // SubmitFor is the asynchronous For: body receives a dense sub-team worker
@@ -769,7 +828,7 @@ func (p *Pool) SubmitFor(n int, body func(worker, low, high int)) *Job {
 
 // SubmitForOpts is SubmitFor with per-job tuning options.
 func (p *Pool) SubmitForOpts(n int, o JobOptions, body func(worker, low, high int)) *Job {
-	return p.submit(o.Shard, o.After, jobs.Request{N: n, Body: body, MaxWorkers: o.MaxWorkers, Grain: o.Grain, Tenant: o.Tenant, Priority: o.Priority, Deadline: o.Deadline, Label: o.Label})
+	return p.submit(o.Shard, o.After, jobs.Request{N: n, Body: body, MaxWorkers: o.MaxWorkers, Grain: o.Grain, Tenant: o.Tenant, Priority: o.Priority, Deadline: o.Deadline, NoWait: o.NoWait, Label: o.Label})
 }
 
 // SubmitReduce is the asynchronous ReduceFloat64: per-sub-worker partials
@@ -787,7 +846,7 @@ func (p *Pool) SubmitReduceOpts(n int, o JobOptions, identity float64, combine f
 	return p.submit(o.Shard, o.After, jobs.Request{
 		N: n, RBody: body, Identity: identity, Combine: combine,
 		Commutative: o.Commutative, MaxWorkers: o.MaxWorkers, Grain: o.Grain,
-		Tenant: o.Tenant, Priority: o.Priority, Deadline: o.Deadline, Label: o.Label,
+		Tenant: o.Tenant, Priority: o.Priority, Deadline: o.Deadline, NoWait: o.NoWait, Label: o.Label,
 	})
 }
 
