@@ -23,12 +23,35 @@
 // reported and never counted as a regression; a whole report file missing on
 // either side — the first trajectory run after a new BENCH_*.json is
 // introduced — is handled the same way, not treated as an error.
+//
+// # Manifest mode
+//
+// With -manifest, benchcmp drives the whole benchmark fleet declared in
+// internal/bench/manifest.json instead of one file pair, so CI carries one
+// driver invocation per role instead of a YAML block per bench:
+//
+//	benchcmp -manifest internal/bench/manifest.json -run -suffix .head
+//	benchcmp -manifest internal/bench/manifest.json -run -suffix .base -dir ../base
+//	benchcmp -manifest internal/bench/manifest.json -run            # trajectory names
+//	benchcmp -manifest internal/bench/manifest.json -compare >> "$GITHUB_STEP_SUMMARY"
+//	benchcmp -manifest internal/bench/manifest.json -list-outs      # canonical names
+//
+// -run executes every entry's command (whitespace-split, no shell; {out}
+// replaced by the report path, always written under the invoking directory)
+// with -suffix spliced into the report name before the extension. -dir runs
+// the commands in another checkout — the PR-base worktree — skipping
+// entries whose dir does not exist there (a base commit predating the
+// bench), while still using the head checkout's manifest. -compare renders
+// one table per entry (base vs head suffixes) and honours -fail/-fail-trace
+// across all of them.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 
 	"loopsched/internal/bench"
 )
@@ -55,9 +78,40 @@ func main() {
 	failOnRegression := flag.Bool("fail", false, "exit 1 when any baseline metric degrades beyond the threshold")
 	failOnTraceRegression := flag.Bool("fail-trace", false, "exit 1 when any :trace metric degrades beyond the threshold")
 	list := flag.Bool("list", false, "list the head report's metric paths and exit")
+	manifestPath := flag.String("manifest", "", "benchmark manifest JSON; enables -run/-compare/-list-outs fleet modes")
+	runFleet := flag.Bool("run", false, "manifest mode: run every entry's bench command")
+	compareFleet := flag.Bool("compare", false, "manifest mode: compare every entry's base vs head reports")
+	listOuts := flag.Bool("list-outs", false, "manifest mode: print every entry's canonical report name")
+	suffix := flag.String("suffix", "", "manifest -run: report-name suffix before .json (e.g. .head); empty = trajectory names")
+	runDir := flag.String("dir", "", "manifest -run: directory to run bench commands in (e.g. the PR-base worktree); entries whose dir is absent there are skipped")
+	baseSuffix := flag.String("base-suffix", ".base", "manifest -compare: base report suffix")
+	headSuffix := flag.String("head-suffix", ".head", "manifest -compare: head report suffix")
 	var metrics metricFlags
 	flag.Var(&metrics, "metric", "metric to compare, as path:higher or path:lower, with optional :trace suffix (repeatable)")
 	flag.Parse()
+
+	if *manifestPath != "" {
+		m, err := bench.LoadManifest(*manifestPath)
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case *listOuts:
+			for i := range m.Entries {
+				fmt.Println(m.Entries[i].OutFile(""))
+			}
+		case *runFleet:
+			if err := runManifest(m, *suffix, *runDir); err != nil {
+				fatal(err)
+			}
+		case *compareFleet:
+			exit := compareManifest(m, *baseSuffix, *headSuffix, *failOnRegression, *failOnTraceRegression)
+			os.Exit(exit)
+		default:
+			fatal(fmt.Errorf("benchcmp: -manifest needs one of -run, -compare or -list-outs"))
+		}
+		return
+	}
 
 	if *headPath == "" || (!*list && *basePath == "") {
 		flag.Usage()
@@ -100,6 +154,71 @@ func main() {
 		exit = 1
 	}
 	os.Exit(exit)
+}
+
+// runManifest executes every entry's bench command. Reports always land in
+// the invoking directory (as absolute paths), even when the commands run in
+// another checkout via dir; entries whose probe dir is missing there are
+// skipped with a note — that base commit predates the bench.
+func runManifest(m *bench.Manifest, suffix, dir string) error {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		probe := e.Dir
+		if dir != "" {
+			probe = filepath.Join(dir, e.Dir)
+		}
+		if _, err := os.Stat(probe); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcmp: skipping %s: %s absent (bench not present in this checkout)\n", e.Name, probe)
+			continue
+		}
+		out := filepath.Join(cwd, e.OutFile(suffix))
+		argv := e.Command(out)
+		fmt.Fprintf(os.Stderr, "benchcmp: running %s: %v\n", e.Name, argv)
+		cmd := exec.Command(argv[0], argv[1:]...)
+		cmd.Dir = dir
+		cmd.Stdout = os.Stderr // bench text output is progress, not the report
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("benchcmp: entry %s: %w", e.Name, err)
+		}
+	}
+	return nil
+}
+
+// compareManifest renders one comparison table per entry and returns the
+// process exit code under the fail flags. Missing report files (a bench new
+// in this PR, or skipped on the base side) are reported by the comparison
+// layer as missing, never as regressions.
+func compareManifest(m *bench.Manifest, baseSuffix, headSuffix string, failBase, failTrace bool) int {
+	exit := 0
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		specs, err := e.MetricSpecs()
+		if err != nil {
+			fatal(err)
+		}
+		threshold := m.EntryThreshold(e)
+		cs, regressed, err := bench.CompareBenchFiles(e.OutFile(baseSuffix), e.OutFile(headSuffix), specs, threshold)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteComparison(os.Stdout, e.Title, cs, threshold); err != nil {
+			fatal(err)
+		}
+		if regressed && failBase {
+			fmt.Fprintf(os.Stderr, "benchcmp: %s: baseline regression beyond threshold\n", e.Name)
+			exit = 1
+		}
+		if bench.TraceRegressed(cs) && failTrace {
+			fmt.Fprintf(os.Stderr, "benchcmp: %s: tracing-only regression beyond threshold\n", e.Name)
+			exit = 1
+		}
+	}
+	return exit
 }
 
 func fatal(err error) {

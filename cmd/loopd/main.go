@@ -55,38 +55,11 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
-	"strconv"
-	"strings"
-)
 
-// parseTenantWeights parses the -tenants flag: a comma-separated list of
-// tenant weights, either named ("gold=3,bronze=1") or bare ("3,1", which
-// registers tenants t1, t2, ... in order). Weights must be positive
-// integers. An empty spec yields no registrations.
-func parseTenantWeights(spec string) (map[string]int, error) {
-	if spec == "" {
-		return nil, nil
-	}
-	out := make(map[string]int)
-	for i, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		name, wstr, named := strings.Cut(part, "=")
-		if !named {
-			name, wstr = fmt.Sprintf("t%d", i+1), part
-		} else if name == "" {
-			return nil, fmt.Errorf("tenants: entry %q has an empty name", part)
-		}
-		w, err := strconv.Atoi(strings.TrimSpace(wstr))
-		if err != nil || w < 1 {
-			return nil, fmt.Errorf("tenants: entry %q: weight must be a positive integer", part)
-		}
-		out[name] = w
-	}
-	return out, nil
-}
+	"loopsched/internal/loopd"
+)
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -112,12 +85,12 @@ func main() {
 	debugHandlers := flag.Bool("debug", false, "serve the net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
-	weights, err := parseTenantWeights(*tenants)
+	weights, err := loopd.ParseTenantWeights(*tenants)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	srv := newServer(serverConfig{
+	srv := loopd.New(loopd.Config{
 		Workers:          *workers,
 		Shards:           *shards,
 		StealInterval:    *stealEvery,
@@ -141,8 +114,9 @@ func main() {
 	})
 	defer srv.Close()
 
+	rt := srv.Runtime()
 	log.Printf("loopd: serving on %s with %d workers across %d shards (%s)",
-		*addr, srv.rt.P(), srv.rt.Shards(), srv.rt.Topology())
+		*addr, rt.P(), rt.Shards(), rt.Topology())
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,255 @@
+package bench
+
+// kernels.go promotes the seed's numeric kernels — the workloads the paper's
+// fine-grain loop scheduling was designed for — to first-class served job
+// workloads, so cmd/loopd and the trace-driven load generator exercise real
+// memory-bound and reduction-heavy loops, not just calibrated spins:
+//
+//   - mpdata:    the MPDATA donor-cell edge loop (Figure 2): an upwind flux
+//                computation per edge of the paper-sized unstructured grid —
+//                two indirect loads and a branch per iteration;
+//   - grid:      the MPDATA point loop: a CSR divergence gather over each
+//                point's incident edges — irregular, variable-degree,
+//                memory-bound;
+//   - linreg:    the Phoenix++ linear_regression map phase (Figure 3): a
+//                streaming 6-statistic reduction over byte-valued points;
+//   - mapreduce: a Phoenix++ array-container histogram: byte inputs binned
+//                into a dense key space with a sum combiner.
+//
+// Each workload wraps the real kernel packages (internal/mpdata,
+// internal/grid, internal/linreg, internal/phoenix) over shared immutable
+// state built once on first request. The request's N indexes the kernel's
+// iteration space modulo its natural size, so any n works and repeated jobs
+// re-walk the same arrays (a served kernel is cache-warm, like a resident
+// model). All four are commutative scalar reductions, so they exercise the
+// elastic arrival-order fold path and /run reports a meaningful result.
+
+import (
+	"fmt"
+	"sync"
+
+	"loopsched/internal/grid"
+	"loopsched/internal/jobs"
+	"loopsched/internal/linreg"
+	"loopsched/internal/mpdata"
+	"loopsched/internal/phoenix"
+	"loopsched/internal/sched"
+)
+
+// kernelState is the shared immutable input of the kernel workloads, built
+// once on first use (loopd startup and spin-only traffic never pay for it).
+type kernelState struct {
+	g   *grid.Grid
+	psi []float64 // advected field after a few developed MPDATA steps
+	vn  []float64 // prescribed edge velocities (uniform wind · edge normal)
+
+	pts  linreg.Dataset
+	ljob phoenix.ArrayJob
+
+	histData []byte
+	hist     phoenix.ArrayJob
+}
+
+const (
+	// linregPoints is the served dataset size (~512 KiB of 2-byte points):
+	// large enough to stream through cache levels, small enough for CI.
+	linregPoints = 1 << 18
+	// histBytes is the histogram input size; histKeys its dense key space.
+	histBytes = 1 << 20
+	histKeys  = 64
+)
+
+var (
+	kernelOnce sync.Once
+	kernels    kernelState
+)
+
+func kernelInput() *kernelState {
+	kernelOnce.Do(func() {
+		g, err := grid.NewPaperGrid()
+		if err != nil {
+			panic(fmt.Sprintf("bench: paper grid: %v", err))
+		}
+		kernels.g = g
+		// A uniform wind dotted with each edge's scaled normal gives the
+		// donor-cell pass deterministic, physically shaped velocities from
+		// exported geometry alone.
+		kernels.vn = make([]float64, g.NumEdges())
+		for e := range kernels.vn {
+			kernels.vn[e] = 0.8*g.EdgeNX[e] + 0.6*g.EdgeNY[e]
+		}
+		// Develop the field with a few real solver steps so the served edge
+		// loop runs over MPDATA state, not the synthetic initial condition.
+		solver, err := mpdata.New(g, mpdata.Config{})
+		if err != nil {
+			panic(fmt.Sprintf("bench: mpdata solver: %v", err))
+		}
+		seq := sched.NewSequential()
+		solver.Run(seq, 4)
+		seq.Close()
+		kernels.psi = append([]float64(nil), solver.Psi...)
+
+		kernels.pts = linreg.Generate(linregPoints)
+		kernels.ljob = kernels.pts.Job()
+
+		kernels.histData = make([]byte, histBytes)
+		state := uint64(0x243f6a8885a308d3)
+		for i := range kernels.histData {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			kernels.histData[i] = byte(state)
+		}
+		data := kernels.histData
+		kernels.hist = phoenix.ArrayJob{
+			NumKeys: histKeys,
+			Map: func(w, begin, end int, emit []float64) {
+				for i := begin; i < end; i++ {
+					emit[int(data[i])&(histKeys-1)]++
+				}
+			},
+		}
+	})
+	return &kernels
+}
+
+// mapWrapped applies an ArrayJob's map function over the virtual range
+// [lo, hi) folded modulo size onto the job's natural input, chunk by
+// contiguous chunk.
+func mapWrapped(job phoenix.ArrayJob, w, lo, hi, size int, emit []float64) {
+	for lo < hi {
+		b := lo % size
+		e := b + (hi - lo)
+		if e > size {
+			e = size
+		}
+		job.Map(w, b, e, emit)
+		lo += e - b
+	}
+}
+
+func init() {
+	// mpdata: the donor-cell upwind edge loop of the MPDATA pass, over the
+	// paper-sized grid (16399 edges) and a developed field. The result is
+	// the total transported mass rate Σ|flux| over the requested range.
+	jobWorkloads["mpdata"] = func(p JobParams) jobs.Request {
+		ks := kernelInput()
+		g, psi, vn := ks.g, ks.psi, ks.vn
+		edges := g.NumEdges()
+		return jobs.Request{
+			N:           p.N,
+			Label:       "mpdata",
+			Commutative: true,
+			Combine:     func(a, b float64) float64 { return a + b },
+			RBody: func(w, lo, hi int, acc float64) float64 {
+				for i := lo; i < hi; i++ {
+					e := i % edges
+					v := vn[e]
+					var flux float64
+					if v >= 0 {
+						flux = v * psi[g.EdgeFrom[e]]
+					} else {
+						flux = v * psi[g.EdgeTo[e]]
+					}
+					if flux < 0 {
+						flux = -flux
+					}
+					acc += flux
+				}
+				return acc
+			},
+			MaxWorkers: p.MaxWorkers,
+			Grain:      p.Grain,
+		}
+	}
+
+	// grid: the MPDATA point loop — a CSR gather over each point's incident
+	// edges (variable degree, irregular indices). The result is the sum of
+	// squared flux divergences.
+	jobWorkloads["grid"] = func(p JobParams) jobs.Request {
+		ks := kernelInput()
+		g, psi, vn := ks.g, ks.psi, ks.vn
+		points := g.NumPoints
+		return jobs.Request{
+			N:           p.N,
+			Label:       "grid",
+			Commutative: true,
+			Combine:     func(a, b float64) float64 { return a + b },
+			RBody: func(w, lo, hi int, acc float64) float64 {
+				for i := lo; i < hi; i++ {
+					pt := i % points
+					div := 0.0
+					for _, ei := range g.IncidentEdges[g.IncidentStart[pt]:g.IncidentStart[pt+1]] {
+						v := vn[ei]
+						var flux float64
+						if v >= 0 {
+							flux = v * psi[g.EdgeFrom[ei]]
+						} else {
+							flux = v * psi[g.EdgeTo[ei]]
+						}
+						if int(g.EdgeFrom[ei]) == pt {
+							div += flux
+						} else {
+							div -= flux
+						}
+					}
+					acc += div * div / g.Area[pt]
+				}
+				return acc
+			},
+			MaxWorkers: p.MaxWorkers,
+			Grain:      p.Grain,
+		}
+	}
+
+	// linreg: the Phoenix++ linear_regression map phase — each chunk folds
+	// its points into the six regression statistics through the real
+	// ArrayJob container, reduced to the sum of all statistics.
+	jobWorkloads["linreg"] = func(p JobParams) jobs.Request {
+		ks := kernelInput()
+		job := ks.ljob
+		size := len(ks.pts.Points)
+		return jobs.Request{
+			N:           p.N,
+			Label:       "linreg",
+			Commutative: true,
+			Combine:     func(a, b float64) float64 { return a + b },
+			RBody: func(w, lo, hi int, acc float64) float64 {
+				emit := make([]float64, job.NumKeys)
+				mapWrapped(job, w, lo, hi, size, emit)
+				for _, v := range emit {
+					acc += v
+				}
+				return acc
+			},
+			MaxWorkers: p.MaxWorkers,
+			Grain:      p.Grain,
+		}
+	}
+
+	// mapreduce: a Phoenix++ array-container histogram over pseudo-random
+	// bytes, reduced to the bucket-weighted count Σ_k (k+1)·hist[k] — a
+	// closed iteration-determined result (each input byte contributes its
+	// bucket index plus one).
+	jobWorkloads["mapreduce"] = func(p JobParams) jobs.Request {
+		ks := kernelInput()
+		job := ks.hist
+		size := len(ks.histData)
+		return jobs.Request{
+			N:           p.N,
+			Label:       "mapreduce",
+			Commutative: true,
+			Combine:     func(a, b float64) float64 { return a + b },
+			RBody: func(w, lo, hi int, acc float64) float64 {
+				emit := make([]float64, job.NumKeys)
+				mapWrapped(job, w, lo, hi, size, emit)
+				for k, v := range emit {
+					acc += float64(k+1) * v
+				}
+				return acc
+			},
+			MaxWorkers: p.MaxWorkers,
+			Grain:      p.Grain,
+		}
+	}
+}

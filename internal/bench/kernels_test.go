@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"loopsched/internal/jobs"
+)
+
+// runKernel submits the named kernel workload once and returns its result.
+func runKernel(t *testing.T, s *jobs.Scheduler, name string, p JobParams) float64 {
+	t.Helper()
+	req, err := NewJobRequest(name, p)
+	if err != nil {
+		t.Fatalf("NewJobRequest(%q): %v", name, err)
+	}
+	j, err := s.Submit(req)
+	if err != nil {
+		t.Fatalf("submit %q: %v", name, err)
+	}
+	v, err := j.Wait()
+	if err != nil {
+		t.Fatalf("wait %q: %v", name, err)
+	}
+	return v
+}
+
+// TestKernelWorkloadsRegistered asserts the four numeric kernels are served
+// workloads and produce finite, positive reductions under a real scheduler.
+func TestKernelWorkloadsRegistered(t *testing.T) {
+	names := JobWorkloads()
+	for _, want := range []string{"mpdata", "linreg", "grid", "mapreduce"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("kernel workload %q not registered (have %v)", want, names)
+		}
+	}
+
+	restore := LockThreads
+	LockThreads = false
+	defer func() { LockThreads = restore }()
+	s := jobs.New(jobs.Config{Workers: 2, Name: "kernels"})
+	defer s.Close()
+	for _, name := range []string{"mpdata", "linreg", "grid", "mapreduce"} {
+		v := runKernel(t, s, name, JobParams{N: 4096})
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			t.Errorf("%s: result = %v, want a finite positive reduction", name, v)
+		}
+	}
+}
+
+// TestKernelWorkloadsDeterministic replays each kernel twice on one worker
+// with a single chunk: identical inputs must reduce to the identical value.
+func TestKernelWorkloadsDeterministic(t *testing.T) {
+	restore := LockThreads
+	LockThreads = false
+	defer func() { LockThreads = restore }()
+	s := jobs.New(jobs.Config{Workers: 1, Name: "kernels-det"})
+	defer s.Close()
+	const n = 2048
+	p := JobParams{N: n, MaxWorkers: 1, Grain: n}
+	for _, name := range []string{"mpdata", "linreg", "grid", "mapreduce"} {
+		a := runKernel(t, s, name, p)
+		b := runKernel(t, s, name, p)
+		if a != b {
+			t.Errorf("%s: two single-worker runs differ: %v vs %v", name, a, b)
+		}
+	}
+}
+
+// TestMapreduceClosedForm pins the mapreduce workload to its closed form:
+// every input byte contributes its bucket index plus one, and all partial
+// sums are integer-valued, so the commutative fold is exact in float64.
+func TestMapreduceClosedForm(t *testing.T) {
+	restore := LockThreads
+	LockThreads = false
+	defer func() { LockThreads = restore }()
+	ks := kernelInput()
+	const n = 10000
+	var want float64
+	for i := 0; i < n; i++ {
+		want += float64(int(ks.histData[i%len(ks.histData)])&(histKeys-1) + 1)
+	}
+	s := jobs.New(jobs.Config{Workers: 4, Name: "kernels-mr"})
+	defer s.Close()
+	if got := runKernel(t, s, "mapreduce", JobParams{N: n}); got != want {
+		t.Errorf("mapreduce over %d inputs = %v, want %v", n, got, want)
+	}
+}
+
+// TestLinregClosedForm checks the linreg workload against a sequential fold
+// over the same virtual range (all statistics are integer-valued, so the
+// parallel commutative fold is exact).
+func TestLinregClosedForm(t *testing.T) {
+	restore := LockThreads
+	LockThreads = false
+	defer func() { LockThreads = restore }()
+	ks := kernelInput()
+	const n = 3000
+	emit := make([]float64, ks.ljob.NumKeys)
+	mapWrapped(ks.ljob, 0, 0, n, len(ks.pts.Points), emit)
+	var want float64
+	for _, v := range emit {
+		want += v
+	}
+	s := jobs.New(jobs.Config{Workers: 4, Name: "kernels-lr"})
+	defer s.Close()
+	if got := runKernel(t, s, "linreg", JobParams{N: n}); got != want {
+		t.Errorf("linreg over %d points = %v, want %v", n, got, want)
+	}
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Manifest is the declarative description of the repo's benchmark fleet —
+// the single place a bench registers for PR-time base-vs-head comparison
+// and the push-to-main perf trajectory. cmd/benchcmp -manifest drives it:
+// one driver runs every entry (head checkout, base worktree, or trajectory)
+// and compares the reports, instead of CI carrying one copy-pasted YAML
+// block per bench.
+type Manifest struct {
+	// Threshold is the default allowed fractional degradation per metric.
+	Threshold float64 `json:"threshold"`
+	// Entries are the registered benches.
+	Entries []ManifestEntry `json:"entries"`
+}
+
+// ManifestEntry is one registered benchmark.
+type ManifestEntry struct {
+	// Name identifies the entry (unique; used in logs and skip notes).
+	Name string `json:"name"`
+	// Dir is a path that must exist for the entry to run — the bench's
+	// command directory. On a base commit that predates the bench, the
+	// runner skips the entry instead of failing.
+	Dir string `json:"dir"`
+	// Cmd is the bench invocation. It is whitespace-split (no shell); the
+	// literal {out} is replaced by the report path.
+	Cmd string `json:"cmd"`
+	// Out is the canonical report name, e.g. "BENCH_shardburst.json";
+	// role suffixes splice in before the extension (BENCH_shardburst.head.json).
+	Out string `json:"out"`
+	// Title heads the entry's comparison table in the step summary.
+	Title string `json:"title"`
+	// Metrics are the compared paths, in ParseMetricSpec form
+	// ("path:higher|lower[:trace]").
+	Metrics []string `json:"metrics"`
+	// Threshold overrides the manifest default when > 0.
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// LoadManifest reads and validates a manifest file.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("bench: manifest %s: %w", path, err)
+	}
+	if err := m.validate(); err != nil {
+		return nil, fmt.Errorf("bench: manifest %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+func (m *Manifest) validate() error {
+	if m.Threshold <= 0 {
+		return fmt.Errorf("threshold must be > 0")
+	}
+	if len(m.Entries) == 0 {
+		return fmt.Errorf("no entries")
+	}
+	names := map[string]bool{}
+	outs := map[string]bool{}
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		switch {
+		case e.Name == "":
+			return fmt.Errorf("entry %d: no name", i)
+		case names[e.Name]:
+			return fmt.Errorf("entry %q: duplicate name", e.Name)
+		case e.Dir == "":
+			return fmt.Errorf("entry %q: no dir", e.Name)
+		case e.Cmd == "":
+			return fmt.Errorf("entry %q: no cmd", e.Name)
+		case !strings.Contains(e.Cmd, "{out}"):
+			return fmt.Errorf("entry %q: cmd has no {out} placeholder", e.Name)
+		case !strings.HasSuffix(e.Out, ".json"):
+			return fmt.Errorf("entry %q: out %q must end in .json", e.Name, e.Out)
+		case outs[e.Out]:
+			return fmt.Errorf("entry %q: duplicate out %q", e.Name, e.Out)
+		case len(e.Metrics) == 0:
+			return fmt.Errorf("entry %q: no metrics", e.Name)
+		}
+		names[e.Name] = true
+		outs[e.Out] = true
+		if _, err := e.MetricSpecs(); err != nil {
+			return fmt.Errorf("entry %q: %w", e.Name, err)
+		}
+	}
+	return nil
+}
+
+// MetricSpecs parses the entry's metric strings.
+func (e *ManifestEntry) MetricSpecs() ([]MetricSpec, error) {
+	specs := make([]MetricSpec, 0, len(e.Metrics))
+	for _, s := range e.Metrics {
+		spec, err := ParseMetricSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// OutFile returns the report name for a role suffix: OutFile(".head") on
+// out "BENCH_x.json" is "BENCH_x.head.json"; an empty suffix returns the
+// canonical trajectory name.
+func (e *ManifestEntry) OutFile(suffix string) string {
+	return strings.TrimSuffix(e.Out, ".json") + suffix + ".json"
+}
+
+// Command renders the entry's argv for a given report path. Cmd is split on
+// whitespace — manifest commands take simple arguments, not shell syntax.
+func (e *ManifestEntry) Command(outPath string) []string {
+	fields := strings.Fields(e.Cmd)
+	argv := make([]string, len(fields))
+	for i, f := range fields {
+		argv[i] = strings.ReplaceAll(f, "{out}", outPath)
+	}
+	return argv
+}
+
+// EntryThreshold resolves an entry's comparison threshold against the
+// manifest default.
+func (m *Manifest) EntryThreshold(e *ManifestEntry) float64 {
+	if e.Threshold > 0 {
+		return e.Threshold
+	}
+	return m.Threshold
+}

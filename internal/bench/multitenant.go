@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -139,11 +140,15 @@ func JobWorkloads() []string {
 	return out
 }
 
+// ErrUnknownWorkload reports a job workload name with no registration;
+// serving layers match it with errors.Is to answer with the known names.
+var ErrUnknownWorkload = errors.New("unknown job workload")
+
 // NewJobRequest builds the named job workload with the given parameters.
 func NewJobRequest(name string, p JobParams) (jobs.Request, error) {
 	f, ok := jobWorkloads[name]
 	if !ok {
-		return jobs.Request{}, fmt.Errorf("bench: unknown job workload %q (known: %v)", name, JobWorkloads())
+		return jobs.Request{}, fmt.Errorf("bench: %w %q (known: %v)", ErrUnknownWorkload, name, JobWorkloads())
 	}
 	p.normalize()
 	return f(p), nil

@@ -1,0 +1,295 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// synthBytes synthesizes a trace and returns its serialized form.
+func synthBytes(t *testing.T, cfg SynthConfig) []byte {
+	t.Helper()
+	tr, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestSynthesizeDeterministic pins the acceptance bar: the same seed and
+// config must synthesize the byte-identical trace file, for every profile.
+func TestSynthesizeDeterministic(t *testing.T) {
+	for _, profile := range Profiles() {
+		cfg := SynthConfig{Seed: 42, Profile: profile, Ops: 200}
+		a := synthBytes(t, cfg)
+		b := synthBytes(t, cfg)
+		if !bytes.Equal(a, b) {
+			t.Errorf("profile %s: two syntheses with seed 42 differ", profile)
+		}
+		c := synthBytes(t, SynthConfig{Seed: 43, Profile: profile, Ops: 200})
+		if bytes.Equal(a, c) {
+			t.Errorf("profile %s: seeds 42 and 43 synthesized identical traces", profile)
+		}
+	}
+}
+
+// TestTraceRoundTrip pins record→replay fidelity: writing a synthesized
+// trace and reading it back must reproduce the identical op stream.
+func TestTraceRoundTrip(t *testing.T) {
+	tr, err := Synthesize(SynthConfig{Seed: 7, Profile: "mixed", Ops: 300})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatalf("record→replay changed the trace:\n wrote meta %+v (%d ops)\n read  meta %+v (%d ops)",
+			tr.Meta, len(tr.Ops), got.Meta, len(got.Ops))
+	}
+}
+
+func TestSynthesizeProfiles(t *testing.T) {
+	// Adversarial profiles must produce spammer traffic with tight deadlines;
+	// mixed must produce pipelines; every op must validate and arrive in order.
+	for _, profile := range []string{"adversarial", "mixed"} {
+		tr, err := Synthesize(SynthConfig{Seed: 1, Profile: profile, Ops: 400})
+		if err != nil {
+			t.Fatalf("Synthesize(%s): %v", profile, err)
+		}
+		spam, pipes := 0, 0
+		last := -1.0
+		for i := range tr.Ops {
+			op := &tr.Ops[i]
+			if err := op.validate(); err != nil {
+				t.Fatalf("%s op %d: %v", profile, i, err)
+			}
+			if op.AtMs < last {
+				t.Fatalf("%s op %d: out of order", profile, i)
+			}
+			last = op.AtMs
+			if op.Tenant == "spammer" {
+				spam++
+				if op.DeadlineMs <= 0 || op.DeadlineMs > 5 {
+					t.Errorf("%s op %d: spammer deadline %dms, want 1..5", profile, i, op.DeadlineMs)
+				}
+			}
+			if op.Pipeline != "" {
+				pipes++
+			}
+		}
+		if spam == 0 {
+			t.Errorf("%s: no spammer ops in 400", profile)
+		}
+		if profile == "mixed" && pipes == 0 {
+			t.Errorf("mixed: no pipeline ops in 400")
+		}
+	}
+}
+
+func TestSynthesizeUnknownProfile(t *testing.T) {
+	if _, err := Synthesize(SynthConfig{Profile: "nope"}); err == nil {
+		t.Fatal("Synthesize accepted unknown profile")
+	}
+}
+
+func TestReadTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"unordered":     `{"at_ms":5,"workload":"spin"}` + "\n" + `{"at_ms":1,"workload":"spin"}`,
+		"both":          `{"at_ms":0,"workload":"spin","pipeline":"spin:1"}`,
+		"neither":       `{"at_ms":0}`,
+		"negative":      `{"at_ms":0,"workload":"spin","n":-1}`,
+		"badversion":    `{"trace_version":99,"ops":0}`,
+		"truncated":     `{"trace_version":1,"ops":2}` + "\n" + `{"at_ms":0,"workload":"spin"}`,
+		"pipelinebatch": `{"at_ms":0,"pipeline":"spin:1","batch":true}`,
+	}
+	for name, text := range cases {
+		if _, err := ReadTrace(bytes.NewReader([]byte(text))); err == nil {
+			t.Errorf("%s: ReadTrace accepted bad trace", name)
+		}
+	}
+	// Comments, blank lines and a bare op stream (no meta) are all fine.
+	ok := "# comment\n\n" + `{"at_ms":0,"workload":"spin"}` + "\n"
+	tr, err := ReadTrace(bytes.NewReader([]byte(ok)))
+	if err != nil || len(tr.Ops) != 1 {
+		t.Errorf("bare op stream: got %d ops, err %v", len(tr.Ops), err)
+	}
+}
+
+// TestCommittedTraces guards the traces CI replays: a format change that
+// orphans them must fail here, not in the smoke job.
+func TestCommittedTraces(t *testing.T) {
+	for _, name := range []string{"smoke.jsonl", "adversarial.jsonl", "bench.jsonl"} {
+		f, err := os.Open(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tr, err := ReadTrace(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(tr.Ops) == 0 {
+			t.Errorf("%s: empty trace", name)
+		}
+	}
+}
+
+// runCapture replays tr against a stub server and returns the per-tenant
+// request-body sequences plus the report.
+func runCapture(t *testing.T, tr Trace, mode string, status func(i int) int) (map[string][]string, *Report) {
+	t.Helper()
+	var mu sync.Mutex
+	seq := map[string][]string{}
+	var n int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.ParseForm()
+		mu.Lock()
+		i := n
+		n++
+		tenant := r.FormValue("tenant")
+		seq[tenant] = append(seq[tenant], r.Form.Encode())
+		mu.Unlock()
+		code := status(i)
+		if code != http.StatusOK {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded", code)
+			return
+		}
+		w.Write([]byte(`{"jobs":1,"wall_seconds":0.001,"results":[{"result":1}]}`))
+	}))
+	defer srv.Close()
+	rep, err := Run(context.Background(), tr, RunConfig{
+		BaseURL: srv.URL, Mode: mode, Speed: 1000, // compress 10s of trace time to 10ms
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return seq, rep
+}
+
+// TestRunDeterministicStream pins the other acceptance bar: two replays of
+// the same trace submit the identical op stream. In closed mode each
+// tenant's requests arrive in trace order, so the per-tenant sequences match
+// exactly; in open mode concurrent arrivals race at the server, so the
+// guarantee is the request set per tenant.
+func TestRunDeterministicStream(t *testing.T) {
+	tr, err := Synthesize(SynthConfig{Seed: 11, Profile: "mixed", Ops: 120})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	okAll := func(int) int { return http.StatusOK }
+	for _, mode := range []string{"open", "closed"} {
+		a, repA := runCapture(t, tr, mode, okAll)
+		b, repB := runCapture(t, tr, mode, okAll)
+		if mode == "open" {
+			for _, seq := range a {
+				sort.Strings(seq)
+			}
+			for _, seq := range b {
+				sort.Strings(seq)
+			}
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("mode %s: two replays submitted different per-tenant streams", mode)
+		}
+		if repA.Ops != len(tr.Ops) || repA.Total.OK != len(tr.Ops) || repA.Total.TransportErrors != 0 {
+			t.Errorf("mode %s: report %+v, want %d ops all OK", mode, repA.Total, len(tr.Ops))
+		}
+		if repB.Total.OK != repA.Total.OK {
+			t.Errorf("mode %s: OK counts differ across replays", mode)
+		}
+	}
+}
+
+// TestRunAccounting checks outcome classification: 429/503 count as shed
+// (never protocol errors), and per-tenant rows sum to the total.
+func TestRunAccounting(t *testing.T) {
+	tr, err := Synthesize(SynthConfig{Seed: 3, Profile: "steady", Ops: 90})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	// Every third request is shed, alternating breaker and backlog.
+	_, rep := runCapture(t, tr, "open", func(i int) int {
+		switch i % 6 {
+		case 2:
+			return http.StatusTooManyRequests
+		case 5:
+			return http.StatusServiceUnavailable
+		default:
+			return http.StatusOK
+		}
+	})
+	if rep.Total.Shed != 30 || rep.Total.OK != 60 || rep.Total.ProtocolErrors != 0 {
+		t.Fatalf("total = %+v, want 60 OK / 30 shed / 0 protocol", rep.Total)
+	}
+	if got := rep.Total.ShedRatio; got != float64(30)/90 {
+		t.Errorf("shed ratio = %v, want 1/3", got)
+	}
+	var ops, ok, shed int
+	for _, name := range rep.TenantNames() {
+		tt := rep.Tenants[name]
+		ops += tt.Ops
+		ok += tt.OK
+		shed += tt.Shed
+	}
+	if ops != 90 || ok != 60 || shed != 30 {
+		t.Errorf("tenant rows sum to %d/%d/%d, want 90/60/30", ops, ok, shed)
+	}
+	if rep.Total.GoodputRPS <= 0 {
+		t.Errorf("goodput = %v, want > 0", rep.Total.GoodputRPS)
+	}
+	if rep.Total.LatencyP50Ms <= 0 || rep.Total.LatencyP99Ms < rep.Total.LatencyP50Ms {
+		t.Errorf("latency quantiles p50=%v p99=%v malformed", rep.Total.LatencyP50Ms, rep.Total.LatencyP99Ms)
+	}
+}
+
+// TestRunCountsJobErrors checks that job-level errors inside 200 bodies are
+// surfaced (a shed inside a batch is not silent goodput).
+func TestRunCountsJobErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"jobs":2,"wall_seconds":0.001,"results":[{"result":1},{"error":"deadline infeasible"}]}`))
+	}))
+	defer srv.Close()
+	tr := Trace{Ops: []Op{{Workload: "spin", N: 16}, {Workload: "spin", N: 16}}}
+	rep, err := Run(context.Background(), tr, RunConfig{BaseURL: srv.URL, Speed: 1000})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Total.JobErrors != 2 {
+		t.Fatalf("job errors = %d, want 2", rep.Total.JobErrors)
+	}
+}
+
+func TestOpFormValues(t *testing.T) {
+	op := Op{Workload: "mpdata", N: 512, Jobs: 3, Batch: true, Tenant: "t1",
+		Priority: -1, DeadlineMs: 20, NoWait: true}
+	got := op.FormValues().Encode()
+	want := "batch=1&deadline_ms=20&jobs=3&n=512&nowait=1&prio=-1&tenant=t1&workload=mpdata"
+	if got != want {
+		t.Errorf("FormValues = %q, want %q", got, want)
+	}
+	pipe := Op{Pipeline: "spin:64,sum:32:2", Tenant: "t2"}
+	got = pipe.FormValues().Encode()
+	want = "pipeline=spin%3A64%2Csum%3A32%3A2&tenant=t2"
+	if got != want {
+		t.Errorf("pipeline FormValues = %q, want %q", got, want)
+	}
+}

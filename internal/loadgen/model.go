@@ -1,0 +1,113 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// model.go holds the seeded distributions of the traffic model. They are
+// shared with internal/schedtest's invariant harness — the op streams that
+// verify the runtime and the traffic that loads it draw tenants, priorities,
+// deadlines and job sizes from the same model.
+
+// Policy draws the scheduling-policy dimensions of one op: which tenant
+// account it charges, its priority class, and whether (and how tightly) it
+// carries a deadline. All draws are pure functions of the supplied rng, so
+// a seeded stream replays exactly.
+type Policy struct {
+	// Tenants are the account names ops draw from; TenantPercent is the
+	// chance an op names one at all (the rest use the default account).
+	Tenants       []string
+	TenantPercent int
+	// PriorityPercent is the chance an op sets a priority, drawn uniformly
+	// from [MinPriority, MaxPriority].
+	PriorityPercent          int
+	MinPriority, MaxPriority int
+	// DeadlinePercent is the chance an op carries a deadline, drawn
+	// uniformly from [1, MaxDeadlineMs] milliseconds.
+	DeadlinePercent int
+	MaxDeadlineMs   int
+}
+
+// DefaultPolicy returns the policy mix the schedtest invariant harness has
+// always used: half the ops name one of three shared accounts, a third set
+// a priority in -1..3, an eighth carry a 1-50ms deadline.
+func DefaultPolicy() Policy {
+	return Policy{
+		Tenants:         []string{"acct-a", "acct-b", "acct-c"},
+		TenantPercent:   50,
+		PriorityPercent: 33,
+		MinPriority:     -1,
+		MaxPriority:     3,
+		DeadlinePercent: 12,
+		MaxDeadlineMs:   50,
+	}
+}
+
+// PolicyDraw is one op's drawn policy. DeadlineMs is 0 when the op carries
+// no deadline (callers convert a non-zero value to an absolute time at
+// submission).
+type PolicyDraw struct {
+	Tenant     string
+	Priority   int
+	DeadlineMs int
+}
+
+// Draw samples one op's policy from the rng.
+func (p Policy) Draw(rng *rand.Rand) PolicyDraw {
+	var d PolicyDraw
+	if len(p.Tenants) > 0 && rng.Intn(100) < p.TenantPercent {
+		d.Tenant = p.Tenants[rng.Intn(len(p.Tenants))]
+	}
+	if p.MaxPriority > p.MinPriority && rng.Intn(100) < p.PriorityPercent {
+		d.Priority = p.MinPriority + rng.Intn(p.MaxPriority-p.MinPriority+1)
+	}
+	if p.MaxDeadlineMs > 0 && rng.Intn(100) < p.DeadlinePercent {
+		d.DeadlineMs = 1 + rng.Intn(p.MaxDeadlineMs)
+	}
+	return d
+}
+
+// SizeDist is a bounded-Pareto job-size distribution: most jobs are small,
+// a heavy tail is large — the shape that makes convoy and straggler
+// pathologies (and the elastic scheduling that kills them) visible.
+type SizeDist struct {
+	// Min and Max bound the drawn size (inclusive).
+	Min, Max int
+	// Alpha is the Pareto tail exponent; smaller is heavier. <= 0 selects
+	// 1.3 (heavy enough that the top percentile dominates total work).
+	Alpha float64
+}
+
+// DefaultSizes returns the size distribution of the synthesized profiles:
+// 256..65536 iterations with a 1.3 tail.
+func DefaultSizes() SizeDist { return SizeDist{Min: 256, Max: 1 << 16, Alpha: 1.3} }
+
+// Draw samples one job size.
+func (d SizeDist) Draw(rng *rand.Rand) int {
+	min, max := d.Min, d.Max
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	alpha := d.Alpha
+	if alpha <= 0 {
+		alpha = 1.3
+	}
+	// Inverse-CDF of a Pareto truncated to [min, max]: u is uniform in
+	// (0, 1]; 1-u avoids the u=0 pole while keeping the draw seeded.
+	u := 1 - rng.Float64()
+	lo := math.Pow(float64(min), -alpha)
+	hi := math.Pow(float64(max), -alpha)
+	x := math.Pow(lo-u*(lo-hi), -1/alpha)
+	n := int(x)
+	if n < min {
+		n = min
+	}
+	if n > max {
+		n = max
+	}
+	return n
+}

@@ -1,0 +1,340 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"loopsched/internal/stats"
+)
+
+// RunConfig parameterizes a trace replay against a live loopd.
+type RunConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client issues the requests; nil selects a dedicated client with a
+	// generous per-request timeout.
+	Client *http.Client
+	// Mode is the arrival control law:
+	//
+	//   - "open":   every op fires at its trace time regardless of earlier
+	//     responses (bounded by MaxInflight) — arrivals don't slow down when
+	//     the server does, so queueing delay is visible. The default.
+	//   - "closed": each tenant replays its ops in order, never more than
+	//     one outstanding — a session model where users wait for responses.
+	Mode string
+	// Speed divides trace time: 2 replays a trace twice as fast; <= 0
+	// selects 1.
+	Speed float64
+	// MaxInflight caps concurrent requests in open mode; <= 0 selects 256.
+	MaxInflight int
+	// OnResult, when set, observes every op's outcome as it completes
+	// (concurrently in open mode).
+	OnResult func(i int, op Op, res OpResult)
+}
+
+// OpResult is one op's observed outcome.
+type OpResult struct {
+	// Status is the HTTP status code (0 on transport error).
+	Status int
+	// Err is the transport error, if the request never got a response.
+	Err error
+	// LatencyMs is the client-observed request latency.
+	LatencyMs float64
+	// JobErrors counts job-level errors reported inside a 200 body.
+	JobErrors int
+}
+
+// TenantReport aggregates one tenant's outcomes over a replay.
+type TenantReport struct {
+	Ops             int     `json:"ops"`
+	OK              int     `json:"ok"`
+	Shed            int     `json:"shed"`
+	ProtocolErrors  int     `json:"protocol_errors"`
+	TransportErrors int     `json:"transport_errors"`
+	JobErrors       int     `json:"job_errors"`
+	GoodputRPS      float64 `json:"goodput_rps"`
+	ShedRatio       float64 `json:"shed_ratio"`
+	LatencyP50Ms    float64 `json:"latency_p50_ms"`
+	LatencyP95Ms    float64 `json:"latency_p95_ms"`
+	LatencyP99Ms    float64 `json:"latency_p99_ms"`
+
+	latencies []float64
+}
+
+// Report is the outcome of one replay: totals plus a per-tenant breakdown.
+// Its JSON form flattens cleanly for benchcmp metric paths
+// (e.g. "total.goodput_rps", "tenants.spammer.shed_ratio").
+type Report struct {
+	Profile     string                  `json:"profile,omitempty"`
+	Mode        string                  `json:"mode"`
+	Speed       float64                 `json:"speed"`
+	Ops         int                     `json:"ops"`
+	WallSeconds float64                 `json:"wall_seconds"`
+	Total       TenantReport            `json:"total"`
+	Tenants     map[string]TenantReport `json:"tenants"`
+}
+
+// shed reports whether a status code is an intentional overload rejection
+// (admission shedding or an open breaker) rather than a protocol error.
+func shed(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// FormValues renders the op as /run request parameters. url.Values.Encode
+// sorts keys, so the rendering is deterministic: the same op always
+// produces the same request body.
+func (op *Op) FormValues() url.Values {
+	v := url.Values{}
+	if op.Pipeline != "" {
+		v.Set("pipeline", op.Pipeline)
+	} else {
+		v.Set("workload", op.Workload)
+		if op.Jobs > 1 {
+			v.Set("jobs", strconv.Itoa(op.Jobs))
+		}
+		if op.Batch {
+			v.Set("batch", "1")
+		}
+	}
+	if op.N > 0 {
+		v.Set("n", strconv.Itoa(op.N))
+	}
+	if op.Tenant != "" {
+		v.Set("tenant", op.Tenant)
+	}
+	if op.Priority != 0 {
+		v.Set("prio", strconv.Itoa(op.Priority))
+	}
+	if op.DeadlineMs > 0 {
+		v.Set("deadline_ms", strconv.Itoa(op.DeadlineMs))
+	}
+	if op.NoWait {
+		v.Set("nowait", "1")
+	}
+	return v
+}
+
+// runBody is the slice of a /run response the runner inspects: job-level
+// error strings inside an otherwise successful response.
+type runBody struct {
+	Results []struct {
+		Error string `json:"error,omitempty"`
+	} `json:"results"`
+	Pipeline []struct {
+		Results []struct {
+			Error string `json:"error,omitempty"`
+		} `json:"results"`
+	} `json:"pipeline"`
+}
+
+// issue sends one op and classifies the outcome.
+func issue(ctx context.Context, client *http.Client, base string, op *Op) OpResult {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/run",
+		strings.NewReader(op.FormValues().Encode()))
+	if err != nil {
+		return OpResult{Err: err}
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	start := time.Now()
+	resp, err := client.Do(req)
+	lat := float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		return OpResult{Err: err, LatencyMs: lat}
+	}
+	defer resp.Body.Close()
+	res := OpResult{Status: resp.StatusCode, LatencyMs: lat}
+	if resp.StatusCode == http.StatusOK {
+		var body runBody
+		if json.NewDecoder(resp.Body).Decode(&body) == nil {
+			for _, r := range body.Results {
+				if r.Error != "" {
+					res.JobErrors++
+				}
+			}
+			for _, st := range body.Pipeline {
+				for _, r := range st.Results {
+					if r.Error != "" {
+						res.JobErrors++
+					}
+				}
+			}
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	return res
+}
+
+// Run replays the trace against cfg.BaseURL and aggregates a Report. The
+// request stream is a pure function of the trace: op order per tenant and
+// every request body are deterministic (wall-clock latencies, of course,
+// are not).
+func Run(ctx context.Context, tr Trace, cfg RunConfig) (*Report, error) {
+	if cfg.Mode == "" {
+		cfg.Mode = "open"
+	}
+	if cfg.Mode != "open" && cfg.Mode != "closed" {
+		return nil, fmt.Errorf("loadgen: unknown mode %q (want open or closed)", cfg.Mode)
+	}
+	if cfg.Speed <= 0 {
+		cfg.Speed = 1
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 256
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Minute}
+	}
+
+	type outcome struct {
+		op  *Op
+		res OpResult
+	}
+	outcomes := make([]outcome, len(tr.Ops))
+	var mu sync.Mutex // serializes OnResult
+	record := func(i int, res OpResult) {
+		outcomes[i] = outcome{op: &tr.Ops[i], res: res}
+		if cfg.OnResult != nil {
+			mu.Lock()
+			cfg.OnResult(i, tr.Ops[i], res)
+			mu.Unlock()
+		}
+	}
+
+	start := time.Now()
+	due := func(op *Op) time.Time {
+		return start.Add(time.Duration(op.AtMs / cfg.Speed * float64(time.Millisecond)))
+	}
+
+	var wg sync.WaitGroup
+	switch cfg.Mode {
+	case "open":
+		sem := make(chan struct{}, cfg.MaxInflight)
+		for i := range tr.Ops {
+			op := &tr.Ops[i]
+			if d := time.Until(due(op)); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			wg.Add(1)
+			go func(i int, op *Op) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				record(i, issue(ctx, client, cfg.BaseURL, op))
+			}(i, op)
+		}
+	case "closed":
+		// One ordered session per tenant: an op waits for both its arrival
+		// time and its tenant's previous response.
+		byTenant := map[string][]int{}
+		for i := range tr.Ops {
+			t := tr.Ops[i].Tenant
+			byTenant[t] = append(byTenant[t], i)
+		}
+		for _, idxs := range byTenant {
+			wg.Add(1)
+			go func(idxs []int) {
+				defer wg.Done()
+				for _, i := range idxs {
+					op := &tr.Ops[i]
+					if d := time.Until(due(op)); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-ctx.Done():
+							return
+						}
+					}
+					record(i, issue(ctx, client, cfg.BaseURL, op))
+				}
+			}(idxs)
+		}
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start).Seconds()
+
+	rep := &Report{
+		Profile:     tr.Meta.Profile,
+		Mode:        cfg.Mode,
+		Speed:       cfg.Speed,
+		Ops:         len(tr.Ops),
+		WallSeconds: wall,
+		Tenants:     map[string]TenantReport{},
+	}
+	add := func(t *TenantReport, o outcome) {
+		t.Ops++
+		switch {
+		case o.res.Err != nil:
+			t.TransportErrors++
+		case o.res.Status == http.StatusOK:
+			t.OK++
+			t.JobErrors += o.res.JobErrors
+			t.latencies = append(t.latencies, o.res.LatencyMs)
+		case shed(o.res.Status):
+			t.Shed++
+		default:
+			t.ProtocolErrors++
+		}
+	}
+	for _, o := range outcomes {
+		if o.op == nil {
+			continue // ctx cancelled mid-replay in closed mode
+		}
+		name := o.op.Tenant
+		if name == "" {
+			name = "default"
+		}
+		tt := rep.Tenants[name]
+		add(&tt, o)
+		rep.Tenants[name] = tt
+		add(&rep.Total, o)
+	}
+	finish := func(t *TenantReport) {
+		if wall > 0 {
+			t.GoodputRPS = float64(t.OK) / wall
+		}
+		if t.Ops > 0 {
+			t.ShedRatio = float64(t.Shed) / float64(t.Ops)
+		}
+		if len(t.latencies) > 0 {
+			qs := stats.Quantiles(t.latencies, 0.50, 0.95, 0.99)
+			t.LatencyP50Ms, t.LatencyP95Ms, t.LatencyP99Ms = qs[0], qs[1], qs[2]
+		}
+		t.latencies = nil
+	}
+	finish(&rep.Total)
+	for name, tt := range rep.Tenants {
+		finish(&tt)
+		rep.Tenants[name] = tt
+	}
+	return rep, nil
+}
+
+// TenantNames returns the report's tenant keys, sorted.
+func (r *Report) TenantNames() []string {
+	names := make([]string, 0, len(r.Tenants))
+	for n := range r.Tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,208 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SynthConfig parameterizes trace synthesis. The op stream is a pure
+// function of the config (most importantly Seed): the same config always
+// synthesizes the byte-identical trace.
+type SynthConfig struct {
+	// Seed seeds every draw.
+	Seed int64
+	// Profile selects the arrival and policy shape; see Profiles. Empty
+	// selects "mixed".
+	Profile string
+	// Ops is the number of requests; <= 0 selects 256.
+	Ops int
+	// DurationMs is the trace span in trace-time milliseconds; <= 0
+	// selects 10000.
+	DurationMs float64
+	// Tenants is the number of regular tenant accounts (t0..tN-1); <= 0
+	// selects 4. Adversarial profiles add a "spammer" account on top.
+	Tenants int
+	// Sizes is the job-size distribution; the zero value selects
+	// DefaultSizes.
+	Sizes SizeDist
+}
+
+// Profiles lists the synthesizable traffic shapes:
+//
+//   - steady:      Poisson-ish arrivals at a constant rate, scalar jobs,
+//     heavy-tailed sizes — the null hypothesis.
+//   - diurnal:     one full sinusoidal "day" over the trace: rate swings
+//     ±80% around the mean, so the runtime sees both idle troughs and
+//     saturated peaks.
+//   - flashcrowd:  steady background with an 8x burst over a tenth of the
+//     trace — the convoy shape that elastic scheduling exists for.
+//   - adversarial: steady traffic plus a "spammer" tenant contributing a
+//     third of all ops as tight-deadline, high-priority, no-wait jobs —
+//     the admission-control and circuit-breaker stressor.
+//   - mixed:       diurnal arrivals, a flash crowd, the spammer, pipeline
+//     stage graphs and batched fan-outs all at once — the full production
+//     shape, and the default.
+func Profiles() []string {
+	return []string{"steady", "diurnal", "flashcrowd", "adversarial", "mixed"}
+}
+
+// profile capability flags.
+type profileShape struct {
+	diurnal     bool
+	flash       bool
+	adversarial bool
+	pipelines   bool
+	batches     bool
+}
+
+var profileShapes = map[string]profileShape{
+	"steady":      {},
+	"diurnal":     {diurnal: true},
+	"flashcrowd":  {flash: true},
+	"adversarial": {adversarial: true},
+	"mixed":       {diurnal: true, flash: true, adversarial: true, pipelines: true, batches: true},
+}
+
+// synthWorkloads is the workload mix of synthesized scalar ops: the
+// calibrated spin family and the four numeric kernels, weighted towards
+// the kernels so real memory-bound and reduction-heavy loops dominate.
+var synthWorkloads = []string{
+	"mpdata", "grid", "linreg", "mapreduce",
+	"mpdata", "grid", "linreg", "mapreduce",
+	"spin", "sum", "spinsum",
+}
+
+// pipelineSpecs are the stage graphs mixed-profile traces submit: fan-out/
+// fan-in DAGs over the served workloads (widths and sizes kept small — a
+// pipeline op costs width·stages jobs).
+var pipelineSpecs = []string{
+	"mpdata:2048,grid:1024:3,sum:512",
+	"linreg:4096,mapreduce:1024:2",
+	"spin:1024,mpdata:2048:2,linreg:1024",
+}
+
+func (c *SynthConfig) normalize() error {
+	if c.Profile == "" {
+		c.Profile = "mixed"
+	}
+	if _, ok := profileShapes[c.Profile]; !ok {
+		return fmt.Errorf("loadgen: unknown profile %q (known: %v)", c.Profile, Profiles())
+	}
+	if c.Ops <= 0 {
+		c.Ops = 256
+	}
+	if c.DurationMs <= 0 {
+		c.DurationMs = 10000
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.Sizes == (SizeDist{}) {
+		c.Sizes = DefaultSizes()
+	}
+	return nil
+}
+
+// rate returns the profile's relative arrival intensity at trace time t in
+// [0, 1); the absolute rate is normalized away by sampling a fixed op
+// count from the density.
+func (s profileShape) rate(t float64) float64 {
+	r := 1.0
+	if s.diurnal {
+		// One full day per trace: trough at the start and end, peak in the
+		// middle, swinging ±80% around the mean.
+		r *= 1 + 0.8*math.Sin(2*math.Pi*t-math.Pi/2)
+	}
+	if s.flash && t >= 0.4 && t < 0.5 {
+		r *= 8
+	}
+	if r < 0.05 {
+		r = 0.05
+	}
+	return r
+}
+
+// Synthesize builds a trace from the config. Arrival times are sampled
+// from the profile's intensity curve by rejection, sizes from the bounded
+// Pareto, tenants/priorities/deadlines from the policy model; adversarial
+// profiles route a third of the ops through the spammer account with
+// tight deadlines and NoWait.
+func Synthesize(cfg SynthConfig) (Trace, error) {
+	if err := cfg.normalize(); err != nil {
+		return Trace{}, err
+	}
+	shape := profileShapes[cfg.Profile]
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	tenants := make([]string, cfg.Tenants)
+	for i := range tenants {
+		tenants[i] = fmt.Sprintf("t%d", i)
+	}
+	policy := Policy{
+		Tenants:         tenants,
+		TenantPercent:   100, // served traffic always names its tenant
+		PriorityPercent: 25,
+		MinPriority:     -1,
+		MaxPriority:     2,
+		DeadlinePercent: 15,
+		MaxDeadlineMs:   int(cfg.DurationMs / 4),
+	}
+
+	// Arrival times: rejection-sample the intensity curve, then sort. The
+	// curve's maximum bounds the acceptance test; 8x flash on a 1.8 diurnal
+	// peak caps at 14.4.
+	const rateMax = 14.4
+	times := make([]float64, cfg.Ops)
+	for i := range times {
+		for {
+			t := rng.Float64()
+			if rng.Float64()*rateMax <= shape.rate(t) {
+				times[i] = t * cfg.DurationMs
+				break
+			}
+		}
+	}
+	sort.Float64s(times)
+
+	ops := make([]Op, 0, cfg.Ops)
+	for _, at := range times {
+		op := Op{AtMs: at}
+		if shape.adversarial && rng.Intn(3) == 0 {
+			// The spammer: tight deadlines on every job, fail-fast, high
+			// priority — deliberately hostile to its SLO so feasibility
+			// shedding and breakers have something to catch.
+			op.Tenant = "spammer"
+			op.Workload = synthWorkloads[rng.Intn(len(synthWorkloads))]
+			op.N = cfg.Sizes.Draw(rng)
+			op.DeadlineMs = 1 + rng.Intn(5)
+			op.Priority = 3
+			op.NoWait = rng.Intn(2) == 0
+			ops = append(ops, op)
+			continue
+		}
+		draw := policy.Draw(rng)
+		op.Tenant = draw.Tenant
+		op.Priority = draw.Priority
+		op.DeadlineMs = draw.DeadlineMs
+		switch {
+		case shape.pipelines && rng.Intn(10) == 0:
+			op.Pipeline = pipelineSpecs[rng.Intn(len(pipelineSpecs))]
+		default:
+			op.Workload = synthWorkloads[rng.Intn(len(synthWorkloads))]
+			op.N = cfg.Sizes.Draw(rng)
+			if rng.Intn(5) == 0 {
+				op.Jobs = 2 + rng.Intn(7)
+				if shape.batches && rng.Intn(2) == 0 {
+					op.Batch = true
+				}
+			}
+		}
+		ops = append(ops, op)
+	}
+	return Trace{
+		Meta: Meta{Version: traceVersion, Profile: cfg.Profile, Seed: cfg.Seed, Ops: len(ops)},
+		Ops:  ops,
+	}, nil
+}

@@ -1,0 +1,178 @@
+// Package loadgen is the trace-driven load generator behind cmd/loadgen: a
+// deterministic traffic model (seeded synthesis of diurnal curves, flash
+// crowds, heavy-tailed job sizes, adversarial deadline-spamming tenants and
+// mixed pipeline+scalar traffic), a JSONL trace format for record/replay —
+// any regression reproduces from a trace file — and an open-/closed-loop
+// HTTP runner that drives a live loopd and accounts goodput, latency
+// quantiles and shed ratios per tenant.
+//
+// The traffic model is the promotion of internal/schedtest's seeded
+// op-stream generator from invariant harness to first-class workload
+// description: schedtest draws its policy and size fields from this
+// package's distributions, so the invariant streams and the served traffic
+// stay one model.
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Op is one trace record: a single /run request issued at a point in trace
+// time. Exactly one of Workload or Pipeline is set. Field order is the
+// serialization order; WriteTrace output is byte-reproducible for a given
+// op stream.
+type Op struct {
+	// AtMs is the request's arrival offset from the trace start, in
+	// milliseconds of trace time (the runner divides by its speed factor).
+	AtMs float64 `json:"at_ms"`
+	// Tenant is the fair-share account charged; empty selects the default.
+	Tenant string `json:"tenant,omitempty"`
+	// Workload names a registered job workload (see bench.JobWorkloads).
+	Workload string `json:"workload,omitempty"`
+	// Pipeline is a loopd pipeline spec (workload[:n[:width]],...),
+	// submitted instead of a plain workload when set.
+	Pipeline string `json:"pipeline,omitempty"`
+	// N is the per-job iteration count; <= 0 lets the server default.
+	N int `json:"n,omitempty"`
+	// Jobs is the fan-out within the request; <= 1 means one job.
+	Jobs int `json:"jobs,omitempty"`
+	// Batch admits the fan-out through one SubmitBatch call.
+	Batch bool `json:"batch,omitempty"`
+	// Priority is the strict admission priority class.
+	Priority int `json:"prio,omitempty"`
+	// DeadlineMs asks for completion within this many milliseconds.
+	DeadlineMs int `json:"deadline_ms,omitempty"`
+	// NoWait fails fast instead of blocking when the queue is full.
+	NoWait bool `json:"nowait,omitempty"`
+}
+
+// Meta is the header line of a trace file.
+type Meta struct {
+	// Version identifies the trace schema; ReadTrace rejects versions it
+	// does not understand.
+	Version int `json:"trace_version"`
+	// Profile and Seed record how a synthesized trace was produced (for
+	// provenance only; replay never re-synthesizes).
+	Profile string `json:"profile,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+	// Ops is the record count, a truncation check for replay.
+	Ops int `json:"ops"`
+}
+
+// Trace is a recorded or synthesized op stream.
+type Trace struct {
+	Meta Meta
+	Ops  []Op
+}
+
+// DurationMs returns the arrival offset of the last op (0 for an empty
+// trace).
+func (tr Trace) DurationMs() float64 {
+	if len(tr.Ops) == 0 {
+		return 0
+	}
+	return tr.Ops[len(tr.Ops)-1].AtMs
+}
+
+// traceVersion is the schema version WriteTrace emits.
+const traceVersion = 1
+
+// WriteTrace serializes the trace as JSONL: one meta header line followed
+// by one op per line. The encoding is deterministic — the same op stream
+// produces byte-identical output — so recorded traces diff cleanly and
+// synthesis determinism is testable at the byte level.
+func WriteTrace(w io.Writer, tr Trace) error {
+	bw := bufio.NewWriter(w)
+	meta := tr.Meta
+	meta.Version = traceVersion
+	meta.Ops = len(tr.Ops)
+	line, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	bw.Write(line)
+	bw.WriteByte('\n')
+	for i := range tr.Ops {
+		line, err := json.Marshal(&tr.Ops[i])
+		if err != nil {
+			return err
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSONL trace. The meta header is optional (a bare op
+// stream replays fine) but when present its version and op count must
+// match; ops must arrive in non-decreasing AtMs order.
+func ReadTrace(r io.Reader) (Trace, error) {
+	var tr Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	sawMeta := false
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		if !sawMeta && lineNo == 1 && bytes.Contains(line, []byte("trace_version")) {
+			if err := json.Unmarshal(line, &tr.Meta); err != nil {
+				return tr, fmt.Errorf("loadgen: trace line %d: bad meta: %w", lineNo, err)
+			}
+			if tr.Meta.Version != traceVersion {
+				return tr, fmt.Errorf("loadgen: trace version %d not supported (want %d)", tr.Meta.Version, traceVersion)
+			}
+			sawMeta = true
+			continue
+		}
+		var op Op
+		if err := json.Unmarshal(line, &op); err != nil {
+			return tr, fmt.Errorf("loadgen: trace line %d: %w", lineNo, err)
+		}
+		if err := op.validate(); err != nil {
+			return tr, fmt.Errorf("loadgen: trace line %d: %w", lineNo, err)
+		}
+		if n := len(tr.Ops); n > 0 && op.AtMs < tr.Ops[n-1].AtMs {
+			return tr, fmt.Errorf("loadgen: trace line %d: at_ms %.3f before previous %.3f (trace must be time-ordered)",
+				lineNo, op.AtMs, tr.Ops[n-1].AtMs)
+		}
+		tr.Ops = append(tr.Ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return tr, err
+	}
+	if sawMeta && tr.Meta.Ops != len(tr.Ops) {
+		return tr, fmt.Errorf("loadgen: trace truncated: meta declares %d ops, found %d", tr.Meta.Ops, len(tr.Ops))
+	}
+	tr.Meta.Ops = len(tr.Ops)
+	return tr, nil
+}
+
+// validate rejects records no loopd could serve, so a bad trace fails at
+// load time with a line number instead of mid-replay as protocol errors.
+func (op *Op) validate() error {
+	if op.AtMs < 0 {
+		return fmt.Errorf("negative at_ms %g", op.AtMs)
+	}
+	if (op.Workload == "") == (op.Pipeline == "") {
+		return fmt.Errorf("exactly one of workload and pipeline must be set (workload=%q pipeline=%q)", op.Workload, op.Pipeline)
+	}
+	if op.Pipeline != "" && (op.Jobs > 1 || op.Batch) {
+		return fmt.Errorf("pipeline op cannot set jobs or batch")
+	}
+	if op.N < 0 || op.Jobs < 0 || op.DeadlineMs < 0 {
+		return fmt.Errorf("negative n, jobs or deadline_ms")
+	}
+	if strings.ContainsAny(op.Tenant, " \t\n") {
+		return fmt.Errorf("tenant %q contains whitespace", op.Tenant)
+	}
+	return nil
+}

@@ -1,4 +1,4 @@
-package main
+package loopd
 
 // Observability endpoint tests: the /events SSE feed (causal order, tenant
 // filtering, slow-subscriber drops, 404 when tracing is off), the
@@ -21,10 +21,10 @@ import (
 	"loopsched/internal/trace"
 )
 
-func newTracedServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
+func newTracedServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	cfg.Trace = true
-	srv := newServer(cfg)
+	srv := New(cfg)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()
@@ -118,7 +118,7 @@ func countType(events []trace.StreamEvent, typ string) int {
 // high-priority deadline tenant (preemption pressure), and the /events feed
 // must deliver every lifecycle transition of every job in causal order.
 func TestEventsPipelineCausalOrder(t *testing.T) {
-	_, ts := newTracedServer(t, serverConfig{
+	_, ts := newTracedServer(t, Config{
 		Workers:       4,
 		Shards:        2,
 		StealInterval: 20 * time.Microsecond,
@@ -181,7 +181,7 @@ func TestEventsPipelineCausalOrder(t *testing.T) {
 }
 
 func TestEventsTenantFilter(t *testing.T) {
-	_, ts := newTracedServer(t, serverConfig{Workers: 4})
+	_, ts := newTracedServer(t, Config{Workers: 4})
 	finished := func(evs []trace.StreamEvent) bool { return countType(evs, "joined") >= 3 }
 	stream := openEvents(t, ts.URL, "?tenant=gold")
 
@@ -216,7 +216,7 @@ func TestEventsTenantFilter(t *testing.T) {
 }
 
 func TestEventsSlowSubscriberDropsAndCounts(t *testing.T) {
-	srv, ts := newTracedServer(t, serverConfig{Workers: 4})
+	srv, ts := newTracedServer(t, Config{Workers: 4})
 	// An unread 1-slot subscription stands in for a stalled /events client:
 	// the runtime must keep going and count what it couldn't deliver.
 	sub := srv.tracer.Subscribe(1, "", 0)
@@ -242,7 +242,7 @@ func TestEventsSlowSubscriberDropsAndCounts(t *testing.T) {
 }
 
 func TestEventsBadParameters(t *testing.T) {
-	_, ts := newTracedServer(t, serverConfig{Workers: 2})
+	_, ts := newTracedServer(t, Config{Workers: 2})
 	for _, q := range []string{"?tenant=bad~name", "?job=nope", "?buffer=0"} {
 		resp, err := http.Get(ts.URL + "/events" + q)
 		if err != nil {
@@ -274,7 +274,7 @@ func TestEventsAndTraceDisabledWithoutTracer(t *testing.T) {
 }
 
 func TestTraceEndpointServesOTLPSpanTree(t *testing.T) {
-	_, ts := newTracedServer(t, serverConfig{Workers: 4})
+	_, ts := newTracedServer(t, Config{Workers: 4})
 	resp, err := http.Post(ts.URL+"/run?workload=sum&n=4096&tenant=acme", "", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -341,7 +341,7 @@ func TestTraceEndpointServesOTLPSpanTree(t *testing.T) {
 }
 
 func TestStatsSnapshotSeqRuntimeAndTraceBlocks(t *testing.T) {
-	_, ts := newTracedServer(t, serverConfig{Workers: 2})
+	_, ts := newTracedServer(t, Config{Workers: 2})
 	get := func() statsResponse {
 		t.Helper()
 		resp, err := http.Get(ts.URL + "/stats")
@@ -386,7 +386,7 @@ func TestStatsSnapshotSeqRuntimeAndTraceBlocks(t *testing.T) {
 }
 
 func TestMetricsBuildInfoTraceAndSLOFamilies(t *testing.T) {
-	_, ts := newTracedServer(t, serverConfig{Workers: 4})
+	_, ts := newTracedServer(t, Config{Workers: 4})
 	// Deadline hits (generous budget) and misses (1ms against spin jobs) for
 	// one tenant, plus deadline-less background for another.
 	for _, q := range []string{
@@ -478,7 +478,7 @@ func TestMetricsBuildInfoTraceAndSLOFamilies(t *testing.T) {
 }
 
 func TestDebugPprofGatedByFlag(t *testing.T) {
-	srv := newServer(serverConfig{Workers: 2, Debug: true})
+	srv := New(Config{Workers: 2, Debug: true})
 	ts := httptest.NewServer(srv)
 	defer func() {
 		ts.Close()

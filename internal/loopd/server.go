@@ -1,4 +1,10 @@
-package main
+// Package loopd implements the HTTP front-end of the loop-serving daemon:
+// POST /run over the named bench workloads (including pipelines), GET
+// /stats, Prometheus GET /metrics, the SSE /events lifecycle feed and GET
+// /trace/{job}. Command loopd wraps it in a flag-parsing main; cmd/loadgen
+// embeds it (-selfserve) so trace replays can drive the exact production
+// handler over a loopback listener without managing a daemon process.
+package loopd
 
 import (
 	"bytes"
@@ -22,8 +28,8 @@ import (
 	"loopsched/internal/trace"
 )
 
-// serverConfig configures the daemon's shared jobs runtime.
-type serverConfig struct {
+// Config configures the daemon's shared jobs runtime.
+type Config struct {
 	// Workers is the total worker count across all shards; <= 0 selects
 	// GOMAXPROCS.
 	Workers int
@@ -93,14 +99,14 @@ type serverConfig struct {
 	Debug bool
 }
 
-// server is the HTTP front-end over one sharded multi-tenant jobs runtime.
+// Server is the HTTP front-end over one sharded multi-tenant jobs runtime.
 // Every /run request is a tenant: its jobs are admitted to the least-loaded
 // shard (or a pinned one), and idle shards steal queued jobs and lend
 // workers across shards, so concurrent requests share the machine without
 // any scheduler-wide serialization point.
-type server struct {
+type Server struct {
 	rt          *jobs.Sharded
-	tracer      *trace.Tracer // nil unless serverConfig.Trace
+	tracer      *trace.Tracer // nil unless Config.Trace
 	traceBuffer int
 	sloTarget   float64 // normalized configured SLO target, for /metrics
 	started     time.Time
@@ -108,7 +114,8 @@ type server struct {
 	mux         *http.ServeMux
 }
 
-func newServer(cfg serverConfig) *server {
+// New builds a Server over a freshly constructed sharded runtime.
+func New(cfg Config) *Server {
 	var tracer *trace.Tracer
 	if cfg.Trace {
 		tracer = trace.NewTracer(cfg.TraceCapacity)
@@ -123,7 +130,7 @@ func newServer(cfg serverConfig) *server {
 	if !(sloTarget > 0 && sloTarget < 1) {
 		sloTarget = 0.99
 	}
-	s := &server{
+	s := &Server{
 		rt: jobs.NewSharded(jobs.ShardedConfig{
 			Config: jobs.Config{
 				Workers:          cfg.Workers,
@@ -171,10 +178,13 @@ func newServer(cfg serverConfig) *server {
 }
 
 // ServeHTTP implements http.Handler.
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Close drains and releases every shard.
-func (s *server) Close() { s.rt.Close() }
+func (s *Server) Close() { s.rt.Close() }
+
+// Runtime exposes the underlying sharded pool (startup logging, tests).
+func (s *Server) Runtime() *jobs.Sharded { return s.rt }
 
 // Limits keeping one request from monopolising the daemon.
 const (
@@ -227,7 +237,7 @@ type pipelineStage struct {
 // (iterations per job), jobs (concurrent jobs in this request), iterns
 // (target ns/iteration for calibrated workloads), maxworkers, grain, shard
 // (0-based shard pin; absent or -1 routes to the least-loaded shard).
-func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	workload := r.FormValue("workload")
 	if workload == "" {
 		workload = "spin"
@@ -355,6 +365,23 @@ func overloadStatus(err error) (code int, ok bool) {
 	return 0, false
 }
 
+// writeWorkloadError answers a failed workload build with 400. An unknown
+// workload name gets a structured body carrying the registered names —
+// clients (and humans with curl) see what the daemon actually serves
+// instead of guessing from an opaque message.
+func writeWorkloadError(w http.ResponseWriter, err error) {
+	if !errors.Is(err, bench.ErrUnknownWorkload) {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	json.NewEncoder(w).Encode(struct {
+		Error     string   `json:"error"`
+		Workloads []string `json:"workloads"`
+	}{err.Error(), bench.JobWorkloads()})
+}
+
 // writeOverload rejects the request with the overload status and a
 // Retry-After header derived from the runtime's suggested retry delay
 // (rounded up to whole seconds, at least 1, per RFC 9110).
@@ -432,7 +459,7 @@ func parsePipeline(spec string, defaultN int) ([]pipelineStage, error) {
 // runPipeline submits the whole stage graph up front — fan-out/fan-in edges
 // expressed through the runtime's job dependencies, no client-side waiting
 // between stages — then waits for every job and reports per-stage results.
-func (s *server) runPipeline(w http.ResponseWriter, stages []pipelineStage, iterNs float64, maxWorkers, grain, shard int, pol jobPolicy) {
+func (s *Server) runPipeline(w http.ResponseWriter, stages []pipelineStage, iterNs float64, maxWorkers, grain, shard int, pol jobPolicy) {
 	type submitted struct {
 		stage, idx int
 		job        *jobs.Job
@@ -445,7 +472,7 @@ func (s *server) runPipeline(w http.ResponseWriter, stages []pipelineStage, iter
 		params := bench.JobParams{N: st.N, IterNs: iterNs, MaxWorkers: maxWorkers, Grain: grain}
 		req, err := bench.NewJobRequest(st.Workload, params)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeWorkloadError(w, err)
 			return
 		}
 		pol.apply(&req)
@@ -515,11 +542,11 @@ func (s *server) runPipeline(w http.ResponseWriter, stages []pipelineStage, iter
 // With batch set the whole fan-out is admitted through SubmitBatch — one
 // queue-lock acquisition for all nJobs — instead of nJobs Submit calls; the
 // response body is identical either way.
-func (s *server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, iterNs float64, maxWorkers, grain, shard int, pol jobPolicy, batch bool) {
+func (s *Server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, iterNs float64, maxWorkers, grain, shard int, pol jobPolicy, batch bool) {
 	params := bench.JobParams{N: n, IterNs: iterNs, MaxWorkers: maxWorkers, Grain: grain}
 	req, err := bench.NewJobRequest(workload, params)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeWorkloadError(w, err)
 		return
 	}
 	pol.apply(&req)
@@ -639,7 +666,7 @@ func readRuntimeStats() runtimeStats {
 	}
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.rt.Stats()
 	resp := statsResponse{
 		SnapshotSeq:   s.statsSeq.Add(1),
@@ -664,7 +691,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 // per-subscriber buffer. A subscriber that falls behind loses events rather
 // than slowing the runtime: drops are counted and reported inline as an SSE
 // comment when delivery resumes.
-func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if s.tracer == nil {
 		http.Error(w, "tracing disabled (run loopd with -trace)", http.StatusNotFound)
 		return
@@ -722,7 +749,7 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 // handleTrace serves a finished job's span tree as OTLP-compatible JSON
 // (resourceSpans/scopeSpans/spans with hex ids, suitable for an OTLP/HTTP
 // collector's traces endpoint or offline span tooling).
-func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if s.tracer == nil {
 		http.Error(w, "tracing disabled (run loopd with -trace)", http.StatusNotFound)
 		return
@@ -745,7 +772,7 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 // the standard library). The loopd_* series are pool-wide totals with the
 // pre-sharding names; the loopd_shard_* series carry a shard label so a
 // scrape can attribute load, stealing and latency to topology domains.
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.rt.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	gauge := func(name, help string, v float64) {
@@ -954,6 +981,32 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"per-shard job run time from admission to completion",
 			sh.RunP50, sh.RunP95, sh.RunP99, sh.RunSumSeconds, sh.Completed, i == 0)
 	}
+}
+
+// ParseTenantWeights parses loopd's -tenants flag: a comma-separated list
+// of tenant weights, either named ("gold=3,bronze=1") or bare ("3,1", which
+// registers tenants t1, t2, ... in order). Weights must be positive
+// integers. An empty spec yields no registrations.
+func ParseTenantWeights(spec string) (map[string]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for i, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		name, wstr, named := strings.Cut(part, "=")
+		if !named {
+			name, wstr = fmt.Sprintf("t%d", i+1), part
+		} else if name == "" {
+			return nil, fmt.Errorf("tenants: entry %q has an empty name", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(wstr))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("tenants: entry %q: weight must be a positive integer", part)
+		}
+		out[name] = w
+	}
+	return out, nil
 }
 
 // intParam parses an integer query parameter with a default and inclusive

@@ -1,4 +1,4 @@
-package main
+package loopd
 
 import (
 	"encoding/json"
@@ -26,9 +26,9 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
-func newTestServer(t *testing.T) (*server, *httptest.Server) {
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := newServer(serverConfig{Workers: 4})
+	srv := New(Config{Workers: 4})
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()
@@ -261,7 +261,7 @@ func TestShardedConcurrentRunsAndMetricsReconcile(t *testing.T) {
 	// Concurrent /run tenants against an explicitly 2-sharded pool: every
 	// reduction must be exact, the shard-labelled /metrics series must parse,
 	// and the per-shard _sum/_count totals must reconcile with /stats.
-	srv := newServer(serverConfig{Workers: 4, Shards: 2})
+	srv := New(Config{Workers: 4, Shards: 2})
 	ts := httptest.NewServer(srv)
 	defer func() {
 		ts.Close()
@@ -389,7 +389,7 @@ func TestShardedConcurrentRunsAndMetricsReconcile(t *testing.T) {
 }
 
 func TestRunShardPinParameterValidation(t *testing.T) {
-	srv := newServer(serverConfig{Workers: 2, Shards: 2})
+	srv := New(Config{Workers: 2, Shards: 2})
 	ts := httptest.NewServer(srv)
 	defer func() {
 		ts.Close()
@@ -527,7 +527,7 @@ func TestTenantParamsRoundTripAndMetricsReconcile(t *testing.T) {
 	// reconcile with the untagged totals: every job is charged to exactly
 	// one account, so the sums over the tenant label must equal the
 	// pool-wide counters.
-	srv := newServer(serverConfig{Workers: 4, TenantWeights: map[string]int{"gold": 3, "bronze": 1}})
+	srv := New(Config{Workers: 4, TenantWeights: map[string]int{"gold": 3, "bronze": 1}})
 	ts := httptest.NewServer(srv)
 	defer func() {
 		ts.Close()
@@ -644,19 +644,19 @@ func TestTenantParamValidation(t *testing.T) {
 }
 
 func TestParseTenantWeights(t *testing.T) {
-	got, err := parseTenantWeights("gold=3, bronze=1")
+	got, err := ParseTenantWeights("gold=3, bronze=1")
 	if err != nil || got["gold"] != 3 || got["bronze"] != 1 || len(got) != 2 {
 		t.Errorf("named spec -> %v, %v", got, err)
 	}
-	got, err = parseTenantWeights("3,1,2")
+	got, err = ParseTenantWeights("3,1,2")
 	if err != nil || got["t1"] != 3 || got["t2"] != 1 || got["t3"] != 2 {
 		t.Errorf("bare spec -> %v, %v", got, err)
 	}
-	if got, err := parseTenantWeights(""); err != nil || got != nil {
+	if got, err := ParseTenantWeights(""); err != nil || got != nil {
 		t.Errorf("empty spec -> %v, %v", got, err)
 	}
 	for _, bad := range []string{"gold=0", "gold=-1", "gold=x", "=3", "gold"} {
-		if _, err := parseTenantWeights(bad); err == nil {
+		if _, err := ParseTenantWeights(bad); err == nil {
 			t.Errorf("%q accepted", bad)
 		}
 	}
@@ -787,7 +787,7 @@ func TestSLOTargetGaugeAlwaysPresent(t *testing.T) {
 		{0, "loopd_slo_target 0.99"},    // default
 		{0.95, "loopd_slo_target 0.95"}, // configured
 	} {
-		srv := newServer(serverConfig{Workers: 2, SLOTarget: tc.target})
+		srv := New(Config{Workers: 2, SLOTarget: tc.target})
 		ts := httptest.NewServer(srv)
 		resp, err := http.Get(ts.URL + "/metrics")
 		if err != nil {
@@ -811,7 +811,7 @@ func TestSLOTargetGaugeAlwaysPresent(t *testing.T) {
 // handler. The queue is filled deterministically: a blocker job occupies
 // every worker and a second job holds the single queue slot.
 func TestNoWaitBackpressure(t *testing.T) {
-	srv := newServer(serverConfig{Workers: 2, Shards: 1, QueueDepth: 1})
+	srv := New(Config{Workers: 2, Shards: 1, QueueDepth: 1})
 	ts := httptest.NewServer(srv)
 	defer func() {
 		ts.Close()
@@ -892,6 +892,75 @@ func TestOverloadStatusMapping(t *testing.T) {
 		code, ok := overloadStatus(tc.err)
 		if code != tc.code || ok != tc.ok {
 			t.Errorf("overloadStatus(%v) = (%d, %v), want (%d, %v)", tc.err, code, ok, tc.code, tc.ok)
+		}
+	}
+}
+
+// TestUnknownWorkloadListsRegistered pins the unknown-workload contract: a
+// bad name 400s with a structured JSON body carrying every registered
+// workload — including the numeric kernels the load generator replays.
+func TestUnknownWorkloadListsRegistered(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/run?workload=no-such-workload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q, want application/json", ct)
+	}
+	var body struct {
+		Error     string   `json:"error"`
+		Workloads []string `json:"workloads"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode 400 body: %v", err)
+	}
+	if body.Error == "" {
+		t.Error("400 body has no error message")
+	}
+	for _, want := range []string{"mpdata", "linreg", "grid", "mapreduce", "spin"} {
+		found := false
+		for _, w := range body.Workloads {
+			if w == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("workload %q missing from 400 body list %v", want, body.Workloads)
+		}
+	}
+}
+
+// TestKernelWorkloadsServed runs each numeric kernel through the full HTTP
+// path: /run must answer 200 with a finite positive reduction.
+func TestKernelWorkloadsServed(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, name := range []string{"mpdata", "linreg", "grid", "mapreduce"} {
+		resp, err := http.Post(ts.URL+"/run?workload="+name+"&n=2048", "", nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var body struct {
+			Results []struct {
+				Result float64 `json:"result"`
+				Error  string  `json:"error"`
+			} `json:"results"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status = %d, want 200", name, resp.StatusCode)
+		}
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if len(body.Results) != 1 || body.Results[0].Error != "" || !(body.Results[0].Result > 0) {
+			t.Errorf("%s: results = %+v, want one finite positive result", name, body.Results)
 		}
 	}
 }

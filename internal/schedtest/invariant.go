@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"loopsched/internal/jobs"
+	"loopsched/internal/loadgen"
 )
 
 // JobRunner is the surface the invariant harness drives: jobs.Scheduler and
@@ -158,22 +159,19 @@ func RunJobInvariants(t *testing.T, runner JobRunner, opt InvariantOptions, tota
 	}
 }
 
-// policyFields draws the scheduling-policy dimensions of one op: a tenant
-// account (tenants deliberately shared across submitter goroutines so their
-// streams interleave inside one account), a priority class, and sometimes a
-// deadline. The tenant and priority are pure functions of the seed; the
-// deadline must be an absolute time, so its presence is seeded but its value
-// is not — the invariants do not depend on it (a missed deadline only
-// increments counters; ordering differences are what the stream explores).
+// policyFields draws the scheduling-policy dimensions of one op from the
+// shared loadgen traffic model (tenants deliberately shared across submitter
+// goroutines so their streams interleave inside one account). The tenant and
+// priority are pure functions of the seed; the deadline must be an absolute
+// time, so its presence and tightness are seeded but its anchor is not — the
+// invariants do not depend on it (a missed deadline only increments
+// counters; ordering differences are what the stream explores).
 func policyFields(rng *rand.Rand, req *jobs.Request) {
-	if rng.Intn(2) == 0 {
-		req.Tenant = [...]string{"acct-a", "acct-b", "acct-c"}[rng.Intn(3)]
-	}
-	if rng.Intn(3) == 0 {
-		req.Priority = rng.Intn(5) - 1 // -1..3: below, at and above the default class
-	}
-	if rng.Intn(8) == 0 {
-		req.Deadline = time.Now().Add(time.Duration(1+rng.Intn(50)) * time.Millisecond)
+	d := loadgen.DefaultPolicy().Draw(rng)
+	req.Tenant = d.Tenant
+	req.Priority = d.Priority
+	if d.DeadlineMs > 0 {
+		req.Deadline = time.Now().Add(time.Duration(d.DeadlineMs) * time.Millisecond)
 	}
 }
 
