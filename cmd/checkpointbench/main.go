@@ -1,0 +1,66 @@
+// Command checkpointbench runs the checkpoint/resume overhead scenario (the
+// same job fleet on a plain scheduler, on one writing durable checkpoints to
+// a file-backed WAL, and on the durable one with every job suspended and
+// resumed once mid-flight, plus a raw WAL-append timing) and emits both a
+// human-readable table and the machine-readable BENCH_checkpoint.json
+// artifact used to track the durability overhead across PRs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"loopsched/internal/bench"
+)
+
+func main() {
+	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS-2, clamped to [2,16])")
+	jobsN := flag.Int("jobs", 0, "fleet size per phase (0 = 64)")
+	n := flag.Int("n", 0, "iterations per job (0 = 4096)")
+	iterNs := flag.Float64("iterns", 0, "target ns per iteration (0 = 150)")
+	grain := flag.Int("grain", 0, "self-scheduling chunk size (0 = heuristic)")
+	reps := flag.Int("reps", 0, "repetitions per phase, medians reported (0 = 3)")
+	puts := flag.Int("puts", 0, "raw WAL appends timed for the write-cost figure (0 = 4096)")
+	noLock := flag.Bool("no-lock", false, "do not pin workers to OS threads")
+	jsonPath := flag.String("json", "BENCH_checkpoint.json", "write the machine-readable report here ('' = skip)")
+	strictEnv := "CHECKPOINT_STRICT"
+	flag.Parse()
+
+	if *noLock {
+		bench.LockThreads = false
+	}
+	opt := bench.CheckpointOptions{
+		Workers:    *workers,
+		Jobs:       *jobsN,
+		N:          *n,
+		IterNs:     *iterNs,
+		Grain:      *grain,
+		Reps:       *reps,
+		PutRecords: *puts,
+	}
+	start := time.Now()
+	rep, err := bench.RunCheckpoint(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bench.WriteCheckpointBench(os.Stdout, rep); err != nil {
+		log.Fatal(err)
+	}
+	if *jsonPath != "" {
+		if err := bench.WriteCheckpointBenchJSON(*jsonPath, rep); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	fmt.Printf("total %s\n", bench.Elapsed(start))
+
+	// CHECKPOINT_STRICT=1 (set on quiet, capable CI runners) asserts the
+	// acceptance criterion: durability costs at most 5% of makespan when
+	// nobody suspends.
+	if os.Getenv(strictEnv) == "1" && rep.StoreOverheadRatio > 1.05 {
+		log.Fatalf("FAIL (strict): store overhead %.3fx baseline > 1.05x", rep.StoreOverheadRatio)
+	}
+}

@@ -119,13 +119,16 @@ func main() {
 		if base != "" {
 			log.Fatal("-selfserve and -url are mutually exclusive")
 		}
-		srv := loopd.New(loopd.Config{
+		srv, err := loopd.New(loopd.Config{
 			Workers:         *workers,
 			QueueDepth:      *queue,
 			MaxWait:         *maxWait,
 			ShedInfeasible:  *shedInfeasible,
 			BreakerBurnRate: *breakerBurn,
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		defer srv.Close()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {

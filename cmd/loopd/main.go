@@ -50,6 +50,14 @@
 //	GET  /trace/{job}                       a finished job's span tree as
 //	                                        OTLP-compatible JSON (job ids come
 //	                                        from /run responses and /events)
+//	POST /jobs/{job}/suspend                park an in-flight job at its next
+//	                                        chunk-wave boundary with progress
+//	                                        checkpointed (needs tracing; with
+//	                                        -checkpoint-dir the snapshot is
+//	                                        durable and survives restarts)
+//	POST /jobs/{job}/resume                 re-admit a suspended job from its
+//	                                        checkpointed cursor watermark,
+//	                                        same job id, one continuous trace
 //	GET  /debug/pprof/                      Go profiling handlers (-debug only)
 package main
 
@@ -83,6 +91,8 @@ func main() {
 	breakerBurn := flag.Float64("breaker-burn", 0, "per-tenant circuit breaker SLO burn-rate limit: at/above it a queue-crowding tenant is shed with 429 + Retry-After (0 = breakers off)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open breaker sheds before probing for recovery (0 = default 250ms)")
 	debugHandlers := flag.Bool("debug", false, "serve the net/http/pprof handlers under /debug/pprof/")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for the checkpoint WAL: enables POST /jobs/{job}/suspend|resume durability and crash recovery of unfinished jobs at startup (forces -trace)")
+	eventsKeepalive := flag.Duration("events-keepalive", 0, "idle heartbeat period of the /events SSE stream (0 = default 15s)")
 	flag.Parse()
 
 	weights, err := loopd.ParseTenantWeights(*tenants)
@@ -90,7 +100,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	srv := loopd.New(loopd.Config{
+	srv, err := loopd.New(loopd.Config{
 		Workers:          *workers,
 		Shards:           *shards,
 		StealInterval:    *stealEvery,
@@ -111,7 +121,12 @@ func main() {
 		BreakerBurnRate:  *breakerBurn,
 		BreakerCooldown:  *breakerCooldown,
 		Debug:            *debugHandlers,
+		CheckpointDir:    *checkpointDir,
+		EventsKeepalive:  *eventsKeepalive,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer srv.Close()
 
 	rt := srv.Runtime()

@@ -125,8 +125,40 @@ func (c *Chunker) Init(n, chunk int) {
 	c.next.Store(0)
 }
 
+// InitAt is Init with a starting offset: claims begin at `begin` instead of
+// 0, so a checkpointed job resumes from its cursor watermark and re-executes
+// nothing. begin is clamped to [0, n]. It must not be called concurrently
+// with Next.
+func (c *Chunker) InitAt(begin, n, chunk int) {
+	c.Init(n, chunk)
+	b := int64(begin)
+	if b < 0 {
+		b = 0
+	}
+	if b > c.n {
+		b = c.n
+	}
+	c.next.Store(b)
+}
+
 // Chunk returns the chunk size handed out by Next.
 func (c *Chunker) Chunk() int { return int(c.chunk) }
+
+// Claimed returns the exclusive high-water mark of claimed iterations:
+// every iteration below it has been handed out by some Next call (clamped to
+// n — the final claims overshoot the space). Once all claimants have finished
+// their chunks and stopped claiming, this is the job's exact executed
+// watermark.
+func (c *Chunker) Claimed() int {
+	claimed := c.next.Load()
+	if claimed > c.n {
+		claimed = c.n
+	}
+	if claimed < 0 {
+		claimed = 0
+	}
+	return int(claimed)
+}
 
 // Next claims the next chunk. It returns an empty range (ok == false) once
 // the iteration space is exhausted.

@@ -386,6 +386,45 @@ func (fq *fairQueue) pop() *Job {
 	return j
 }
 
+// remove takes a specific queued job out of the queue, reporting whether it
+// was present. It is Suspend's eager dequeue: removing the entry FIRST gives
+// the suspender exclusive ownership of it (the dispatcher and stealing
+// siblings always pop before their admission CAS), so no stale entry can
+// linger behind a state flip. The linear scan is fine — remove runs on the
+// suspend control path, never on admission or execution paths. No pass is
+// charged: the tenant never received service for the entry.
+func (fq *fairQueue) remove(j *Job) bool {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	if fq.fifo {
+		for i, q := range fq.fifoQ {
+			if q != j {
+				continue
+			}
+			copy(fq.fifoQ[i:], fq.fifoQ[i+1:])
+			fq.fifoQ[len(fq.fifoQ)-1] = nil
+			fq.fifoQ = fq.fifoQ[:len(fq.fifoQ)-1]
+			fq.size--
+			fq.tenants[j.tenant].depth.Add(-1)
+			return true
+		}
+		return false
+	}
+	t := fq.tenants[j.tenant]
+	if t == nil {
+		return false
+	}
+	for i, q := range t.q {
+		if q == j {
+			heap.Remove(&t.q, i)
+			fq.size--
+			t.depth.Add(-1)
+			return true
+		}
+	}
+	return false
+}
+
 // peek returns the job pop would return next, without popping or charging
 // (the clock still advances to the current class floor, which is
 // idempotent and side-effect-equivalent to the pop that follows).

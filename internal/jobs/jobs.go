@@ -54,6 +54,7 @@ package jobs
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,6 +105,13 @@ const (
 	// queue depth fair shares are computed from, and it can never be stolen —
 	// until its last upstream's join wave releases it into Pending.
 	Blocked
+	// Suspended: taken out of service by Suspend with its progress captured
+	// (the cursor watermark and, for commutative reductions, the partial
+	// accumulator). Like Blocked it sits outside every admission queue —
+	// invisible to fair-share sizing, unstealable — until Resume re-admits it
+	// from the watermark, or crash recovery re-submits it from the checkpoint
+	// store under the same job id.
+	Suspended
 )
 
 // stateStealing is an internal, transient state: the job has been pulled out
@@ -126,6 +134,8 @@ func (s State) String() string {
 		return "canceled"
 	case Blocked:
 		return "blocked"
+	case Suspended:
+		return "suspended"
 	default:
 		return "unknown"
 	}
@@ -198,6 +208,18 @@ type Request struct {
 	// affects the slot wait; SubmitBatch ignores it (batches are bounded by
 	// Config.MaxWait as a whole).
 	NoWait bool
+	// Checkpoint, when non-nil and the scheduler has a Config.Checkpoints
+	// store, makes the job durable: a progress snapshot is stored at
+	// admission and at every suspension and deleted at completion or
+	// cancellation. The caller fills the identity fields (Workload, Params)
+	// so a restart can rebuild the request by name; a snapshot recovered
+	// from a store (JobID != 0) keeps its original job id, and one with
+	// Cursor > 0 resumes an elastic job from that watermark instead of
+	// iteration 0 (rigid jobs — ordered reductions, DisableElastic — restart
+	// from 0; a rigid re-execution still yields the identical result for
+	// reducing bodies, but a plain Body runs its early iterations again).
+	// Requires a Tracer (job ids come from it); SubmitBatch rejects it.
+	Checkpoint *Checkpoint
 	// Label tags the job in statistics (for example the workload name).
 	Label string
 }
@@ -290,6 +312,20 @@ type Job struct {
 	// between chunks. 0 means no constraint. Posted only by the job's own
 	// dispatcher; cleared when its queue drains.
 	shrinkTo atomic.Int32
+
+	// Suspend/checkpoint state. suspendReq asks running participants to
+	// quiesce at their next chunk boundary (checked alongside shrinkTo; the
+	// no-suspend hot path pays one relaxed load). The remaining fields are
+	// written only at quiescent points — submit, the suspended park, resume —
+	// and published by the state transitions around them.
+	suspendReq     atomic.Bool
+	suspendedAt    atomic.Int64 // unix nanos of the park, for wait accounting
+	suspendedNanos atomic.Int64 // cumulative suspended wall time
+	ranNanos       atomic.Int64 // run time accumulated over earlier stints
+	resumeFrom     int          // cursor watermark the next dispatch starts at
+	resumeAcc      float64      // partial reduction folded over [0, resumeFrom)
+	ckptSeed       int          // watermark inherited at submit (crash recovery)
+	ckpt           *Checkpoint  // store snapshot template; nil = not durable
 
 	submitted time.Time
 	started   time.Time
@@ -434,7 +470,8 @@ func (j *Job) Cancel() bool {
 	// had succeeded.
 	j.depMu.Lock()
 	blocked := j.state.CompareAndSwap(int32(Blocked), int32(Canceled))
-	if !blocked && !j.state.CompareAndSwap(int32(Pending), int32(Canceled)) {
+	suspended := !blocked && j.state.CompareAndSwap(int32(Suspended), int32(Canceled))
+	if !blocked && !suspended && !j.state.CompareAndSwap(int32(Pending), int32(Canceled)) {
 		j.depMu.Unlock()
 		return false
 	}
@@ -450,6 +487,15 @@ func (j *Job) Cancel() bool {
 			j.home.canceled.Add(1)
 			j.home.blocked.Add(-1)
 			j.home.signalBlockedFreed()
+			j.home.deleteCheckpoint(j)
+		}
+	} else if suspended {
+		// Suspended jobs sit outside every queue too: retire the home's
+		// suspended registry entry and drop the checkpoint — an explicitly
+		// canceled job must not be recovered.
+		if j.home != nil {
+			j.home.canceled.Add(1)
+			j.home.suspendDrop(j)
 		}
 	} else if j.s != nil {
 		j.s.canceled.Add(1)
@@ -460,12 +506,15 @@ func (j *Job) Cancel() bool {
 		// each job.
 		j.s.depth.Add(-1)
 		j.s.releaseQueueSlot()
+		if j.home != nil {
+			j.home.deleteCheckpoint(j)
+		}
 	}
 	if j.tr != nil {
 		sh := 0
-		if blocked && j.home != nil {
+		if (blocked || suspended) && j.home != nil {
 			sh = j.home.cfg.shard
-		} else if !blocked && j.s != nil {
+		} else if !blocked && !suspended && j.s != nil {
 			sh = j.s.cfg.shard
 		}
 		j.tr.Event(trace.EvCanceled, sh, 0, "")
@@ -474,6 +523,122 @@ func (j *Job) Cancel() bool {
 		d.depDone(ErrCanceled)
 	}
 	return true
+}
+
+// Suspend takes the job out of service with its progress captured, so it can
+// be resumed later — in this process via Resume, or (with a checkpoint store
+// configured) by a later process from the store. A Pending job is removed
+// from its admission queue immediately; a Running elastic job is asked to
+// quiesce and parks in the Suspended state once every participant has
+// finished its current chunk (poll State for the park). A Running rigid job
+// — ordered reduction, or DisableElastic — ignores the request and completes:
+// its static blocks have no chunk boundary to cut at.
+//
+// Suspend reports whether the suspension is in effect or accepted; false
+// means the job was blocked, terminal, or canceled in the window. Like
+// Blocked, a Suspended job sits outside every queue: it holds no queue slot,
+// does not count toward the fair-share depth, and cannot be stolen.
+func (j *Job) Suspend() bool {
+	for {
+		switch st := j.state.Load(); st {
+		case int32(Pending):
+			s := j.s
+			if s == nil {
+				return false
+			}
+			// Take the queue entry out FIRST: the dispatcher and stealing
+			// siblings always pop before their state CAS, so owning the entry
+			// leaves Cancel as the only remaining contender for the state.
+			if !s.fq.remove(j) {
+				// Pending but not in s's queue: mid-pop, mid-steal, or a
+				// stale queue pointer. Every such window ends with another
+				// goroutine's next step (admit CAS, steal re-push), so
+				// re-read the state and retry.
+				runtime.Gosched()
+				continue
+			}
+			if !j.state.CompareAndSwap(int32(Pending), int32(Suspended)) {
+				// Canceled in the window. Cancel already settled the depth
+				// and slot accounting; dropping the removed entry here is
+				// exactly what the dispatcher's failed admission CAS would
+				// have done on pop.
+				return false
+			}
+			s.depth.Add(-1)
+			s.releaseQueueSlot()
+			j.suspendedAt.Store(time.Now().UnixNano())
+			if home := j.home; home != nil {
+				home.noteSuspended(j)
+			}
+			return true
+		case int32(Running):
+			// Post the quiesce request; participants observe it between
+			// chunks (see runElastic) and the last one out parks the job.
+			// Idempotent: re-suspending while quiescing is accepted too.
+			j.suspendReq.Store(true)
+			return true
+		case int32(Suspended):
+			return true
+		case stateStealing:
+			runtime.Gosched()
+		default:
+			return false
+		}
+	}
+}
+
+// Resume re-admits a Suspended job: it re-enters admission (on the
+// least-loaded shard of a sharded pool, like a released dependent) and, once
+// dispatched, claims chunks starting at the watermark its suspension
+// captured, with the partial reduction restored. The job keeps its identity:
+// same handle, same job id, one continuous trace. Resume reports false when
+// the job is not currently Suspended (a quiescing Running job has not parked
+// yet — poll State) or the pool is shutting down.
+func (j *Job) Resume() bool {
+	if State(j.state.Load()) != Suspended {
+		return false
+	}
+	if j.pool != nil {
+		if target := j.pool.routeFor(j.tenant); target != j.home && target.acceptResumed(j) {
+			return true
+		}
+	}
+	if j.home == nil {
+		return false
+	}
+	return j.home.acceptResumed(j)
+}
+
+// parkSuspended is called by the last quiescing participant (active hit 0):
+// every participant has folded its partial and left, so the claim watermark
+// and the shared accumulator are exact. A suspension that raced the cursor's
+// exhaustion completes the job instead — every iteration already executed.
+func (j *Job) parkSuspended() {
+	if j.cursor.Remaining() == 0 {
+		j.suspendReq.Store(false)
+		j.complete()
+		return
+	}
+	s := j.s
+	now := time.Now()
+	j.resumeFrom = j.cursor.Claimed()
+	j.resumeAcc = j.acc
+	j.ranNanos.Add(int64(now.Sub(j.started)))
+	j.suspendedAt.Store(now.UnixNano())
+	j.suspendReq.Store(false)
+	if s != nil {
+		s.growMu.Lock()
+		delete(s.growSet, j)
+		s.growables.Store(int32(len(s.growSet)))
+		s.growMu.Unlock()
+	}
+	j.state.Store(int32(Suspended))
+	if s != nil {
+		s.running.Add(-1)
+	}
+	if home := j.home; home != nil {
+		home.noteSuspended(j)
+	}
 }
 
 // Workers returns the peak sub-team size the job has run on (0 until it is
@@ -486,6 +651,15 @@ func (j *Job) Workers() int { return int(j.workers.Load()) }
 // stream and the trace collector.
 func (j *Job) Trace() *trace.JobTrace { return j.tr }
 
+// TraceID returns the tracer-assigned job id, stable across suspend/resume
+// and crash recovery, or 0 when the scheduler runs without a Tracer.
+func (j *Job) TraceID() uint64 {
+	if j.tr == nil {
+		return 0
+	}
+	return j.tr.ID
+}
+
 // Label returns the request's label.
 func (j *Job) Label() string { return j.req.Label }
 
@@ -493,9 +667,26 @@ func (j *Job) Label() string { return j.req.Label }
 // admitted on k initial workers, with the given chunk size and participant
 // cap. Called by the admitting goroutine strictly before the release wave.
 // The slot stack's backing array is reused across the job's generations.
+//
+// The whole re-initialization runs under slotMu, paired with tryGrow holding
+// it across its claim: a sibling shard's lender that fetched this job before
+// a suspend can call tryGrow concurrently with the resume's re-admission,
+// and without the lock it could pop a slot from the dying generation's stack
+// and then join the fresh one with a duplicate sub id (or read the cursor
+// and elastic fields mid-rewrite). Under the lock it observes either the old
+// generation (active is 0, the claim fails) or the fully initialized new one.
 func (j *Job) initElastic(k, chunk, maxK int) {
-	j.elastic = true
-	j.cursor.Init(j.req.N, chunk)
+	j.slotMu.Lock()
+	if !j.elastic {
+		// Only ever flips false→true, and the first admission happens before
+		// the job is visible to any grower; re-admissions skip the write so
+		// lock-free fast-path readers (runElastic participants) never race it.
+		j.elastic = true
+	}
+	// A resumed (or checkpoint-recovered) job claims from its watermark: the
+	// prefix [0, resumeFrom) already executed exactly once and its partial is
+	// restored below, so nothing re-runs and nothing double-folds.
+	j.cursor.InitAt(j.resumeFrom, j.req.N, chunk)
 	j.maxK = maxK
 	if cap(j.freeSubs) < maxK {
 		j.freeSubs = make([]int, maxK)
@@ -507,9 +698,14 @@ func (j *Job) initElastic(k, chunk, maxK int) {
 		// and elastic sub ids agree for the initial team.
 		j.freeSubs[i] = maxK - 1 - i
 	}
-	j.acc = j.req.Identity
+	if j.resumeFrom > 0 {
+		j.acc = j.resumeAcc
+	} else {
+		j.acc = j.req.Identity
+	}
 	j.active.Store(int32(k))
 	j.workers.Store(int32(k))
+	j.slotMu.Unlock()
 }
 
 // popSlot takes a free dense sub-worker id, if one remains.
@@ -552,24 +748,36 @@ func (j *Job) ensurePartials(k int) {
 // at its cap, has no unclaimed work, or is completing. The CAS loop joins
 // only while at least one participant remains, so a completed job is never
 // resurrected.
+//
+// The whole claim — prologue reads, slot pop, active CAS — holds slotMu,
+// pairing with initElastic (see its comment): a caller whose job reference
+// straddles a suspend/resume cycle either observes the parked generation
+// (active 0 → the slot goes straight back onto the same stack) or the fully
+// re-initialized one — never a slot popped from a dead generation's stack
+// carried into the fresh one as a duplicate sub id.
 func (j *Job) tryGrow() (sub int, ok bool) {
-	if !j.elastic || j.cursor.Remaining() == 0 {
+	j.slotMu.Lock()
+	defer j.slotMu.Unlock()
+	if !j.elastic || j.suspendReq.Load() || j.cursor.Remaining() == 0 {
 		return 0, false
 	}
-	sub, ok = j.popSlot()
-	if !ok {
+	n := len(j.freeSubs)
+	if n == 0 {
 		return 0, false // at the participant cap
 	}
+	sub = j.freeSubs[n-1]
+	j.freeSubs = j.freeSubs[:n-1]
 	for {
 		a := j.active.Load()
 		if a < 1 {
-			j.pushSlot(sub) // completing or completed; hand the slot back
+			// Completing, completed or parked; hand the slot back.
+			j.freeSubs = append(j.freeSubs, sub)
 			return 0, false
 		}
 		if j.active.CompareAndSwap(a, a+1) {
-			// Atomic max: growers race here from the home dispatcher and
-			// from sibling shards' lendTo, so a stale check-then-store could
-			// lose the true peak.
+			// Atomic max: growers race here with participants' lock-free
+			// leave path, so a stale check-then-store could lose the true
+			// peak.
 			for {
 				w := j.workers.Load()
 				if a+1 <= w || j.workers.CompareAndSwap(w, a+1) {
@@ -611,7 +819,16 @@ func (j *Job) runElastic(home *Scheduler, sub int) {
 		acc := j.req.Identity
 		touched := false
 		peel := false
+		suspend := false
 		for {
+			// Quiesce for a suspension before claiming: a chunk, once
+			// claimed, is always executed, so checking here keeps the claim
+			// watermark exact — every claimed iteration has run when the
+			// last participant parks the job.
+			if j.suspendReq.Load() {
+				suspend = true
+				break
+			}
 			r, ok := j.cursor.Next()
 			if !ok {
 				break
@@ -643,6 +860,16 @@ func (j *Job) runElastic(home *Scheduler, sub int) {
 			j.redMu.Lock()
 			j.acc = j.req.Combine(j.acc, acc)
 			j.redMu.Unlock()
+		}
+		if suspend {
+			// Leave like an exhausted participant — partial folded, slot
+			// returned — but the last one out parks the job Suspended with
+			// its progress captured instead of completing it.
+			j.pushSlot(sub)
+			if j.active.Add(-1) == 0 {
+				j.parkSuspended()
+			}
+			return
 		}
 		if !peel {
 			// Exhausted the cursor: leave for good. The slot is returned
@@ -866,6 +1093,7 @@ func (j *Job) cancelBlocked(upErr error) {
 		j.home.depCanceled.Add(1)
 		j.home.blocked.Add(-1)
 		j.home.signalBlockedFreed()
+		j.home.deleteCheckpoint(j)
 	}
 	if j.tr != nil {
 		sh := 0

@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -90,6 +91,14 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker sheds before half-opening
 	// to probe for recovery. <= 0 selects 250ms.
 	BreakerCooldown time.Duration
+	// Checkpoints, when non-nil, persists progress snapshots for requests
+	// that carry a Request.Checkpoint: a Put at admission and at every
+	// suspension, a Delete at completion or cancellation, and — deliberately
+	// — no Delete at Close, so shutting down with suspended jobs is
+	// suspend-to-disk and the next process recovers them with Load. All
+	// store calls happen at quiescent lifecycle transitions, never on the
+	// per-chunk path. Shards of a Sharded pool share the pool's store.
+	Checkpoints CheckpointStore
 	// Name is used in diagnostics.
 	Name string
 
@@ -254,6 +263,15 @@ type Scheduler struct {
 	busy    barrier.PaddedInt64
 	running barrier.PaddedInt64
 
+	// suspendMu/suspendSet is the registry of this scheduler's suspended
+	// jobs (keyed by home, like the blocked gauge), so Close can sweep them:
+	// nothing else would ever retire a job parked in Suspended. suspendClosed
+	// closes the park-vs-sweep race — a job that parks after the sweep is
+	// canceled by the parking worker itself.
+	suspendMu     sync.Mutex
+	suspendSet    map[*Job]struct{}
+	suspendClosed bool
+
 	submitted      atomic.Int64
 	completed      atomic.Int64
 	canceled       atomic.Int64
@@ -273,6 +291,14 @@ type Scheduler struct {
 	// before routing and belong to no shard.
 	infeasible atomic.Int64
 	backlogged atomic.Int64
+	// Suspend/checkpoint accounting: the suspended gauge (jobs parked in the
+	// Suspended state, outside every queue) plus transition and store-write
+	// counters.
+	suspended      atomic.Int64
+	suspendedTotal atomic.Int64
+	resumedTotal   atomic.Int64
+	ckptWrites     atomic.Int64
+	ckptFails      atomic.Int64
 	// lastRunNanos is an EWMA of recent job run times, feeding the
 	// deadline-risk horizon of the preemption policy.
 	lastRunNanos atomic.Int64
@@ -295,6 +321,7 @@ func New(cfg Config) *Scheduler {
 		wakeC:          make(chan struct{}, 1),
 		fq:             newFairQueue(cfg.DisableFair, cfg.TenantWeights),
 		growSet:        make(map[*Job]struct{}),
+		suspendSet:     make(map[*Job]struct{}),
 		idleIDs:        make([]int, 0, cfg.Workers),
 	}
 	s.idleCond = sync.NewCond(&s.idleMu)
@@ -345,6 +372,11 @@ func (s *Scheduler) newJob() *Job {
 // fields. The freelist is bounded: beyond QueueDepth parked jobs the recycle
 // is dropped and the garbage collector takes it, as before pooling.
 func (s *Scheduler) freeJob(j *Job) {
+	// A job abandoned on a failed submission path (closed, backlogged) must
+	// not leave a snapshot behind for recovery to resurrect; for a released
+	// completed job the delete is an idempotent no-op (recordCompletion
+	// already dropped it).
+	s.deleteCheckpoint(j)
 	j.gen.Add(1)
 	j.waitMu.Lock()
 	j.lazyDone = nil
@@ -363,6 +395,12 @@ func (s *Scheduler) freeJob(j *Job) {
 	j.tenant, j.prio, j.seq = "", 0, 0
 	j.deadline = time.Time{}
 	j.shrinkTo.Store(0)
+	j.suspendReq.Store(false)
+	j.suspendedAt.Store(0)
+	j.suspendedNanos.Store(0)
+	j.ranNanos.Store(0)
+	j.resumeFrom, j.resumeAcc, j.ckptSeed = 0, 0, 0
+	j.ckpt = nil
 	j.submitted, j.started = time.Time{}, time.Time{}
 	j.s, j.home, j.pool = nil, nil, nil
 	j.after, j.acyclic = nil, false
@@ -503,13 +541,24 @@ func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 	j := s.newJob()
 	j.req = req
 	j.s, j.home = s, s
+	j.pool = pool
 	j.submitted = time.Now()
 	j.acyclic = true
 	j.tenant, j.prio, j.deadline = tenantName(req.Tenant), req.Priority, req.Deadline
+	recovered := req.Checkpoint != nil && req.Checkpoint.JobID != 0
 	if s.cfg.Tracer != nil {
-		j.tr = s.cfg.Tracer.Begin(j.tenant, req.Label, req.Priority)
-		j.tr.Event(trace.EvSubmitted, s.cfg.shard, 0, "")
+		if recovered {
+			// Crash recovery: re-begin the trace under the checkpoint's
+			// original id, so /trace/{job} and event subscribers see one
+			// continuous lifecycle across the restart.
+			j.tr = s.cfg.Tracer.BeginAt(req.Checkpoint.JobID, j.tenant, req.Label, req.Priority)
+			j.tr.Event(trace.EvSubmitted, s.cfg.shard, 0, "recovered")
+		} else {
+			j.tr = s.cfg.Tracer.Begin(j.tenant, req.Label, req.Priority)
+			j.tr.Event(trace.EvSubmitted, s.cfg.shard, 0, "")
+		}
 	}
+	s.initCheckpoint(j, &req)
 	if len(req.After) > 0 {
 		// Copy the edge list so later caller mutations of the request slice
 		// cannot corrupt the verified graph, and drop the request's own
@@ -517,7 +566,6 @@ func (s *Scheduler) submit(req Request, pool *Sharded) (*Job, error) {
 		// chain (nothing reads req.After after this point).
 		j.after = append([]*Job(nil), req.After...)
 		j.req.After = nil
-		j.pool = pool
 		// The same QueueDepth backpressure Submit applies through the queue
 		// channel, applied to the blocked population: sleeps until a slot
 		// frees (an earlier dependent released or canceled), bounded by
@@ -778,6 +826,8 @@ func (s *Scheduler) SubmitBatch(reqs []Request, out []*Job) error {
 			return errors.New("jobs: reducing request needs a Combine")
 		case len(req.After) > 0:
 			return errors.New("jobs: SubmitBatch requests cannot carry After; use Submit for dependencies")
+		case req.Checkpoint != nil:
+			return errors.New("jobs: SubmitBatch requests cannot carry Checkpoint; use Submit")
 		}
 	}
 	// Chunk by QueueDepth so the slot reservation below can always be
@@ -973,6 +1023,207 @@ func (s *Scheduler) acceptReleased(j *Job) bool {
 	return true
 }
 
+// acceptResumed admits a suspended job back into this scheduler's admission
+// queue (Job.Resume). Structured exactly like acceptReleased: it reports
+// false only when the release window has closed; the caller then falls back
+// to the job's home scheduler. Runs on the resumer's goroutine and never
+// blocks on the queue gate.
+func (s *Scheduler) acceptResumed(j *Job) bool {
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
+	if s.releaseClosed {
+		return false
+	}
+	home := j.home
+	// Like a release, the resume migrates the job between gauges (the home's
+	// suspended set, this scheduler's queue depth), so a pool-wide Stats walk
+	// is kept out of the window by the steal seqlock.
+	if p := s.cfg.pool; p != nil {
+		p.migrateBegin.Add(1)
+		defer p.migrateEnd.Add(1)
+	}
+	s.depth.Add(1)
+	s.forceQueueSlot()
+	j.s = s
+	if !j.state.CompareAndSwap(int32(Suspended), int32(Pending)) {
+		// Canceled (or drained by Close) while suspended; that path already
+		// settled the suspended gauge and the checkpoint.
+		s.depth.Add(-1)
+		s.releaseQueueSlot()
+		return true
+	}
+	// Suspended wall time ends here: it must not count as queue wait (the
+	// job was parked at the caller's request, not starved by arbitration).
+	if at := j.suspendedAt.Swap(0); at != 0 {
+		j.suspendedNanos.Add(time.Now().UnixNano() - at)
+	}
+	home.suspendForget(j)
+	if j.tr != nil {
+		j.tr.Event(trace.EvResumed, s.cfg.shard, 0, fmt.Sprintf("cursor=%d", j.resumeFrom))
+		j.tr.Event(trace.EvAdmitted, s.cfg.shard, 0, "")
+	}
+	s.fq.push(j)
+	s.wake()
+	return true
+}
+
+// initCheckpoint attaches the store snapshot template to a freshly allocated
+// job and writes the first checkpoint, before the job can possibly execute
+// (submit has not yet queued or dispatched it), so the store never holds a
+// stale snapshot of work that already ran. Requests without a Checkpoint —
+// or submitted without a tracer, which assigns the ids — stay non-durable.
+func (s *Scheduler) initCheckpoint(j *Job, req *Request) {
+	if req.Checkpoint == nil {
+		return
+	}
+	c := *req.Checkpoint
+	if c.JobID == 0 {
+		if j.tr == nil {
+			return
+		}
+		c.JobID = j.tr.ID
+	}
+	c.Label = req.Label
+	c.Tenant, c.Priority, c.Deadline = j.tenant, j.prio, j.deadline
+	c.N = req.N
+	c.Commutative = req.Commutative
+	// Persist dependency edges as upstream trace ids, so recovery can rebuild
+	// the graph among jobs that were all unfinished at the crash.
+	if len(req.After) > 0 {
+		c.After = make([]uint64, 0, len(req.After))
+		for _, u := range req.After {
+			if id := u.TraceID(); id != 0 {
+				c.After = append(c.After, id)
+			}
+		}
+	}
+	if c.Cursor > 0 && req.RBody != nil && req.Combine != nil && req.Commutative && !s.cfg.DisableElastic {
+		// Recovered mid-space: resume the cursor and the partial fold.
+		j.resumeFrom, j.resumeAcc = c.Cursor, c.Acc
+	} else {
+		// Fresh submission, or a recovered job whose reduction cannot resume
+		// mid-space (rigid teams, ordered reducers, plain bodies): restart
+		// from iteration 0 and let the checkpoint reflect that.
+		c.Cursor, c.Acc = 0, 0
+	}
+	j.ckptSeed = j.resumeFrom
+	j.ckpt = &c
+	s.writeCheckpoint(j)
+}
+
+// writeCheckpoint puts the job's current snapshot — identity template plus
+// the live (cursor, acc) watermark — into the configured store. Failures are
+// counted, not fatal: the job keeps running, only its recoverability degrades.
+func (s *Scheduler) writeCheckpoint(j *Job) {
+	st := s.cfg.Checkpoints
+	if st == nil || j.ckpt == nil {
+		return
+	}
+	cp := *j.ckpt
+	cp.Cursor = j.resumeFrom
+	cp.Acc = j.resumeAcc
+	if err := st.Put(cp); err != nil {
+		s.ckptFails.Add(1)
+		return
+	}
+	s.ckptWrites.Add(1)
+}
+
+// deleteCheckpoint drops the job's snapshot from the store (completion,
+// cancellation, failed submission). Idempotent; a nil store or a job that was
+// never durable is a no-op.
+func (s *Scheduler) deleteCheckpoint(j *Job) {
+	st := s.cfg.Checkpoints
+	if st == nil || j.ckpt == nil {
+		return
+	}
+	if err := st.Delete(j.ckpt.JobID); err != nil {
+		s.ckptFails.Add(1)
+	}
+}
+
+// noteSuspended registers a job that just parked in the Suspended state:
+// gauges, the suspended set (Close's sweep target), the lifecycle event and
+// the durable snapshot. Called by Suspend (queued jobs) and by the last
+// quiescing participant (running jobs). If Close's sweep already ran, the
+// parking side finishes the job's cancellation itself — the sweep can no
+// longer see it.
+func (s *Scheduler) noteSuspended(j *Job) {
+	if j.elastic {
+		// A parked job must leave the grow registry now, not at the next lazy
+		// prune: a resume re-admits it (which rewrites the elastic state in
+		// initElastic), and a grower or sibling lender still finding the old
+		// registry entry would race that re-initialization.
+		s.growMu.Lock()
+		delete(s.growSet, j)
+		s.growables.Store(int32(len(s.growSet)))
+		s.growMu.Unlock()
+	}
+	s.suspended.Add(1)
+	s.suspendedTotal.Add(1)
+	s.suspendMu.Lock()
+	closedNow := s.suspendClosed
+	if !closedNow {
+		s.suspendSet[j] = struct{}{}
+	}
+	s.suspendMu.Unlock()
+	if j.tr != nil {
+		j.tr.Event(trace.EvSuspended, s.cfg.shard, 0, fmt.Sprintf("cursor=%d", j.resumeFrom))
+	}
+	s.writeCheckpoint(j)
+	if closedNow {
+		s.cancelSuspendedForClose(j)
+	}
+}
+
+// suspendDrop unregisters a suspended job that was canceled: set, gauge and
+// — unlike the Close sweep — its checkpoint, because an explicit Cancel means
+// the job must not be recovered.
+func (s *Scheduler) suspendDrop(j *Job) {
+	s.suspendMu.Lock()
+	delete(s.suspendSet, j)
+	s.suspendMu.Unlock()
+	s.suspended.Add(-1)
+	s.deleteCheckpoint(j)
+}
+
+// suspendForget unregisters a suspended job that resumed. Its checkpoint
+// stays: the job is live again and the snapshot remains its recovery point
+// until the next suspension or completion overwrites or deletes it.
+func (s *Scheduler) suspendForget(j *Job) {
+	s.suspendMu.Lock()
+	delete(s.suspendSet, j)
+	s.suspendMu.Unlock()
+	s.suspended.Add(-1)
+	s.resumedTotal.Add(1)
+}
+
+// cancelSuspendedForClose cancels one suspended job during teardown,
+// deliberately keeping its checkpoint: shutting down with suspended jobs is
+// suspend-to-disk, and the next process recovers them from the store. Runs
+// before the blocked drain so a Blocked dependent of a suspended upstream
+// sees its upstream fail (and cancels) instead of deadlocking the drain.
+func (s *Scheduler) cancelSuspendedForClose(j *Job) {
+	j.depMu.Lock()
+	if !j.state.CompareAndSwap(int32(Suspended), int32(Canceled)) {
+		j.depMu.Unlock()
+		return
+	}
+	j.err = ErrCanceled
+	deps := j.dependents
+	j.dependents = nil
+	j.depMu.Unlock()
+	s.canceled.Add(1)
+	s.suspended.Add(-1)
+	if j.tr != nil {
+		j.tr.Event(trace.EvCanceled, s.cfg.shard, 0, "shutdown")
+	}
+	for _, d := range deps {
+		d.depDone(ErrCanceled)
+	}
+	j.finish()
+}
+
 // reserveBlockedSlot blocks until the blocked population is below
 // QueueDepth and reserves one slot, within maxWait (or not at all under
 // noWait). Slots drain as upstreams complete (or cancel), which never
@@ -1102,7 +1353,9 @@ func (s *Scheduler) capTeamBase(k int, j *Job, grain int) int {
 	if j.req.MaxWorkers > 0 && k > j.req.MaxWorkers {
 		k = j.req.MaxWorkers
 	}
-	if bySize := (j.req.N + grain - 1) / grain; k > bySize {
+	// Size by the remaining work: a resumed job's team is molded for the
+	// unclaimed tail of its space, not the iterations already executed.
+	if bySize := (j.req.N - j.resumeFrom + grain - 1) / grain; k > bySize {
 		k = bySize
 	}
 	if k < 1 {
@@ -1517,10 +1770,22 @@ func (s *Scheduler) recordCompletion(j *Job) {
 	acct := s.fq.account(j.tenant)
 	acct.completed.Add(1)
 	if j.req.N > 0 {
-		s.itersDone.Add(int64(j.req.N))
-		acct.iters.Add(int64(j.req.N))
+		// A recovered job charges only the iterations it actually executed in
+		// this process — the watermark inherited from the checkpoint ran (and
+		// was counted) before the crash.
+		n := int64(j.req.N - j.ckptSeed)
+		s.itersDone.Add(n)
+		acct.iters.Add(n)
 	}
-	wait := j.started.Sub(j.submitted)
+	// Run time spans every stint: the current one plus any accumulated before
+	// suspensions. Wait is everything else the job spent between submit and
+	// now — minus suspended wall time, which was the caller's pause, not queue
+	// starvation, and must not burn SLO budget.
+	run := now.Sub(j.started) + time.Duration(j.ranNanos.Load())
+	wait := now.Sub(j.submitted) - run - time.Duration(j.suspendedNanos.Load())
+	if wait < 0 {
+		wait = 0
+	}
 	acct.waitNanos.Add(int64(wait))
 	hadDeadline := !j.deadline.IsZero()
 	missed := hadDeadline && now.After(j.deadline)
@@ -1534,12 +1799,12 @@ func (s *Scheduler) recordCompletion(j *Job) {
 	if j.workers.Load() > 0 {
 		s.running.Add(-1)
 	}
-	run := now.Sub(j.started)
 	acct.runNanos.Add(int64(run))
 	// EWMA of recent run times (new = 3/4 old + 1/4 current) for the
 	// deadline-risk horizon; last-writer-wins staleness is acceptable.
 	s.lastRunNanos.Store(s.lastRunNanos.Load() - s.lastRunNanos.Load()/4 + int64(run)/4)
-	s.lat.add(now.Sub(j.submitted).Seconds(), run.Seconds())
+	// Total latency excludes suspended time for the same reason wait does.
+	s.lat.add((wait + run).Seconds(), run.Seconds())
 	// SLO window sample: deadline outcome plus the wait/run pair feeding the
 	// per-tenant rolling quantiles (see slo.go).
 	dl := sloNoDeadline
@@ -1563,6 +1828,8 @@ func (s *Scheduler) recordCompletion(j *Job) {
 		}
 		j.tr.Event(trace.EvJoined, s.cfg.shard, int(j.workers.Load()), detail)
 	}
+	// The job is done: its snapshot must not be recovered.
+	s.deleteCheckpoint(j)
 }
 
 // Close drains the admission queue, waits for every in-flight job and
@@ -1581,7 +1848,25 @@ func (s *Scheduler) Close() {
 	}
 	s.closed = true
 	s.submitMu.Unlock()
-	// Blocked jobs drain first: their upstreams are already queued or
+	// Suspended jobs cancel first (keeping their checkpoints: shutting down
+	// with suspended jobs is suspend-to-disk, the next process recovers them
+	// from the store). This must precede the blocked drain — a Blocked
+	// dependent of a Suspended upstream only unblocks when the upstream turns
+	// terminal, and nothing will resume it after closed. The closed flag set
+	// under suspendMu hands jobs still quiescing toward the park to
+	// noteSuspended's own cancel path, so none can slip past the sweep.
+	s.suspendMu.Lock()
+	s.suspendClosed = true
+	sweep := make([]*Job, 0, len(s.suspendSet))
+	for j := range s.suspendSet {
+		sweep = append(sweep, j)
+	}
+	clear(s.suspendSet)
+	s.suspendMu.Unlock()
+	for _, j := range sweep {
+		s.cancelSuspendedForClose(j)
+	}
+	// Blocked jobs drain next: their upstreams are already queued or
 	// running (here or on a sibling shard), so every one of them releases
 	// or cancels in bounded time; every retirement broadcasts the gate
 	// condition, so the wait is event-driven. blockedHeld reaching zero
@@ -1665,6 +1950,16 @@ type Stats struct {
 	ShedTotal       int64 `json:"shed_total"`
 	InfeasibleTotal int64 `json:"infeasible_total"`
 	BackloggedTotal int64 `json:"backlogged_total"`
+	// SuspendedDepth is the number of jobs currently parked in the Suspended
+	// state — like BlockedDepth, outside QueueDepth. SuspendedTotal and
+	// ResumedTotal count lifecycle transitions into and out of it.
+	// CheckpointWrites and CheckpointFailures count snapshot puts against the
+	// configured store (both zero without one).
+	SuspendedDepth     int64 `json:"suspended_depth"`
+	SuspendedTotal     int64 `json:"suspended_total"`
+	ResumedTotal       int64 `json:"resumed_total"`
+	CheckpointWrites   int64 `json:"checkpoint_writes_total"`
+	CheckpointFailures int64 `json:"checkpoint_failures_total"`
 	// Tenants is the per-tenant accounting: weights, queued depth, served
 	// jobs/iterations, preemptions, deadline misses and cumulative
 	// admission-wait time, keyed by tenant name (jobs submitted without a
@@ -1708,27 +2003,32 @@ func (s *Scheduler) Stats() Stats {
 // very same instant instead of re-snapshotting the rings.
 func (s *Scheduler) statsWindows() (Stats, []float64, []float64) {
 	st := Stats{
-		Workers:         s.p,
-		BusyWorkers:     int(s.busy.Load()),
-		QueueDepth:      int(s.depth.Load()),
-		Running:         int(s.running.Load()),
-		Submitted:       s.submitted.Load(),
-		Completed:       s.completed.Load(),
-		Canceled:        s.canceled.Load(),
-		IterationsDone:  s.itersDone.Load(),
-		Grown:           s.grown.Load(),
-		Peeled:          s.peeled.Load(),
-		Stolen:          s.stolen.Load(),
-		Lent:            s.lent.Load(),
-		BlockedDepth:    s.blocked.Load(),
-		Released:        s.released.Load(),
-		DepCanceled:     s.depCanceled.Load(),
-		Preempted:       s.preempted.Load(),
-		DeadlineMissed:  s.deadlineMissed.Load(),
-		ShedTotal:       s.infeasible.Load() + s.backlogged.Load(),
-		InfeasibleTotal: s.infeasible.Load(),
-		BackloggedTotal: s.backlogged.Load(),
-		Tenants:         s.fq.tenantsSnapshot(s.cfg.SLOTarget),
+		Workers:            s.p,
+		BusyWorkers:        int(s.busy.Load()),
+		QueueDepth:         int(s.depth.Load()),
+		Running:            int(s.running.Load()),
+		Submitted:          s.submitted.Load(),
+		Completed:          s.completed.Load(),
+		Canceled:           s.canceled.Load(),
+		IterationsDone:     s.itersDone.Load(),
+		Grown:              s.grown.Load(),
+		Peeled:             s.peeled.Load(),
+		Stolen:             s.stolen.Load(),
+		Lent:               s.lent.Load(),
+		BlockedDepth:       s.blocked.Load(),
+		Released:           s.released.Load(),
+		DepCanceled:        s.depCanceled.Load(),
+		Preempted:          s.preempted.Load(),
+		DeadlineMissed:     s.deadlineMissed.Load(),
+		ShedTotal:          s.infeasible.Load() + s.backlogged.Load(),
+		InfeasibleTotal:    s.infeasible.Load(),
+		BackloggedTotal:    s.backlogged.Load(),
+		SuspendedDepth:     s.suspended.Load(),
+		SuspendedTotal:     s.suspendedTotal.Load(),
+		ResumedTotal:       s.resumedTotal.Load(),
+		CheckpointWrites:   s.ckptWrites.Load(),
+		CheckpointFailures: s.ckptFails.Load(),
+		Tenants:            s.fq.tenantsSnapshot(s.cfg.SLOTarget),
 	}
 	tot, run, totSum, runSum := s.lat.snapshot()
 	st.LatencySamples = len(tot)

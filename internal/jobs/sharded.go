@@ -432,6 +432,11 @@ func (p *Sharded) statsSnapshot() ShardedStats {
 		out.Total.ShedTotal += st.ShedTotal
 		out.Total.InfeasibleTotal += st.InfeasibleTotal
 		out.Total.BackloggedTotal += st.BackloggedTotal
+		out.Total.SuspendedDepth += st.SuspendedDepth
+		out.Total.SuspendedTotal += st.SuspendedTotal
+		out.Total.ResumedTotal += st.ResumedTotal
+		out.Total.CheckpointWrites += st.CheckpointWrites
+		out.Total.CheckpointFailures += st.CheckpointFailures
 		// Per-tenant accounting merges across shards: counters sum (a job
 		// stolen mid-queue is submitted on one shard and completes on
 		// another, so only the pool-wide sums reconcile); the weight is the

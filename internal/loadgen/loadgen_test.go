@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 	"testing"
+	"time"
 )
 
 // synthBytes synthesizes a trace and returns its serialized form.
@@ -291,5 +292,45 @@ func TestOpFormValues(t *testing.T) {
 	want = "pipeline=spin%3A64%2Csum%3A32%3A2&tenant=t2"
 	if got != want {
 		t.Errorf("pipeline FormValues = %q, want %q", got, want)
+	}
+}
+
+// TestPacerDoesNotAllocatePerWait pins the fix for the per-op time.After in
+// the arrival loops: after the lazy first timer, pacing an op must not
+// allocate. A regression back to time.After costs one timer allocation per
+// replayed request.
+func TestPacerDoesNotAllocatePerWait(t *testing.T) {
+	ctx := context.Background()
+	var p pacer
+	if err := p.wait(ctx, time.Microsecond); err != nil { // lazy first timer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := p.wait(ctx, 10*time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("pacer.wait allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestPacerHonorsCancellation: a pending wait must unblock on context
+// cancellation and return the context's error, and the pacer must stay
+// reusable afterwards.
+func TestPacerHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var p pacer
+	done := make(chan error, 1)
+	go func() { done <- p.wait(ctx, time.Hour) }()
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("wait under cancellation = %v, want context.Canceled", err)
+	}
+	if err := p.wait(context.Background(), time.Microsecond); err != nil {
+		t.Fatalf("reuse after cancellation: %v", err)
+	}
+	if err := p.wait(context.Background(), -time.Second); err != nil {
+		t.Fatalf("non-positive wait: %v", err)
 	}
 }

@@ -89,6 +89,37 @@ func shed(status int) bool {
 	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
 }
 
+// pacer sleeps a goroutine until each op's arrival time on one reusable
+// timer. The obvious time.After in the pacing loop allocates a fresh timer
+// per op — at replay rates that is an allocation (and a live timer until it
+// fires) per request, which skews the very latency distributions the runner
+// exists to measure. Reset without a drain is safe under the Go 1.23+
+// synchronous timer semantics: after Stop or a receive, the channel never
+// holds a stale tick.
+type pacer struct {
+	timer *time.Timer
+}
+
+// wait blocks until d elapses or ctx is done, returning ctx.Err in the
+// latter case. d <= 0 returns immediately.
+func (p *pacer) wait(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	if p.timer == nil {
+		p.timer = time.NewTimer(d)
+	} else {
+		p.timer.Reset(d)
+	}
+	select {
+	case <-p.timer.C:
+		return nil
+	case <-ctx.Done():
+		p.timer.Stop()
+		return ctx.Err()
+	}
+}
+
 // FormValues renders the op as /run request parameters. url.Values.Encode
 // sorts keys, so the rendering is deterministic: the same op always
 // produces the same request body.
@@ -219,14 +250,11 @@ func Run(ctx context.Context, tr Trace, cfg RunConfig) (*Report, error) {
 	switch cfg.Mode {
 	case "open":
 		sem := make(chan struct{}, cfg.MaxInflight)
+		var pace pacer
 		for i := range tr.Ops {
 			op := &tr.Ops[i]
-			if d := time.Until(due(op)); d > 0 {
-				select {
-				case <-time.After(d):
-				case <-ctx.Done():
-					return nil, ctx.Err()
-				}
+			if err := pace.wait(ctx, time.Until(due(op))); err != nil {
+				return nil, err
 			}
 			select {
 			case sem <- struct{}{}:
@@ -252,14 +280,11 @@ func Run(ctx context.Context, tr Trace, cfg RunConfig) (*Report, error) {
 			wg.Add(1)
 			go func(idxs []int) {
 				defer wg.Done()
+				var pace pacer
 				for _, i := range idxs {
 					op := &tr.Ops[i]
-					if d := time.Until(due(op)); d > 0 {
-						select {
-						case <-time.After(d):
-						case <-ctx.Done():
-							return
-						}
+					if pace.wait(ctx, time.Until(due(op))) != nil {
+						return
 					}
 					record(i, issue(ctx, client, cfg.BaseURL, op))
 				}

@@ -24,7 +24,10 @@ import (
 func newTracedServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	cfg.Trace = true
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()
@@ -478,7 +481,10 @@ func TestMetricsBuildInfoTraceAndSLOFamilies(t *testing.T) {
 }
 
 func TestDebugPprofGatedByFlag(t *testing.T) {
-	srv := New(Config{Workers: 2, Debug: true})
+	srv, err := New(Config{Workers: 2, Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	defer func() {
 		ts.Close()

@@ -97,6 +97,20 @@ type Config struct {
 	BreakerCooldown time.Duration
 	// Debug registers the net/http/pprof handlers under /debug/pprof/.
 	Debug bool
+	// CheckpointDir enables durable checkpoint/resume: job progress snapshots
+	// are written to a file-backed WAL under this directory, POST
+	// /jobs/{job}/suspend and /jobs/{job}/resume park and revive jobs at
+	// chunk-wave boundaries, and on startup the daemon replays the store and
+	// re-admits every unfinished job from its cursor watermark under its
+	// original job id. Setting it force-enables tracing (job ids come from
+	// the tracer). Empty disables durability; the suspend/resume endpoints
+	// still work when Trace is set, without crash recovery.
+	CheckpointDir string
+	// EventsKeepalive is the idle heartbeat period of the /events SSE stream:
+	// a comment line is written whenever no event has been sent for this
+	// long, so idle connections survive proxies and LB idle timeouts. <= 0
+	// selects 15s; set it shorter for aggressive intermediaries.
+	EventsKeepalive time.Duration
 }
 
 // Server is the HTTP front-end over one sharded multi-tenant jobs runtime.
@@ -106,16 +120,41 @@ type Config struct {
 // any scheduler-wide serialization point.
 type Server struct {
 	rt          *jobs.Sharded
-	tracer      *trace.Tracer // nil unless Config.Trace
+	tracer      *trace.Tracer // nil unless Config.Trace or CheckpointDir
 	traceBuffer int
 	sloTarget   float64 // normalized configured SLO target, for /metrics
+	keepalive   time.Duration
 	started     time.Time
 	statsSeq    atomic.Uint64 // monotonic /stats snapshot sequence
 	mux         *http.ServeMux
+
+	// ckpts is the durable snapshot store (nil without CheckpointDir);
+	// recovered counts the jobs re-admitted from it at startup.
+	ckpts     *jobs.FileStore
+	recovered atomic.Int64
+
+	// live indexes in-flight jobs by trace id for the suspend/resume
+	// endpoints; entries retire when the awaiting goroutine sees completion.
+	liveMu sync.Mutex
+	live   map[uint64]*jobs.Job
 }
 
-// New builds a Server over a freshly constructed sharded runtime.
-func New(cfg Config) *Server {
+// New builds a Server over a freshly constructed sharded runtime. With
+// Config.CheckpointDir set it also opens the checkpoint store, replays it,
+// and re-admits every unfinished job before returning — the error is non-nil
+// only when the store cannot be opened or replayed.
+func New(cfg Config) (*Server, error) {
+	var store *jobs.FileStore
+	if cfg.CheckpointDir != "" {
+		st, err := jobs.OpenFileStore(cfg.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		store = st
+		// Durable jobs are keyed by tracer-assigned ids; a store without a
+		// tracer could never name its snapshots.
+		cfg.Trace = true
+	}
 	var tracer *trace.Tracer
 	if cfg.Trace {
 		tracer = trace.NewTracer(cfg.TraceCapacity)
@@ -130,25 +169,33 @@ func New(cfg Config) *Server {
 	if !(sloTarget > 0 && sloTarget < 1) {
 		sloTarget = 0.99
 	}
+	keepalive := cfg.EventsKeepalive
+	if keepalive <= 0 {
+		keepalive = 15 * time.Second
+	}
+	jc := jobs.Config{
+		Workers:          cfg.Workers,
+		MaxWorkersPerJob: cfg.MaxWorkersPerJob,
+		QueueDepth:       cfg.QueueDepth,
+		DefaultGrain:     cfg.DefaultGrain,
+		DisableElastic:   cfg.DisableElastic,
+		TenantWeights:    cfg.TenantWeights,
+		DisableFair:      cfg.DisableFair,
+		LockOSThread:     cfg.LockOSThread,
+		Tracer:           tracer,
+		SLOTarget:        cfg.SLOTarget,
+		MaxWait:          cfg.MaxWait,
+		ShedInfeasible:   cfg.ShedInfeasible,
+		BreakerBurnRate:  cfg.BreakerBurnRate,
+		BreakerCooldown:  cfg.BreakerCooldown,
+		Name:             "loopd",
+	}
+	if store != nil {
+		jc.Checkpoints = store
+	}
 	s := &Server{
 		rt: jobs.NewSharded(jobs.ShardedConfig{
-			Config: jobs.Config{
-				Workers:          cfg.Workers,
-				MaxWorkersPerJob: cfg.MaxWorkersPerJob,
-				QueueDepth:       cfg.QueueDepth,
-				DefaultGrain:     cfg.DefaultGrain,
-				DisableElastic:   cfg.DisableElastic,
-				TenantWeights:    cfg.TenantWeights,
-				DisableFair:      cfg.DisableFair,
-				LockOSThread:     cfg.LockOSThread,
-				Tracer:           tracer,
-				SLOTarget:        cfg.SLOTarget,
-				MaxWait:          cfg.MaxWait,
-				ShedInfeasible:   cfg.ShedInfeasible,
-				BreakerBurnRate:  cfg.BreakerBurnRate,
-				BreakerCooldown:  cfg.BreakerCooldown,
-				Name:             "loopd",
-			},
+			Config:          jc,
 			Shards:          cfg.Shards,
 			StealInterval:   cfg.StealInterval,
 			DisableStealing: cfg.DisableStealing,
@@ -156,14 +203,19 @@ func New(cfg Config) *Server {
 		tracer:      tracer,
 		traceBuffer: traceBuffer,
 		sloTarget:   sloTarget,
+		keepalive:   keepalive,
 		started:     time.Now(),
 		mux:         http.NewServeMux(),
+		ckpts:       store,
+		live:        make(map[uint64]*jobs.Job),
 	}
 	s.mux.HandleFunc("POST /run", s.handleRun)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /events", s.handleEvents)
 	s.mux.HandleFunc("GET /trace/{job}", s.handleTrace)
+	s.mux.HandleFunc("POST /jobs/{job}/suspend", s.handleSuspend)
+	s.mux.HandleFunc("POST /jobs/{job}/resume", s.handleResume)
 	if cfg.Debug {
 		// The pprof handlers are registered explicitly on the daemon's own
 		// mux (the package's init wires http.DefaultServeMux, which loopd
@@ -174,14 +226,28 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return s
+	if store != nil {
+		if err := s.recoverFromStore(); err != nil {
+			s.rt.Close()
+			store.Close()
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close drains and releases every shard.
-func (s *Server) Close() { s.rt.Close() }
+// Close drains and releases every shard, then flushes the checkpoint store.
+// Jobs suspended at close stay in the store (suspend-to-disk): the next
+// process recovers them.
+func (s *Server) Close() {
+	s.rt.Close()
+	if s.ckpts != nil {
+		s.ckpts.Close()
+	}
+}
 
 // Runtime exposes the underlying sharded pool (startup logging, tests).
 func (s *Server) Runtime() *jobs.Sharded { return s.rt }
@@ -476,6 +542,7 @@ func (s *Server) runPipeline(w http.ResponseWriter, stages []pipelineStage, iter
 			return
 		}
 		pol.apply(&req)
+		req.Checkpoint = s.checkpointFor(st.Workload, params)
 		reqs[si] = req
 	}
 	var all []submitted
@@ -508,6 +575,7 @@ func (s *Server) runPipeline(w http.ResponseWriter, stages []pipelineStage, iter
 			}
 			cur = append(cur, j)
 			all = append(all, submitted{si, i, j})
+			s.trackJob(j)
 		}
 		prev = cur
 	}
@@ -517,6 +585,7 @@ func (s *Server) runPipeline(w http.ResponseWriter, stages []pipelineStage, iter
 		go func(sub submitted) {
 			defer wg.Done()
 			v, err := sub.job.Wait()
+			s.untrackJob(sub.job)
 			res := &stages[sub.stage].Results[sub.idx]
 			// Like the plain /run path: seconds from request start to this
 			// job's completion — for a dependent job that includes the time
@@ -550,15 +619,23 @@ func (s *Server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, i
 		return
 	}
 	pol.apply(&req)
+	if !batch {
+		// Durable snapshot template (nil without a checkpoint store; every
+		// job copies it and fills its own id). Batched admission stays
+		// non-durable: SubmitBatch rejects checkpointed requests.
+		req.Checkpoint = s.checkpointFor(workload, params)
+	}
 	resp := runResponse{Workload: workload, Jobs: nJobs, Iterations: n, Results: make([]runJobResult, nJobs)}
 	start := time.Now()
 	var wg sync.WaitGroup
 	await := func(i int, j *jobs.Job) {
+		s.trackJob(j)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			jobStart := time.Now()
 			v, err := j.Wait()
+			s.untrackJob(j)
 			resp.Results[i].Seconds = time.Since(jobStart).Seconds()
 			resp.Results[i].Job = traceID(j)
 			resp.Results[i].Workers = j.Workers()
@@ -635,13 +712,16 @@ func (s *Server) runJobs(w http.ResponseWriter, workload string, n, nJobs int, i
 // snapshots in shard order. SnapshotSeq increments on every scrape, so a
 // poller can detect reordered or duplicated reads.
 type statsResponse struct {
-	SnapshotSeq   uint64             `json:"snapshot_seq"`
-	UptimeSeconds float64            `json:"uptime_seconds"`
-	Workloads     []string           `json:"workloads"`
-	Shards        int                `json:"shards"`
-	Queue         jobs.Stats         `json:"queue"`
-	ShardStats    []jobs.Stats       `json:"shard_stats"`
-	Runtime       runtimeStats       `json:"runtime"`
+	SnapshotSeq   uint64       `json:"snapshot_seq"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Workloads     []string     `json:"workloads"`
+	Shards        int          `json:"shards"`
+	Queue         jobs.Stats   `json:"queue"`
+	ShardStats    []jobs.Stats `json:"shard_stats"`
+	Runtime       runtimeStats `json:"runtime"`
+	// RecoveredJobs counts the jobs re-admitted from the checkpoint store at
+	// startup (always 0 without -checkpoint-dir).
+	RecoveredJobs int64              `json:"recovered_jobs"`
 	Trace         *trace.TracerStats `json:"trace,omitempty"`
 }
 
@@ -676,6 +756,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Queue:         st.Total,
 		ShardStats:    st.Shards,
 		Runtime:       readRuntimeStats(),
+		RecoveredJobs: s.recovered.Load(),
 	}
 	if s.tracer != nil {
 		ts := s.tracer.Stats()
@@ -726,11 +807,21 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
+	// Heartbeat for idle streams: proxies and load balancers tear down
+	// connections that stay silent, and an SSE comment is invisible to event
+	// consumers. The ticker is not reset on real events — an occasional
+	// redundant heartbeat on a busy stream is two bytes, while resetting per
+	// event would put a timer op on every delivery.
+	ka := time.NewTicker(s.keepalive)
+	defer ka.Stop()
 	var reported int64
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-ka.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
 		case ev := <-sub.Events():
 			if d := sub.Dropped(); d > reported {
 				fmt.Fprintf(w, ": dropped %d events (slow subscriber)\n\n", d-reported)
@@ -827,6 +918,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("loopd_jobs_shed_total", "submissions rejected by admission control (infeasible deadline, full backlog or open breaker)", float64(tot.ShedTotal))
 	counter("loopd_jobs_infeasible_total", "submissions rejected because the deadline could not be met at the measured service rate", float64(tot.InfeasibleTotal))
 	counter("loopd_jobs_backlogged_total", "submissions rejected because the admission queue stayed full past the wait bound", float64(tot.BackloggedTotal))
+	gauge("loopd_jobs_suspended_depth", "jobs currently parked in the suspended state (outside every admission queue)", float64(tot.SuspendedDepth))
+	counter("loopd_jobs_suspended_total", "jobs ever parked by a suspend", float64(tot.SuspendedTotal))
+	counter("loopd_jobs_resumed_total", "suspended jobs ever re-admitted by a resume", float64(tot.ResumedTotal))
+	counter("loopd_checkpoint_writes_total", "progress snapshots written to the checkpoint store", float64(tot.CheckpointWrites))
+	counter("loopd_checkpoint_failures_total", "checkpoint store operations that failed (job kept running, recoverability degraded)", float64(tot.CheckpointFailures))
+	counter("loopd_jobs_recovered_total", "jobs re-admitted from the checkpoint store at startup", float64(s.recovered.Load()))
 	gauge("loopd_uptime_seconds", "seconds since the daemon started", time.Since(s.started).Seconds())
 
 	// Build identity as the conventional constant-1 info gauge.

@@ -28,7 +28,10 @@ func TestMain(m *testing.M) {
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(Config{Workers: 4})
+	srv, err := New(Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()
@@ -261,7 +264,10 @@ func TestShardedConcurrentRunsAndMetricsReconcile(t *testing.T) {
 	// Concurrent /run tenants against an explicitly 2-sharded pool: every
 	// reduction must be exact, the shard-labelled /metrics series must parse,
 	// and the per-shard _sum/_count totals must reconcile with /stats.
-	srv := New(Config{Workers: 4, Shards: 2})
+	srv, err := New(Config{Workers: 4, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	defer func() {
 		ts.Close()
@@ -389,7 +395,10 @@ func TestShardedConcurrentRunsAndMetricsReconcile(t *testing.T) {
 }
 
 func TestRunShardPinParameterValidation(t *testing.T) {
-	srv := New(Config{Workers: 2, Shards: 2})
+	srv, err := New(Config{Workers: 2, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	defer func() {
 		ts.Close()
@@ -527,7 +536,10 @@ func TestTenantParamsRoundTripAndMetricsReconcile(t *testing.T) {
 	// reconcile with the untagged totals: every job is charged to exactly
 	// one account, so the sums over the tenant label must equal the
 	// pool-wide counters.
-	srv := New(Config{Workers: 4, TenantWeights: map[string]int{"gold": 3, "bronze": 1}})
+	srv, err := New(Config{Workers: 4, TenantWeights: map[string]int{"gold": 3, "bronze": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	defer func() {
 		ts.Close()
@@ -787,7 +799,10 @@ func TestSLOTargetGaugeAlwaysPresent(t *testing.T) {
 		{0, "loopd_slo_target 0.99"},    // default
 		{0.95, "loopd_slo_target 0.95"}, // configured
 	} {
-		srv := New(Config{Workers: 2, SLOTarget: tc.target})
+		srv, err := New(Config{Workers: 2, SLOTarget: tc.target})
+		if err != nil {
+			t.Fatal(err)
+		}
 		ts := httptest.NewServer(srv)
 		resp, err := http.Get(ts.URL + "/metrics")
 		if err != nil {
@@ -811,7 +826,10 @@ func TestSLOTargetGaugeAlwaysPresent(t *testing.T) {
 // handler. The queue is filled deterministically: a blocker job occupies
 // every worker and a second job holds the single queue slot.
 func TestNoWaitBackpressure(t *testing.T) {
-	srv := New(Config{Workers: 2, Shards: 1, QueueDepth: 1})
+	srv, err := New(Config{Workers: 2, Shards: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	defer func() {
 		ts.Close()

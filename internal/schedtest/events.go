@@ -24,6 +24,9 @@ import (
 //     exactly one winner), and joined and canceled are too;
 //   - stolen sits between admitted and dispatched (a job is only stolen while
 //     queued);
+//   - suspended and resumed strictly alternate, each resume re-admits (so
+//     admitted/dispatched appear once per admission segment instead), and a
+//     cancel after a suspension is legal even on a dispatched job;
 //   - grown, lent, peeled and preempted require a dispatch, and grown/lent
 //     happen strictly before the join (the grow CAS holds a participant, so
 //     the job cannot complete first); peeled and preempted may trail it;
@@ -56,12 +59,45 @@ func AssertEventOrder(t testing.TB, events []trace.StreamEvent) {
 		if evs[0].Type != "submitted" {
 			t.Errorf("job %d: first event is %q, want submitted", id, evs[0].Type)
 		}
-		for _, typ := range []string{"submitted", "blocked", "released", "admitted", "dispatched", "joined", "canceled"} {
+		// Every resume re-admits (and possibly re-dispatches) the job, so
+		// those two appear once per lifetime segment; the rest are one-shot.
+		suspends, resumes := count["suspended"], count["resumed"]
+		for _, typ := range []string{"submitted", "blocked", "released", "joined", "canceled"} {
 			if count[typ] > 1 {
 				t.Errorf("job %d: %d %q events, want at most 1", id, count[typ], typ)
 			}
 		}
-		if count["dispatched"] > 0 && count["canceled"] > 0 {
+		for _, typ := range []string{"admitted", "dispatched"} {
+			if count[typ] > 1+resumes {
+				t.Errorf("job %d: %d %q events, want at most %d (one per admission segment)",
+					id, count[typ], typ, 1+resumes)
+			}
+		}
+		// suspended/resumed strictly alternate: a park is resumed before the
+		// next park, and a resume needs a preceding park. A trailing
+		// unresumed suspension is legal (the job was canceled while parked).
+		parked := 0
+		for _, ev := range evs {
+			switch ev.Type {
+			case "suspended":
+				if parked++; parked > 1 {
+					t.Errorf("job %d: suspended (seq %d) while already parked", id, ev.Seq)
+				}
+			case "resumed":
+				if parked == 0 {
+					t.Errorf("job %d: resumed (seq %d) without a preceding suspended", id, ev.Seq)
+				} else {
+					parked--
+				}
+			}
+		}
+		if resumes > suspends {
+			t.Errorf("job %d: %d resumed events for %d suspensions", id, resumes, suspends)
+		}
+		// A dispatch and a cancel are mutually exclusive winners of the
+		// admission CAS — unless a suspension sat in between (dispatched, then
+		// parked, then canceled while parked).
+		if count["dispatched"] > 0 && count["canceled"] > 0 && suspends == 0 {
 			t.Errorf("job %d: both dispatched and canceled", id)
 		}
 		if count["joined"] > 0 && count["canceled"] > 0 {
@@ -82,6 +118,8 @@ func AssertEventOrder(t testing.TB, events []trace.StreamEvent) {
 		ordered("submitted", "admitted")
 		ordered("admitted", "dispatched")
 		ordered("dispatched", "joined")
+		ordered("admitted", "suspended")
+		ordered("suspended", "resumed")
 
 		dispatched, hasDispatched := first["dispatched"]
 		joined, hasJoined := first["joined"]
@@ -103,7 +141,10 @@ func AssertEventOrder(t testing.TB, events []trace.StreamEvent) {
 				} else if ev.Seq <= admitted {
 					t.Errorf("job %d: stolen (seq %d) before admitted (seq %d)", id, ev.Seq, admitted)
 				}
-				if hasDispatched && ev.Seq >= dispatched {
+				// A resumed job is re-queued and stealable again, so the
+				// stolen-only-while-queued window repeats per segment; the
+				// strict check holds only for an uninterrupted lifecycle.
+				if suspends == 0 && hasDispatched && ev.Seq >= dispatched {
 					t.Errorf("job %d: stolen (seq %d) after dispatched (seq %d)", id, ev.Seq, dispatched)
 				}
 			}

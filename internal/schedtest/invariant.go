@@ -202,6 +202,11 @@ func runOneOp(t *testing.T, runner JobRunner, rng *rand.Rand, opt InvariantOptio
 		maxWorkers = 1 + rng.Intn(4)
 	}
 	cancel := rng.Intn(100) < opt.CancelPercent
+	// Suspend/resume churn rides the same stream: a checkpointed pause must
+	// be invisible to every invariant below (exactly-once marks, closed-form
+	// sums, ordered folds). Cancels race admission already; suspending a
+	// canceled handle would just be a refusal, so churn the others.
+	suspend := !cancel && rng.Intn(4) == 0
 
 	var marks []int32 // exactly-once probe for plain jobs
 	var req jobs.Request
@@ -240,6 +245,9 @@ func runOneOp(t *testing.T, runner JobRunner, rng *rand.Rand, opt InvariantOptio
 	}
 	if cancel {
 		j.Cancel() // races admission and stealing on purpose; may fail
+	}
+	if suspend {
+		suspendResumeChurn(j, opt.Deadline)
 	}
 	v, err := waitDeadline(j, opt.Deadline)
 	if errors.Is(err, jobs.ErrCanceled) {
@@ -414,6 +422,11 @@ func runDepOp(t *testing.T, runner JobRunner, rng *rand.Rand, opt InvariantOptio
 		// Races admission on purpose; propagation is only required when the
 		// cancel actually won.
 		upCanceled = ups[rng.Intn(fanIn)].Cancel()
+	} else if rng.Intn(3) == 0 {
+		// Park an upstream under a live dependent: the dependent must stay
+		// blocked through the pause and still observe the full upstream
+		// coverage when the resumed join wave finally releases it.
+		suspendResumeChurn(ups[rng.Intn(fanIn)], opt.Deadline)
 	}
 
 	_, depErr := waitDeadline(dep, opt.Deadline)
@@ -445,6 +458,30 @@ func runDepOp(t *testing.T, runner JobRunner, rng *rand.Rand, opt InvariantOptio
 		if _, err := waitDeadline(u, opt.Deadline); err != nil && !errors.Is(err, jobs.ErrCanceled) {
 			t.Errorf("tenant %d op %d (seed %d): upstream %d: %v", tnt, op, opt.Seed, i, err)
 		}
+	}
+}
+
+// suspendResumeChurn drives one suspend/resume cycle against a live job. A
+// refusal (terminal, blocked, rigid mid-run) is a legal outcome and ends the
+// op; after an accepted suspend the job MUST be resumed — a parked job never
+// completes on its own — so the helper polls until the resume lands or the
+// job reaches a terminal state (a running job parks only at its next
+// chunk-wave boundary, or completes first if no boundary remains).
+func suspendResumeChurn(j *jobs.Job, deadline time.Duration) {
+	if !j.Suspend() {
+		return
+	}
+	limit := time.Now().Add(deadline)
+	for !j.Resume() {
+		select {
+		case <-j.Done():
+			return
+		default:
+		}
+		if time.Now().After(limit) {
+			return
+		}
+		time.Sleep(20 * time.Microsecond)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"strconv"
+	"strings"
 )
 
 // OTLPDocument is the top-level trace export payload.
@@ -120,10 +121,25 @@ func (jt *JobTrace) OTLP(service string) OTLPDocument {
 	var submitted, blocked, released, admitted, dispatched, end int64
 	outcome := "completed"
 	finalShard, initialWorkers, peakWorkers := 0, 0, 0
+	recovered := false
+	type pause struct {
+		start, end int64
+		detail     string
+	}
+	var pauses []pause
 	for _, ev := range events {
 		switch ev.Type {
 		case eventTypeNames[EvSubmitted]:
 			submitted = ev.TimeUnixNano
+			if ev.Detail == "recovered" {
+				recovered = true
+			}
+		case eventTypeNames[EvSuspended]:
+			pauses = append(pauses, pause{start: ev.TimeUnixNano, detail: ev.Detail})
+		case eventTypeNames[EvResumed]:
+			if n := len(pauses); n > 0 && pauses[n-1].end == 0 {
+				pauses[n-1].end = ev.TimeUnixNano
+			}
 		case eventTypeNames[EvBlocked]:
 			blocked = ev.TimeUnixNano
 		case eventTypeNames[EvReleased]:
@@ -171,6 +187,11 @@ func (jt *JobTrace) OTLP(service string) OTLPDocument {
 	}
 	if truncated > 0 {
 		rootAttrs = append(rootAttrs, intAttr("trace.truncated", int64(truncated)))
+	}
+	if recovered {
+		// The job was re-admitted from a checkpoint after a restart; this
+		// span tree continues the pre-crash lifecycle under the same id.
+		rootAttrs = append(rootAttrs, boolAttr("recovered", true))
 	}
 
 	idx := 0
@@ -235,6 +256,29 @@ func (jt *JobTrace) OTLP(service string) OTLPDocument {
 				Attributes: attrs,
 			})
 		}
+	}
+
+	// Each checkpointed pause is a child span of the job: the interval from
+	// the park to the re-admission (or, for a job torn down while parked, to
+	// the trace's end), carrying the cursor watermark it parked at.
+	for _, p := range pauses {
+		idx++
+		pauseEnd := p.end
+		if pauseEnd == 0 {
+			pauseEnd = end
+		}
+		var attrs []OTLPAttr
+		if c, ok := strings.CutPrefix(p.detail, "cursor="); ok {
+			if v, err := strconv.ParseInt(c, 10, 64); err == nil {
+				attrs = append(attrs, intAttr("cursor", v))
+			}
+		}
+		spans = append(spans, OTLPSpan{
+			TraceID: traceID, SpanID: jt.spanID(idx), ParentSpanID: rootID,
+			Name: "suspended", Kind: spanKindInternal,
+			StartTimeUnixNano: nano(p.start), EndTimeUnixNano: nano(pauseEnd),
+			Attributes: attrs,
+		})
 	}
 
 	return OTLPDocument{ResourceSpans: []OTLPResourceSpans{{

@@ -48,6 +48,13 @@ const (
 	// bounded wait, or the tenant's circuit breaker open — the Detail names
 	// which) and the job never entered a queue.
 	EvShed
+	// EvSuspended/EvResumed bracket a checkpointed pause: the job left every
+	// queue and sub-team with its cursor watermark captured (Detail carries
+	// "cursor=<n>"), then re-entered admission from that watermark — possibly
+	// in a different process, recovered from a checkpoint store under the
+	// same job id.
+	EvSuspended
+	EvResumed
 
 	numEventTypes
 )
@@ -66,6 +73,8 @@ var eventTypeNames = [numEventTypes]string{
 	EvJoined:     "joined",
 	EvCanceled:   "canceled",
 	EvShed:       "shed",
+	EvSuspended:  "suspended",
+	EvResumed:    "resumed",
 }
 
 // String implements fmt.Stringer.
@@ -300,6 +309,32 @@ func (t *Tracer) Begin(tenant, label string, priority int) *JobTrace {
 	}
 	return &JobTrace{
 		ID:       t.ids.Add(1),
+		Tenant:   tenant,
+		Label:    label,
+		Priority: priority,
+		t:        t,
+		events:   make([]StreamEvent, 0, 8),
+	}
+}
+
+// BeginAt starts a job trace under a caller-chosen id — the crash-recovery
+// path, which re-admits unfinished jobs from a checkpoint store under their
+// original ids so /trace/{job} and /events subscribers observe one
+// continuous lifecycle across restarts. The internal id counter is advanced
+// to at least id, so later Begin calls never collide with a recovered id.
+// Safe on a nil receiver.
+func (t *Tracer) BeginAt(id uint64, tenant, label string, priority int) *JobTrace {
+	if t == nil {
+		return nil
+	}
+	for {
+		cur := t.ids.Load()
+		if cur >= id || t.ids.CompareAndSwap(cur, id) {
+			break
+		}
+	}
+	return &JobTrace{
+		ID:       id,
 		Tenant:   tenant,
 		Label:    label,
 		Priority: priority,

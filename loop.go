@@ -560,6 +560,32 @@ func (j *Job) Cancel() bool {
 	return j.inner.Cancel()
 }
 
+// Suspend parks the job with its progress checkpointed: a queued job parks
+// instantly, a running one at its next chunk-wave boundary (no participant
+// is ever interrupted mid-chunk). Reports whether the pause was accepted —
+// false for terminal, blocked, or rigid mid-run jobs; true (idempotently)
+// for one already suspended. A suspended job holds no workers and its Wait
+// keeps blocking until it is resumed or canceled.
+func (j *Job) Suspend() bool {
+	if j.inner == nil {
+		return false
+	}
+	return j.inner.Suspend()
+}
+
+// Resume re-admits a suspended job from its checkpointed cursor watermark:
+// every iteration below it ran exactly once and its partial reduction is
+// preserved, so the result is byte-identical to an uninterrupted run.
+// Reports false when the job is not suspended (including the window where a
+// running job has accepted a Suspend but not parked yet — retry after the
+// park, observable as the "suspended" trace event).
+func (j *Job) Resume() bool {
+	if j.inner == nil {
+		return false
+	}
+	return j.inner.Resume()
+}
+
 // Workers returns the sub-team size the job was molded onto (0 until it is
 // admitted).
 func (j *Job) Workers() int {

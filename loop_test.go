@@ -854,3 +854,49 @@ func TestPublicSubmitBatchAllocs(t *testing.T) {
 		t.Errorf("SubmitBatch cycle: %v allocs per submitted job, want 0", got)
 	}
 }
+
+// TestAsyncSuspendResume drives the pause API through the public wrapper: a
+// commutative reduction is suspended mid-flight, holds no result while
+// parked, and after Resume completes with the exact uninterrupted sum.
+func TestAsyncSuspendResume(t *testing.T) {
+	pool := testPool(t, Config{Workers: 2})
+	const n = 200_000
+	j := pool.SubmitReduceOpts(n, JobOptions{Commutative: true, Grain: 256}, 0,
+		func(a, b float64) float64 { return a + b },
+		func(_, low, high int, acc float64) float64 {
+			for i := low; i < high; i++ {
+				acc += float64(i)
+			}
+			return acc
+		})
+	if !j.Suspend() {
+		t.Fatal("Suspend refused on an in-flight job")
+	}
+	if !j.Suspend() {
+		t.Error("Suspend is not idempotent on a parked job")
+	}
+	// Resume may race the park of a running job; retry until it lands.
+	deadline := time.Now().Add(10 * time.Second)
+	for !j.Resume() {
+		if time.Now().After(deadline) {
+			t.Fatal("Resume never landed")
+		}
+		runtime.Gosched()
+	}
+	v, err := j.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(n) * float64(n-1) / 2; v != want {
+		t.Fatalf("suspended+resumed reduction = %v, want %v", v, want)
+	}
+
+	// Terminal and failed-submission handles refuse the pause API.
+	if j.Suspend() || j.Resume() {
+		t.Error("Suspend/Resume accepted on a completed job")
+	}
+	bad := &Job{}
+	if bad.Suspend() || bad.Resume() {
+		t.Error("Suspend/Resume accepted on a failed-submission handle")
+	}
+}
